@@ -1,0 +1,71 @@
+"""Shared helpers for the paper-reproduction benchmarks.
+
+Every file in this directory regenerates one table or figure from the
+paper's evaluation (Section V) — see DESIGN.md section 3 for the index.
+Numbers are *simulated* throughput (operations per simulated second read
+from each system's virtual clock); EXPERIMENTS.md records how the shapes
+compare with the paper's measurements.
+
+Run with::
+
+    pytest benchmarks/ --benchmark-only -s
+"""
+
+from __future__ import annotations
+
+import pytest
+
+import os
+
+from repro.bench.adapters import make_store
+from repro.bench.harness import RunResult, bar, human_throughput, print_table
+from repro.workloads.ycsb import YcsbConfig
+
+#: Scale-down: every benchmark device/pool is this fraction of the
+#: paper's (32 GB pool -> 256 MB), keeping payload:pool:device ratios.
+#: REPRO_BENCH_SCALE multiplies op counts for longer, steadier runs.
+BENCH_SCALE = max(1, int(os.environ.get("REPRO_BENCH_SCALE", "1")))
+BENCH_CAPACITY = dict(capacity_bytes=1 << 30, buffer_bytes=256 << 20)
+
+
+def ycsb_config(payload, n_records=24, read_ratio=0.5, seed=1) -> YcsbConfig:
+    return YcsbConfig(n_records=n_records, payload=payload,
+                      read_ratio=read_ratio, seed=seed)
+
+
+def scaled(n_ops: int) -> int:
+    """Scale an op count by REPRO_BENCH_SCALE (longer, steadier runs)."""
+    return n_ops * BENCH_SCALE
+
+
+def build_store(name: str, **overrides):
+    kwargs = dict(BENCH_CAPACITY)
+    kwargs.update(overrides)
+    return make_store(name, **kwargs)
+
+
+def report_figure(title: str, results: dict[str, RunResult],
+                  baseline: str = "our") -> None:
+    """Print a paper-style figure table, normalized to one system."""
+    base = results[baseline].throughput_ops_s if baseline in results else None
+    best = max(r.throughput_ops_s for r in results.values())
+    rows = []
+    for name, result in results.items():
+        rel = (f"{result.throughput_ops_s / base:.2f}x"
+               if base else "-")
+        rows.append([name, human_throughput(result.throughput_ops_s),
+                     f"{result.per_op_us:.1f}", rel,
+                     bar(result.throughput_ops_s, best)])
+    print_table(title, ["system", "txn/s (sim)", "us/op", f"vs {baseline}",
+                        ""], rows)
+
+
+@pytest.fixture
+def bench_once(benchmark):
+    """Run the comparison exactly once under pytest-benchmark timing."""
+
+    def run(fn):
+        return benchmark.pedantic(fn, rounds=1, iterations=1,
+                                  warmup_rounds=0)
+
+    return run

@@ -1,0 +1,85 @@
+"""Ablation: the extent-tier formula vs Power-of-Two vs Fibonacci.
+
+Section III-A rejects the classic growth formulas for their waste (50 %
+worst case for Power-of-Two, 38.2 % for Fibonacci) and for how quickly
+(or slowly) they reach huge objects.  This ablation measures the actual
+internal fragmentation over a realistic size distribution and the
+metadata length (extent count) needed per BLOB size.
+"""
+
+import math
+import random
+
+from conftest import print_table
+
+from repro.core.tier import ExtentTier, FibonacciTier, PowerOfTwoTier
+
+TIERS = {
+    "extent-tier(10)": ExtentTier(tiers_per_level=10),
+    "extent-tier(5)": ExtentTier(tiers_per_level=5),
+    "power-of-two": PowerOfTwoTier(),
+    "fibonacci": FibonacciTier(),
+}
+
+
+def waste_stats(table, sizes_pages):
+    fractions = [table.waste_fraction(s) for s in sizes_pages]
+    return (sum(fractions) / len(fractions), max(fractions))
+
+
+def extents_needed(table, npages):
+    return table.tiers_for_pages(npages)
+
+
+def run_analysis():
+    rng = random.Random(3)
+    # Lognormal object sizes centred in the hundreds of megabytes; the
+    # formulas only diverge past level 0 (the proposed tiers' level 0
+    # *is* power-of-two, so small objects waste identically).
+    sizes = [max(1, int(math.exp(rng.gauss(11.0, 2.0))))
+             for _ in range(4000)]
+    results = {}
+    for name, table in TIERS.items():
+        mean_waste, worst_waste = waste_stats(table, sizes)
+        big = 10 * 1024 * 1024 * 1024 // 4096  # 10 GB in pages
+        results[name] = dict(mean=mean_waste, worst=worst_waste,
+                             extents_10gb=extents_needed(table, big),
+                             max_127=table.max_pages(127) * 4096)
+    return results
+
+
+def test_ablation_tier_formula(bench_once):
+    results = bench_once(run_analysis)
+    rows = [[name,
+             f"{r['mean'] * 100:.1f}%", f"{r['worst'] * 100:.1f}%",
+             f"{r['extents_10gb']}",
+             f"{min(r['max_127'] / (1 << 50), 10**9):.0f} PiB"]
+            for name, r in results.items()]
+    print_table("Ablation: tier formulas (waste over lognormal sizes)",
+                ["formula", "mean waste", "worst waste", "extents @10GB",
+                 "max @127 extents"], rows)
+
+    ours = results["extent-tier(10)"]
+    pow2 = results["power-of-two"]
+    fib = results["fibonacci"]
+    # The proposed formula wastes less than both classics on average...
+    assert ours["mean"] < pow2["mean"]
+    assert ours["mean"] < fib["mean"]
+    # ...and the classics do exhibit their textbook worst cases.
+    assert pow2["worst"] > 0.40
+    assert fib["worst"] > 0.30
+    # For large BLOBs (level 1 and beyond — the regime the paper's
+    # 25 % -> 7.3 % numbers describe) the proposed formula's waste drops
+    # below Fibonacci's 38.2 % bound.  Small objects live in level 0,
+    # which *is* power-of-two, so the blanket worst case stays ~50 %.
+    big = 100 * 1024 * 1024 // 4096  # 100 MB in pages
+    worst_big = max(TIERS["extent-tier(10)"].waste_fraction(big + delta)
+                    for delta in range(0, 5000, 500))
+    assert worst_big < 0.382
+    # Five tiers per level wastes even less but reaches smaller maxima —
+    # the utilization/max-size trade-off the paper discusses.
+    five = results["extent-tier(5)"]
+    assert five["mean"] < ours["mean"]
+    assert five["max_127"] < ours["max_127"]
+    # Metadata stays short: a 10 GB BLOB needs only tens of extents.
+    assert ours["extents_10gb"] <= 40

@@ -1,0 +1,85 @@
+"""Figure 11: extent reusability / performance vs storage utilization.
+
+Paper setup: allocate BLOBs of random 1-10 MB (80 %) and delete random
+BLOBs (20 %) until the 32 GB device fills.  Result: best-effort file
+systems (Ext4, BtrFS, XFS) lose throughput as utilization approaches
+100 % (fragmented free space defeats their allocators); F2FS
+(log-structured) and Our (static per-tier free lists) stay stable.
+"""
+
+import random
+
+from conftest import print_table
+
+from repro.bench.adapters import make_store
+from repro.core.allocator import StorageFull
+from repro.baselines.filesystem import FsError
+from repro.sim.clock import Stopwatch
+
+CAPACITY = 256 << 20          # scaled from the paper's 32 GB
+BLOB_MIN, BLOB_MAX = 128 * 1024, 1280 * 1024   # scaled from 1-10 MB
+SYSTEMS = ("our", "ext4.ordered", "xfs", "btrfs", "f2fs")
+BUCKETS = [0.2, 0.4, 0.6, 0.8, 0.95, 0.995]
+
+
+def utilization_of(store) -> float:
+    if store.name.startswith("our"):
+        return store.db.allocator.utilization()
+    return store.fs.utilization()
+
+
+def run_churn(name: str) -> dict[float, float]:
+    """Alloc 80 / delete 20 until full; throughput per utilization band."""
+    store = make_store(name, capacity_bytes=CAPACITY,
+                       buffer_bytes=64 << 20)
+    rng = random.Random(17)
+    live: list[bytes] = []
+    counter = 0
+    band_tp: dict[float, float] = {}
+    band_idx = 0
+    ops_in_band = 0
+    band_start_ns = store.model.clock.now_ns
+    while band_idx < len(BUCKETS):
+        try:
+            if live and rng.random() < 0.2:
+                victim = live.pop(rng.randrange(len(live)))
+                store.delete(victim)
+            else:
+                size = rng.randint(BLOB_MIN, BLOB_MAX)
+                key = b"blob%08d" % counter
+                counter += 1
+                store.put(key, b"\xab" * size)
+                live.append(key)
+        except (StorageFull, FsError):
+            break  # device full: the run ends, as in the paper
+        ops_in_band += 1
+        if utilization_of(store) >= BUCKETS[band_idx] or ops_in_band > 4000:
+            elapsed = store.model.clock.now_ns - band_start_ns
+            band_tp[BUCKETS[band_idx]] = ops_in_band * 1e9 / max(elapsed, 1)
+            band_idx += 1
+            ops_in_band = 0
+            band_start_ns = store.model.clock.now_ns
+    return band_tp
+
+
+def test_fig11_storage_utilization(bench_once):
+    results = bench_once(lambda: {name: run_churn(name) for name in SYSTEMS})
+    rows = []
+    for name, bands in results.items():
+        rows.append([name] + [f"{bands.get(b, float('nan')):.0f}"
+                              for b in BUCKETS])
+    print_table("Figure 11: txn/s by storage-utilization band",
+                ["system"] + [f"<= {int(b * 100)}%" for b in BUCKETS], rows)
+
+    def retention(bands) -> float:
+        """Near-full throughput relative to the start of the run."""
+        return bands[BUCKETS[-1]] / bands[BUCKETS[0]]
+
+    # Our engine and F2FS stay stable even as the device fills...
+    assert retention(results["our"]) > 0.78
+    assert retention(results["f2fs"]) > 0.78
+    # ...while the best-effort allocators degrade in the last stretch
+    # (paper: performance stable before 80 %, drops near full).  The
+    # workload is fully deterministic, so the margin is stable.
+    for fs in ("ext4.ordered", "xfs", "btrfs"):
+        assert retention(results[fs]) < 0.75, fs

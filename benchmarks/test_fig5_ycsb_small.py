@@ -1,0 +1,34 @@
+"""Figure 5: YCSB with normal payload size (120 B).
+
+Paper result: all file systems and SQLite (which operate in main memory
+without a client/server hop) beat PostgreSQL and MySQL, and "Our DBMS
+provides at least 3.5x higher throughput compared to other systems."
+"""
+
+from conftest import build_store, report_figure, scaled, ycsb_config
+
+from repro.bench.adapters import ALL_SYSTEMS
+from repro.bench.harness import run_ycsb
+
+N_OPS = scaled(400)
+
+
+def run_all():
+    cfg = ycsb_config(payload=120, n_records=100)
+    return {name: run_ycsb(build_store(name), cfg, N_OPS)
+            for name in ALL_SYSTEMS}
+
+
+def test_fig5_120b_payload(bench_once):
+    results = bench_once(run_all)
+    report_figure("Figure 5: YCSB 120 B payload, 50% reads", results)
+
+    tp = {name: r.throughput_ops_s for name, r in results.items()}
+    fastest_competitor = max(v for k, v in tp.items() if k == "sqlite"
+                             or k.startswith(("ext4", "xfs", "btrfs", "f2fs")))
+    # Client/server DBMSs trail the in-memory systems.
+    assert tp["postgresql"] < fastest_competitor
+    assert tp["mysql"] < fastest_competitor
+    # The headline: Our >= 3.5x every competitor.
+    competitors = {k: v for k, v in tp.items() if not k.startswith("our")}
+    assert tp["our"] >= 3.5 * max(competitors.values())

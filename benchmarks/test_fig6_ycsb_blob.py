@@ -1,0 +1,132 @@
+"""Figure 6: YCSB with BLOB payloads (100 KB / 10 MB / mixed / 1 GB).
+
+Paper results reproduced here:
+
+* (a) 100 KB — client/server DBMSs are slowest; file systems comparable
+  except Ext4.journal (journals data in the foreground); Our and Our.ht
+  beat the file systems; Our.physlog trails Our by ~11 %.
+* (b) 10 MB — SQLite drops below Ext4.journal (≈2.5 WAL checkpoints per
+  BLOB write); file systems are ≥13 % slower than Our (two memory copies
+  vs one); Our.physlog loses ~30 % waiting on WAL segment flushes.
+* (c) mixed 4 KB–10 MB — the file-system gap widens (ftruncate + fresh
+  page-cache allocation on every resize); Our.physlog beats file systems.
+* (d) 1 GB — PostgreSQL ("Statement parameter length overflow") and
+  SQLite ("BLOB too big") error out; Our leads everything else by ≥70 %.
+  (Scaled run: 64 MB payloads with a proportionally scaled dirty-page
+  throttle; the error-path check uses the real 1 GB limits.)
+"""
+
+import pytest
+from conftest import build_store, report_figure, ycsb_config
+
+from repro.bench.adapters import make_store
+from repro.bench.harness import run_ycsb
+from repro.db.errors import BlobTooBigError
+from repro.sim.cost import CostParams
+
+
+def run_matrix(systems, cfg, n_ops, **store_overrides):
+    results = {}
+    for name in systems:
+        overrides = dict(store_overrides)
+        if name == "our.physlog":
+            # The paper's physlog baseline uses a 10 MB WAL buffer
+            # (Section V-B discusses exactly this configuration).
+            overrides["wal_buffer_bytes"] = 10 << 20
+        store = build_store(name, **overrides)
+        results[name] = run_ycsb(store, cfg, n_ops)
+    return results
+
+
+SYSTEMS_A = ("our", "our.ht", "our.physlog", "ext4.ordered", "ext4.journal",
+             "xfs", "btrfs", "f2fs", "postgresql", "sqlite", "mysql")
+SYSTEMS_BIG = ("our", "our.ht", "our.physlog", "ext4.ordered",
+               "ext4.journal", "xfs", "btrfs", "f2fs", "sqlite",
+               "postgresql", "mysql")
+
+
+def test_fig6a_100kb(bench_once):
+    cfg = ycsb_config(payload=100 * 1024, n_records=48)
+    results = bench_once(lambda: run_matrix(SYSTEMS_A, cfg, 300))
+    report_figure("Figure 6(a): YCSB 100 KB payload", results)
+    tp = {k: v.throughput_ops_s for k, v in results.items()}
+    # Client/server DBMSs at the bottom.
+    assert max(tp["postgresql"], tp["mysql"]) < tp["ext4.journal"]
+    # Ext4.journal is the slowest file system.
+    fs = {k: tp[k] for k in ("ext4.ordered", "xfs", "btrfs", "f2fs")}
+    assert all(tp["ext4.journal"] < v for v in fs.values())
+    # Our and Our.ht beat every file system.
+    assert min(tp["our"], tp["our.ht"]) > max(fs.values())
+    # physlog pays for the WAL copies but stays close at 100 KB.
+    assert 0.70 <= tp["our.physlog"] / tp["our"] <= 1.0
+
+
+def test_fig6b_10mb(bench_once):
+    cfg = ycsb_config(payload=10 * 1024 * 1024, n_records=10)
+    results = bench_once(
+        lambda: run_matrix(SYSTEMS_BIG, cfg, 60,
+                           capacity_bytes=2 << 30, buffer_bytes=512 << 20))
+    report_figure("Figure 6(b): YCSB 10 MB payload", results)
+    tp = {k: v.throughput_ops_s for k, v in results.items()}
+    # SQLite checkpoints itself below Ext4.journal.
+    assert tp["sqlite"] < tp["ext4.journal"]
+    # File systems are at least ~13% slower than Our (one extra memcpy).
+    fs = {k: tp[k] for k in ("ext4.ordered", "xfs", "btrfs", "f2fs")}
+    assert all(v < tp["our"] / 1.13 for v in fs.values())
+    # physlog stalls on WAL segment flushes at BLOB-sized records.
+    assert tp["our.physlog"] < 0.85 * tp["our"]
+
+
+def test_fig6c_mixed_4kb_10mb(bench_once):
+    cfg = ycsb_config(payload=(4096, 10 * 1024 * 1024), n_records=16)
+    results = bench_once(
+        lambda: run_matrix(SYSTEMS_BIG, cfg, 80,
+                           capacity_bytes=2 << 30, buffer_bytes=512 << 20))
+    report_figure("Figure 6(c): YCSB mixed 4 KB-10 MB payload", results)
+    tp = {k: v.throughput_ops_s for k, v in results.items()}
+    # Resizing files costs ftruncate + page-cache churn: physlog now
+    # beats the file systems, as the paper observes.
+    fs = {k: tp[k] for k in ("ext4.ordered", "xfs", "btrfs", "f2fs")}
+    assert tp["our.physlog"] > max(fs.values())
+    assert tp["our"] > max(fs.values())
+    # Ext4.journal trails Ext4.ordered badly (paper: by 45 %).
+    assert tp["ext4.journal"] < 0.75 * tp["ext4.ordered"]
+
+
+SCALE_64MB = 64 * 1024 * 1024
+
+
+def test_fig6d_1gb(bench_once):
+    # Scaled run: 64 MB payloads stand in for 1 GB; the dirty-page
+    # throttle scales with them (256 MB -> 16 MB).
+    params = CostParams(dirty_throttle_bytes=16 << 20)
+    cfg = ycsb_config(payload=SCALE_64MB, n_records=3)
+    systems = ("our", "our.ht", "our.physlog", "ext4.ordered",
+               "ext4.journal", "xfs", "btrfs", "f2fs", "mysql")
+    results = bench_once(
+        lambda: run_matrix(systems, cfg, 12, params=params,
+                           capacity_bytes=2 << 30, buffer_bytes=512 << 20))
+    report_figure("Figure 6(d): YCSB 1 GB payload (scaled to 64 MB)",
+                  results)
+    tp = {k: v.throughput_ops_s for k, v in results.items()}
+    # Everything except Our (including its own ablations) is far behind.
+    others = {k: v for k, v in tp.items() if k != "our"}
+    assert tp["our"] >= 1.6 * max(others.values())
+
+
+def test_fig6d_enterprise_dbms_errors(bench_once):
+    """PostgreSQL and SQLite reject 1 GB BLOBs outright (paper: the
+    benchmark fails with client/engine errors)."""
+
+    def check():
+        postgres = make_store("postgresql", capacity_bytes=8 << 30)
+        with pytest.raises(BlobTooBigError):
+            postgres.put(b"huge", b"\x00" * 10**9)
+        sqlite = make_store("sqlite", capacity_bytes=8 << 30)
+        with pytest.raises(BlobTooBigError):
+            sqlite.put(b"huge", b"\x00" * (10**9 + 1))
+        # MySQL's LONGBLOB accepts 4 GB, so 1 GB merely runs slowly.
+        mysql = make_store("mysql", capacity_bytes=8 << 30)
+        assert mysql.store.max_blob_bytes >= 10**9
+
+    bench_once(check)

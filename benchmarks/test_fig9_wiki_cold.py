@@ -1,0 +1,73 @@
+"""Figure 9: Wikipedia reads, cold cache (throughput over time).
+
+Paper setup: same view-weighted read workload but the page cache /
+buffer pool starts empty.  Results: all file systems perform similarly;
+Our leads by at least 2.9x at the start of the benchmark (its flat
+extent sequences exploit the NVMe SSD better — read ceiling 174 MB/s vs
+Ext4's 59 MB/s), and by ~3.9x at the end (its cache fills faster, so a
+growing share of reads are served from memory).
+"""
+
+from conftest import build_store, print_table
+
+from repro.sim.clock import Stopwatch
+from repro.workloads.wikipedia import WikipediaCorpus
+
+N_ARTICLES = 700
+N_READS = 2400
+WINDOWS = 4
+SYSTEMS = ("our", "ext4.ordered", "xfs", "btrfs", "f2fs")
+
+
+def run_cold(store, corpus) -> tuple[list[float], float]:
+    """Per-window throughput plus the cold-read device bandwidth."""
+    for article in corpus.articles:
+        store.put(article.title, corpus.content(article))
+    store.drop_caches()
+    sample = corpus.view_sampler(seed=5)
+    window_tp = []
+    per_window = N_READS // WINDOWS
+    bytes_before = store.device.stats.bytes_read
+    ns_before = store.model.clock.now_ns
+    for _ in range(WINDOWS):
+        with Stopwatch(store.model.clock) as sw:
+            for _ in range(per_window):
+                store.get(sample().title)
+        window_tp.append(per_window * 1e9 / max(sw.elapsed_ns, 1))
+    read_bytes = store.device.stats.bytes_read - bytes_before
+    elapsed_s = (store.model.clock.now_ns - ns_before) / 1e9
+    mb_per_s = read_bytes / (1 << 20) / max(elapsed_s, 1e-9)
+    return window_tp, mb_per_s
+
+
+def run_all():
+    corpus = WikipediaCorpus(n_articles=N_ARTICLES, seed=11)
+    return {name: run_cold(build_store(name), corpus) for name in SYSTEMS}
+
+
+def test_fig9_wikipedia_cold_cache(bench_once):
+    outcomes = bench_once(run_all)
+    series = {name: tps for name, (tps, _) in outcomes.items()}
+    bandwidth = {name: mb for name, (_, mb) in outcomes.items()}
+    rows = [[name] + [f"{tp:.0f}" for tp in tps]
+            + [f"{bandwidth[name]:.0f}"]
+            for name, tps in series.items()]
+    print_table("Figure 9: Wikipedia read-only, cold cache "
+                "(txn/s per quarter; device-read MB/s)",
+                ["system"] + [f"window {i + 1}" for i in range(WINDOWS)]
+                + ["MB/s"], rows)
+    # The paper's calibration anchor: Ext4's cold-read ceiling is
+    # 59 MB/s (readahead off); Our reads whole extents and sustains ~3x.
+    assert 30 <= bandwidth["ext4.ordered"] <= 95
+    assert bandwidth["our"] > 1.5 * bandwidth["ext4.ordered"]
+    fs_first = {k: v[0] for k, v in series.items() if k != "our"}
+    fs_last = {k: v[-1] for k, v in series.items() if k != "our"}
+    # All file systems perform similarly at the cold start.
+    assert max(fs_first.values()) < 1.7 * min(fs_first.values())
+    # Our leads from the first window (paper: >= 2.9x at the start)...
+    assert series["our"][0] >= 2.0 * max(fs_first.values())
+    # ...and the gap does not shrink as its buffer pool fills
+    # (paper: 3.9x at the end).
+    assert series["our"][-1] >= 2.5 * max(fs_last.values())
+    # Everyone speeds up as caches warm.
+    assert series["our"][-1] > series["our"][0]

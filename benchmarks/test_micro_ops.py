@@ -1,0 +1,108 @@
+"""Micro-benchmarks of hot engine operations (real wall time).
+
+Unlike the figure benchmarks (which report *simulated* time), these use
+pytest-benchmark's actual timing of the Python implementation — the
+numbers to watch for performance regressions of this library itself.
+"""
+
+import pytest
+
+from repro.db import BlobDB, EngineConfig
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+
+
+def make_db():
+    db = BlobDB(EngineConfig(device_pages=65536, wal_pages=2048,
+                             catalog_pages=512, buffer_pool_pages=16384))
+    db.create_table("t")
+    return db
+
+
+@pytest.fixture
+def db():
+    return make_db()
+
+
+@pytest.mark.parametrize("size", [4 * 1024, 256 * 1024],
+                         ids=["4KB", "256KB"])
+def test_micro_put_blob(benchmark, db, size):
+    payload = b"\x42" * size
+    counter = iter(range(10**9))
+
+    def put():
+        with db.transaction() as txn:
+            db.put_blob(txn, "t", b"k%09d" % next(counter), payload)
+
+    # Fixed rounds so the device never fills mid-calibration.
+    benchmark.pedantic(put, rounds=200, iterations=1)
+
+
+@pytest.mark.parametrize("size", [4 * 1024, 256 * 1024],
+                         ids=["4KB", "256KB"])
+def test_micro_read_blob(benchmark, db, size):
+    with db.transaction() as txn:
+        db.put_blob(txn, "t", b"k", b"\x24" * size)
+    result = benchmark(lambda: db.read_blob("t", b"k"))
+    assert len(result) == size
+
+
+def test_micro_stat(benchmark, db):
+    with db.transaction() as txn:
+        db.put_blob(txn, "t", b"k", b"\x10" * 65536)
+    benchmark(lambda: db.get_state("t", b"k"))
+
+
+def test_micro_append(benchmark, db):
+    with db.transaction() as txn:
+        db.put_blob(txn, "t", b"k", b"base" * 1000)
+
+    def append():
+        with db.transaction() as txn:
+            db.append_blob(txn, "t", b"k", b"x" * 1024)
+
+    benchmark.pedantic(append, rounds=30, iterations=1)
+
+
+def test_micro_range_read(benchmark, db):
+    with db.transaction() as txn:
+        db.put_blob(txn, "t", b"k", b"\x77" * (4 << 20))
+    result = benchmark(lambda: db.read_blob_range("t", b"k", 1 << 20, 4096))
+    assert len(result) == 4096
+
+
+def test_micro_ycsb_mixed(benchmark):
+    """One full YCSB op through the adapter stack."""
+    from repro.bench.adapters import make_store
+    store = make_store("our", capacity_bytes=512 << 20,
+                       buffer_bytes=128 << 20)
+    workload = YcsbWorkload(YcsbConfig(n_records=32, payload=8192))
+    for key, payload in workload.load_phase():
+        store.put(key, payload)
+    ops = workload.operations(10**9)
+
+    def one_op():
+        op, key, payload = next(ops)
+        if op == "read":
+            store.get(key)
+        else:
+            store.replace(key, payload)
+
+    benchmark(one_op)
+
+
+def test_micro_recovery(benchmark):
+    """Recovery wall time for a 200-transaction WAL tail."""
+
+    def build():
+        db = make_db()
+        for i in range(200):
+            with db.transaction() as txn:
+                db.put_blob(txn, "t", b"k%04d" % i, b"\x31" * 4096)
+        return (db.crash(), db.config), {}
+
+    def recover(device, config):
+        return BlobDB.recover(device, config)
+
+    recovered = benchmark.pedantic(recover, setup=build, rounds=5,
+                                   iterations=1)
+    assert recovered.table_size("t") == 200

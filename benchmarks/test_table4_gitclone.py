@@ -1,0 +1,120 @@
+"""Table IV: simulated git-clone trace.
+
+Paper result (1.28 GB depth-1 linux clone, single-threaded):
+
+    Our 906 ms | XFS 1464 | BtrFS 1688 | Ext4.ordered 1834 | F2FS 2112 |
+    Ext4.journal 2330
+
+File systems lose on metadata syscalls — Ext4 spends 36 % of its time in
+``open`` (file creation), 4.8 % in ``fstat``, 1.6 % in ``close`` — while
+the engine replaces all three with B-Tree operations.
+"""
+
+from conftest import build_store, print_table
+
+from repro.sim.clock import Stopwatch
+from repro.workloads.gitclone import GitCloneTrace
+
+TRACE = GitCloneTrace()  # ~40 MB scaled from the paper's 1.28 GB
+
+
+def replay_on_fs(store) -> None:
+    fs = store.fs
+    fds: dict[str, int] = {}
+    for op in TRACE.operations():
+        if op.op == "mkdir":
+            fs.model.syscall("mkdir")
+        elif op.op == "create":
+            fds[op.path] = fs.create(op.path)
+        elif op.op == "open":
+            fds[op.path] = fs.open(op.path)
+        elif op.op == "write":
+            fs.pwrite(fds[op.path], b"\x67" * op.size, op.offset)
+        elif op.op == "read":
+            fs.pread(fds[op.path], op.size, op.offset)
+        elif op.op == "fstat":
+            if op.path in fds:
+                fs.fstat(fds[op.path])
+            else:
+                fs.stat(op.path)
+        elif op.op == "close":
+            fs.close(fds.pop(op.path))
+
+
+def replay_on_db(store) -> None:
+    """The engine's equivalent: a BLOB per file, Blob-State metadata.
+
+    Creates buffer writes, the final close commits the file's BLOB —
+    mkdir/creat/fstat/close become B-Tree operations (Section V-I).
+    """
+    db = store.db
+    pending: dict[str, bytearray] = {}
+    for op in TRACE.operations():
+        if op.op == "mkdir":
+            db.model.cpu(200.0)  # a directory row insert
+        elif op.op == "create":
+            pending[op.path] = bytearray()
+        elif op.op == "open":
+            pass  # Blob State point query happens on first use
+        elif op.op == "write":
+            buf = pending.get(op.path)
+            if buf is not None:
+                if len(buf) < op.offset + op.size:
+                    buf.extend(b"\x00" * (op.offset + op.size - len(buf)))
+                buf[op.offset:op.offset + op.size] = b"\x67" * op.size
+            # Bytes land straight in blob extents at close/commit.
+        elif op.op == "read":
+            key = op.path.encode()
+            with db.read_blob_view(store.TABLE, key) as view:
+                view.contiguous()
+                db.model.memcpy(op.size)
+        elif op.op == "fstat":
+            db.get_state(store.TABLE, op.path.encode())
+        elif op.op == "close":
+            buf = pending.pop(op.path, None)
+            if buf is not None:
+                with db.transaction() as txn:
+                    db.put_blob(txn, store.TABLE, op.path.encode(),
+                                bytes(buf))
+
+
+SYSTEMS = ("our", "ext4.ordered", "ext4.journal", "xfs", "btrfs", "f2fs")
+
+
+def run_all():
+    results = {}
+    for name in SYSTEMS:
+        store = build_store(name)
+        counters_before = store.model.counters.snapshot()
+        with Stopwatch(store.model.clock) as sw:
+            if name == "our":
+                replay_on_db(store)
+            else:
+                replay_on_fs(store)
+        results[name] = (sw.elapsed_ns,
+                         store.model.counters.delta_since(counters_before))
+    return results
+
+
+def test_table4_git_clone(bench_once):
+    results = bench_once(run_all)
+    rows = [[name, f"{ns / 1e6:.1f}",
+             f"{c.instructions // 1000}k", f"{c.kernel_cycles // 1000}k"]
+            for name, (ns, c) in results.items()]
+    print_table("Table IV: git-clone trace (simulated)",
+                ["system", "time (ms)", "instructions", "kernel cycles"],
+                rows)
+
+    times = {name: ns for name, (ns, _) in results.items()}
+    kernel = {name: c.kernel_cycles for name, (_, c) in results.items()}
+    # Our engine wins by roughly the paper's 1.6-2.6x margin.
+    assert all(times["our"] < t for n, t in times.items() if n != "our")
+    assert times["ext4.ordered"] > 1.4 * times["our"]
+    # XFS is the best file system; Ext4.journal the worst.
+    fs_times = {n: t for n, t in times.items() if n != "our"}
+    assert min(fs_times, key=fs_times.get) == "xfs"
+    assert max(fs_times, key=fs_times.get) == "ext4.journal"
+    # The gap is kernel time: syscall overhead dominates for the FSes
+    # (paper: 9x kernel cycles; compressed here because the scaled pack
+    # is a larger fraction of the trace than in the 1.28 GB original).
+    assert kernel["ext4.ordered"] > 2 * kernel["our"]

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""Crash recovery walkthrough, including the torn-BLOB window.
+
+Demonstrates the recoverability protocol of Section III-C:
+
+1. committed BLOBs survive a crash;
+2. uncommitted work vanishes cleanly;
+3. a crash *between* WAL durability and the extent flush is detected by
+   the SHA-256 validation during the Analysis phase — the transaction is
+   declared failed, joins the undo list, and its extents are reclaimed.
+
+Run:  python examples/crash_recovery_demo.py
+"""
+
+from repro import BlobDB, EngineConfig
+
+CONFIG = EngineConfig(device_pages=16384, buffer_pool_pages=4096,
+                      wal_pages=512, catalog_pages=256)
+
+
+def main() -> None:
+    db = BlobDB(CONFIG)
+    db.create_table("vault")
+
+    # 1. A committed BLOB.
+    with db.transaction() as txn:
+        db.put_blob(txn, "vault", b"safe", b"committed data " * 3000)
+
+    # 2. An uncommitted transaction, in flight at crash time.
+    limbo = db.begin()
+    db.put_blob(limbo, "vault", b"limbo", b"never committed " * 3000)
+
+    # 3. A torn commit: the WAL (with the Blob State) is durable, but we
+    #    "crash" before the extent flush reaches the device.
+    torn = db.begin()
+    db.put_blob(torn, "vault", b"torn", b"torn write " * 5000)
+    real_flush = db.pool.flush_batch
+    db.pool.flush_batch = lambda *a, **k: 0     # extents never hit disk
+    db.commit(torn)
+    db.pool.flush_batch = real_flush
+
+    print("crashing with: 1 committed, 1 uncommitted, 1 torn commit …")
+    device = db.crash()
+
+    recovered = BlobDB.recover(device, CONFIG)
+    print(f"failed transactions on the undo list: {recovered.failed_txns}")
+    assert recovered.read_blob("vault", b"safe").startswith(b"committed")
+    print("'safe'  -> recovered intact")
+    for key in (b"limbo", b"torn"):
+        assert not recovered.exists("vault", key)
+        print(f"'{key.decode()}' -> correctly absent")
+
+    # The torn transaction's extents left no holes: the space is reusable.
+    with recovered.transaction() as txn:
+        recovered.put_blob(txn, "vault", b"reuse", b"fresh " * 10000)
+    assert recovered.read_blob("vault", b"reuse").startswith(b"fresh")
+    print("torn extents reclaimed: new BLOB stored in their place")
+
+
+if __name__ == "__main__":
+    main()

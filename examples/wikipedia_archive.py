@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""A document archive with content and semantic indexing (Section III-F).
+
+Loads a synthetic Wikipedia corpus, indexes articles three ways, and
+contrasts them:
+
+* a **Blob State index** — full-content ordering without copying any
+  content into the index;
+* a **1 KB prefix index** — the MySQL/PostgreSQL-style baseline that
+  collides on shared templates;
+* a **semantic index** — ``CREATE INDEX ON archive(classify(content))``.
+
+Run:  python examples/wikipedia_archive.py
+"""
+
+from repro import BlobDB, EngineConfig
+from repro.db.index import BlobStateIndex, PrefixIndex, SemanticIndex
+from repro.workloads.wikipedia import WikipediaCorpus
+
+
+def classify(content: bytes) -> str:
+    """A toy UDF: categorize articles by their lead-in."""
+    if content.startswith(b"{{Infobox"):
+        return "infobox"
+    if content.startswith(b"#REDIRECT"):
+        return "redirect"
+    return "prose"
+
+
+def main() -> None:
+    corpus = WikipediaCorpus(n_articles=400, seed=2)
+    config = EngineConfig(device_pages=65536, buffer_pool_pages=16384,
+                          wal_pages=2048, catalog_pages=1024)
+    db = BlobDB(config)
+    db.create_table("archive")
+    for article in corpus.articles:
+        with db.transaction() as txn:
+            db.put_blob(txn, "archive", article.title,
+                        corpus.content(article))
+    print(f"loaded {len(corpus.articles)} articles, "
+          f"{corpus.total_bytes >> 20} MiB total")
+
+    # -- Blob State index: every article findable by content --------------
+    content_index = BlobStateIndex(db, "archive")
+    content_index.build()
+    probe = corpus.articles[123]
+    hits = content_index.lookup_content(corpus.content(probe))
+    print(f"content lookup for {probe.title.decode()}: {hits}")
+    stats = content_index.stats()
+    print(f"Blob State index: {len(content_index)} entries, "
+          f"{stats.leaf_count} leaves, {stats.size_bytes >> 10} KiB "
+          f"(no content copies)")
+
+    # -- prefix-index baseline: shared templates collide -------------------
+    prefix_index = PrefixIndex(db, "archive", prefix_bytes=1024)
+    prefix_index.build()
+    print(f"1K prefix index: {len(prefix_index)} entries, "
+          f"{len(prefix_index.missed)} articles unindexable "
+          f"({prefix_index.miss_fraction * 100:.1f}% miss)")
+
+    # -- semantic index: SELECT * WHERE classify(content) = 'infobox' -------
+    semantic = SemanticIndex(db, "archive", classify)
+    semantic.build()
+    infoboxes = semantic.lookup("infobox")
+    print(f"semantic index: {len(infoboxes)} infobox articles, "
+          f"{len(semantic.lookup('prose'))} prose articles")
+
+    # Range query by content through the Blob State comparator.
+    lo, hi = b"a", b"c"
+    in_range = content_index.range_content(lo, hi)
+    print(f"articles with content in [{lo!r}, {hi!r}): {len(in_range)}")
+
+
+if __name__ == "__main__":
+    main()

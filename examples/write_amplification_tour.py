@@ -1,0 +1,51 @@
+#!/usr/bin/env python3
+"""Write-amplification tour: who writes your BLOB how many times?
+
+Stores the same 256 KB object in every system of the paper's evaluation
+and reads the per-category byte accounting off the simulated device —
+Table I's "Duplicated copies" column, measured.
+
+Run:  python examples/write_amplification_tour.py
+"""
+
+from repro.bench.adapters import make_store
+
+PAYLOAD = 256 * 1024
+SYSTEMS = ("our", "our.physlog", "ext4.ordered", "ext4.journal",
+           "postgresql", "sqlite", "mysql")
+
+
+def settle(store) -> None:
+    """Force deferred writes so all copies are visible."""
+    if hasattr(store, "db"):
+        store.db.checkpoint()
+    elif hasattr(store, "fs"):
+        store.fs.writeback()
+    elif hasattr(store, "store"):
+        store.store.flush()
+
+
+def main() -> None:
+    print(f"{'system':>14} {'data':>8} {'wal':>8} {'journal':>8} "
+          f"{'dwb':>8} {'copies/byte':>12}")
+    for name in SYSTEMS:
+        store = make_store(name, capacity_bytes=512 << 20,
+                           buffer_bytes=128 << 20)
+        before = store.device.stats.snapshot()
+        store.put(b"object", b"\x77" * PAYLOAD)
+        settle(store)
+        delta = store.device.stats.delta_since(before)
+        cats = delta.bytes_written_by_category
+        content = sum(cats.get(c, 0)
+                      for c in ("data", "wal", "journal", "dwb", "index"))
+        print(f"{name:>14} {cats.get('data', 0) >> 10:>7}K "
+              f"{cats.get('wal', 0) >> 10:>7}K "
+              f"{cats.get('journal', 0) >> 10:>7}K "
+              f"{cats.get('dwb', 0) >> 10:>7}K "
+              f"{content / PAYLOAD:>11.2f}x")
+    print("\nThe paper's design flushes each BLOB exactly once: the WAL"
+          "\ncarries only the ~200-byte Blob State, so copies/byte ~ 1.")
+
+
+if __name__ == "__main__":
+    main()

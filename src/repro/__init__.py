@@ -1,0 +1,65 @@
+"""Reproduction of "Why Files If You Have a DBMS?" (ICDE 2024).
+
+Public API quick reference::
+
+    from repro import BlobDB, EngineConfig, FuseMount
+
+    db = BlobDB(EngineConfig())
+    db.create_table("image")
+    with db.transaction() as txn:
+        db.put_blob(txn, "image", b"cat.jpg", image_bytes)
+
+    mount = FuseMount(db)
+    with mount.open("/image/cat.jpg") as f:   # unmodified file code
+        data = f.read()
+
+See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+paper-vs-measured results of every table and figure.
+"""
+
+from repro.core import (
+    BlobState,
+    BlobStateComparator,
+    ExtentAllocator,
+    ExtentTier,
+    FibonacciTier,
+    PowerOfTwoTier,
+    StorageFull,
+)
+from repro.db import (
+    BlobDB,
+    BlobStateIndex,
+    EngineConfig,
+    PrefixIndex,
+    SemanticIndex,
+    Transaction,
+)
+from repro.fuse import BlobFuse, FuseMount
+from repro.sim import CostModel, CostParams, VirtualClock, WorkerSim
+from repro.storage import SimulatedNVMe
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BlobDB",
+    "EngineConfig",
+    "Transaction",
+    "BlobState",
+    "BlobStateComparator",
+    "BlobStateIndex",
+    "PrefixIndex",
+    "SemanticIndex",
+    "ExtentTier",
+    "PowerOfTwoTier",
+    "FibonacciTier",
+    "ExtentAllocator",
+    "StorageFull",
+    "BlobFuse",
+    "FuseMount",
+    "CostModel",
+    "CostParams",
+    "VirtualClock",
+    "WorkerSim",
+    "SimulatedNVMe",
+    "__version__",
+]

@@ -1,0 +1,133 @@
+"""Command-line entry point: ``python -m repro <command>``.
+
+Commands:
+
+* ``demo``     — a two-minute cross-system comparison (throughput and
+  write amplification for a chosen payload size) on the simulated
+  testbed;
+* ``survey``   — the measured Table I design survey;
+* ``figures``  — run the full paper-reproduction benchmark suite
+  (delegates to pytest; needs the repository checkout);
+* ``info``     — version and default-configuration summary.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    from repro.bench.adapters import ALL_SYSTEMS, make_store
+    from repro.bench.harness import human_throughput, print_table, run_ycsb
+    from repro.workloads.ycsb import YcsbConfig
+
+    payload = args.payload_kb * 1024
+    config = YcsbConfig(n_records=max(4, args.records), payload=payload,
+                        read_ratio=0.5)
+    systems = ALL_SYSTEMS if args.all else (
+        "our", "our.physlog", "ext4.ordered", "ext4.journal", "sqlite",
+        "postgresql")
+    rows = []
+    for name in systems:
+        store = make_store(name, capacity_bytes=1 << 30,
+                           buffer_bytes=256 << 20)
+        result = run_ycsb(store, config, n_ops=args.ops)
+        written = store.device.stats.bytes_written
+        rows.append([name, human_throughput(result.throughput_ops_s),
+                     f"{result.per_op_us:.1f}",
+                     f"{written / (config.n_records + args.ops / 2) / payload:.2f}x"])
+    print_table(
+        f"Demo: YCSB {args.payload_kb} KB payload, 50% reads "
+        f"({args.ops} ops, simulated time)",
+        ["system", "txn/s", "us/op", "~bytes written/payload"], rows)
+    return 0
+
+
+def _cmd_survey(args: argparse.Namespace) -> int:
+    from repro.bench.adapters import make_store
+    from repro.bench.harness import print_table
+
+    payload = 256 * 1024
+    rows = []
+    for name in ("our", "ext4.ordered", "ext4.journal", "postgresql",
+                 "sqlite", "mysql"):
+        store = make_store(name, capacity_bytes=1 << 30)
+        before = store.device.stats.snapshot()
+        store.put(b"probe", b"\x6b" * payload)
+        if hasattr(store, "db"):
+            store.db.checkpoint()
+        elif hasattr(store, "fs"):
+            store.fs.writeback()
+        elif hasattr(store, "store"):
+            store.store.flush()
+        delta = store.device.stats.delta_since(before)
+        copies = sum(delta.bytes_written_by_category.get(c, 0)
+                     for c in ("data", "wal", "journal", "dwb",
+                               "index")) / payload
+        rows.append([name, f"{copies:.2f}x"])
+    print_table("Design survey: content copies per BLOB byte (measured)",
+                ["system", "copies/byte"], rows)
+    return 0
+
+
+def _cmd_figures(args: argparse.Namespace) -> int:
+    import pathlib
+    import subprocess
+
+    bench_dir = pathlib.Path.cwd() / "benchmarks"
+    if not bench_dir.is_dir():
+        print("benchmarks/ not found — run from the repository checkout",
+              file=sys.stderr)
+        return 2
+    return subprocess.call([sys.executable, "-m", "pytest",
+                            str(bench_dir), "--benchmark-only", "-s"])
+
+
+def _cmd_info(args: argparse.Namespace) -> int:
+    import repro
+    from repro.db.config import EngineConfig
+
+    config = EngineConfig()
+    print(f"repro {repro.__version__} — reproduction of "
+          f"'Why Files If You Have a DBMS?' (ICDE 2024)")
+    print(f"default engine: pool={config.pool}, "
+          f"log_policy={config.log_policy}, "
+          f"concurrency={config.concurrency}, "
+          f"index={config.index_structure}")
+    print(f"device {config.device_pages * config.page_size >> 20} MiB, "
+          f"buffer pool {config.buffer_pool_pages * config.page_size >> 20} "
+          f"MiB, WAL {config.wal_pages * config.page_size >> 20} MiB")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Single-flush BLOB storage engine (paper reproduction)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    demo = sub.add_parser("demo", help="quick cross-system comparison")
+    demo.add_argument("--payload-kb", type=int, default=100)
+    demo.add_argument("--ops", type=int, default=200)
+    demo.add_argument("--records", type=int, default=24)
+    demo.add_argument("--all", action="store_true",
+                      help="include every system (slower)")
+    demo.set_defaults(func=_cmd_demo)
+
+    survey = sub.add_parser("survey", help="measured Table I design survey")
+    survey.set_defaults(func=_cmd_survey)
+
+    figures = sub.add_parser("figures",
+                             help="regenerate every paper figure/table")
+    figures.set_defaults(func=_cmd_figures)
+
+    info = sub.add_parser("info", help="version and configuration")
+    info.set_defaults(func=_cmd_info)
+
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,13 @@
+"""Adaptive Radix Tree (Leis et al., ICDE 2013 — the paper's ref [42]).
+
+Section III-F: "the indexing structure is untouched, and DBMSs can use
+any data structure like B-Tree or ART."  This package provides that
+second structure: a byte-keyed ART with adaptive node sizes (4/16/48/256
+children), path compression, and ordered iteration, exposing the same
+interface as :class:`repro.btree.BTree` so relations and indexes can be
+backed by either (``EngineConfig(index_structure="art")``).
+"""
+
+from repro.art.art import ArtStats, ArtTree
+
+__all__ = ["ArtTree", "ArtStats"]

@@ -1,0 +1,284 @@
+"""Adaptive Radix Tree over byte keys.
+
+Nodes grow through the classic ART ladder — Node4 → Node16 → Node48 →
+Node256 — and shrink back on deletion; chains of single-child nodes are
+collapsed by path compression.  Any node may terminate a key (so a key
+may be a prefix of another), which makes arbitrary byte strings valid
+keys without terminator tricks.
+
+The implementation favours clarity over SIMD tricks, but keeps ART's
+asymptotics: lookups touch one node per key byte (minus compressed
+spans), and space adapts to the actual fanout.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+from repro.sim.cost import CostModel
+
+#: Sentinel distinguishing "no value" from a stored ``None``.
+_ABSENT = object()
+
+#: Growth ladder: max children per node type.
+_NODE4, _NODE16, _NODE48, _NODE256 = 4, 16, 48, 256
+
+
+class _Node:
+    """One ART node: compressed prefix, adaptive child map, optional
+    terminal value."""
+
+    __slots__ = ("prefix", "capacity", "keys", "children", "value")
+
+    def __init__(self, prefix: bytes = b"") -> None:
+        self.prefix = prefix
+        self.capacity = _NODE4
+        #: Sorted byte keys; parallel to ``children``.  (Node48/256 in
+        #: the original use direct indexing; the adaptive *capacity* is
+        #: what drives ART's space behaviour and is modelled exactly.)
+        self.keys: list[int] = []
+        self.children: list["_Node"] = []
+        self.value: Any = _ABSENT
+
+    # -- child map ---------------------------------------------------------
+
+    def find_child(self, byte: int) -> "_Node | None":
+        idx = self._index_of(byte)
+        return self.children[idx] if idx is not None else None
+
+    def _index_of(self, byte: int) -> int | None:
+        lo, hi = 0, len(self.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.keys[mid] < byte:
+                lo = mid + 1
+            else:
+                hi = mid
+        if lo < len(self.keys) and self.keys[lo] == byte:
+            return lo
+        return None
+
+    def add_child(self, byte: int, child: "_Node") -> None:
+        if len(self.keys) >= self.capacity:
+            self._grow()
+        lo, hi = 0, len(self.keys)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self.keys[mid] < byte:
+                lo = mid + 1
+            else:
+                hi = mid
+        self.keys.insert(lo, byte)
+        self.children.insert(lo, child)
+
+    def remove_child(self, byte: int) -> None:
+        idx = self._index_of(byte)
+        if idx is not None:
+            self.keys.pop(idx)
+            self.children.pop(idx)
+            self._maybe_shrink()
+
+    def _grow(self) -> None:
+        ladder = {_NODE4: _NODE16, _NODE16: _NODE48, _NODE48: _NODE256}
+        if self.capacity not in ladder:
+            raise RuntimeError("Node256 cannot grow")
+        self.capacity = ladder[self.capacity]
+
+    def _maybe_shrink(self) -> None:
+        ladder = {_NODE16: _NODE4, _NODE48: _NODE16, _NODE256: _NODE48}
+        lower = ladder.get(self.capacity)
+        if lower is not None and len(self.keys) <= lower // 2:
+            self.capacity = lower
+
+    @property
+    def node_type(self) -> str:
+        return f"Node{self.capacity}"
+
+    @property
+    def has_value(self) -> bool:
+        return self.value is not _ABSENT
+
+
+@dataclass
+class ArtStats:
+    """Structural statistics (node-type histogram, memory estimate)."""
+
+    entry_count: int
+    node_count: int
+    node_types: dict[str, int]
+    height: int
+    size_bytes: int
+
+
+class ArtTree:
+    """Byte-keyed ART with the :class:`~repro.btree.BTree` interface."""
+
+    #: Per-node header + prefix pointer estimate for size accounting.
+    _HEADER_BYTES = 16
+    _SLOT_BYTES = 9  # key byte + child pointer
+
+    def __init__(self, model: CostModel | None = None) -> None:
+        self._root = _Node()
+        self._count = 0
+        self._model = model
+
+    def __len__(self) -> int:
+        return self._count
+
+    def _visit(self) -> None:
+        if self._model is not None:
+            self._model.cpu(25.0)
+
+    # -- insert ------------------------------------------------------------
+
+    def insert(self, key: bytes, value: Any) -> None:
+        """Insert or replace ``key`` (bytes)."""
+        key = bytes(key)
+        node = self._root
+        depth = 0
+        while True:
+            self._visit()
+            common = _common_len(node.prefix, key[depth:])
+            if common < len(node.prefix):
+                self._split_prefix(node, common)
+            depth += common
+            if depth == len(key):
+                if not node.has_value:
+                    self._count += 1
+                node.value = value
+                return
+            byte = key[depth]
+            child = node.find_child(byte)
+            if child is None:
+                leaf = _Node(prefix=key[depth + 1:])
+                leaf.value = value
+                node.add_child(byte, leaf)
+                self._count += 1
+                return
+            node = child
+            depth += 1
+
+    def _split_prefix(self, node: _Node, common: int) -> None:
+        """Path-compression split: keep ``common`` bytes in ``node``,
+        push the remainder into a new child."""
+        rest = node.prefix[common:]
+        child = _Node(prefix=rest[1:])
+        child.capacity = node.capacity
+        child.keys, node.keys = node.keys, []
+        child.children, node.children = node.children, []
+        child.value, node.value = node.value, _ABSENT
+        node.prefix = node.prefix[:common]
+        node.capacity = _NODE4
+        node.add_child(rest[0], child)
+
+    # -- lookup --------------------------------------------------------------
+
+    def lookup(self, key: bytes) -> Any | None:
+        key = bytes(key)
+        node = self._root
+        depth = 0
+        while True:
+            self._visit()
+            if key[depth:depth + len(node.prefix)] != node.prefix:
+                return None
+            depth += len(node.prefix)
+            if depth == len(key):
+                return node.value if node.has_value else None
+            child = node.find_child(key[depth])
+            if child is None:
+                return None
+            node = child
+            depth += 1
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.lookup(key) is not None
+
+    # -- delete ----------------------------------------------------------------
+
+    def delete(self, key: bytes) -> bool:
+        key = bytes(key)
+        removed = self._delete(self._root, key, 0)
+        if removed:
+            self._count -= 1
+        return removed
+
+    def _delete(self, node: _Node, key: bytes, depth: int) -> bool:
+        self._visit()
+        if key[depth:depth + len(node.prefix)] != node.prefix:
+            return False
+        depth += len(node.prefix)
+        if depth == len(key):
+            if not node.has_value:
+                return False
+            node.value = _ABSENT
+            return True
+        byte = key[depth]
+        child = node.find_child(byte)
+        if child is None:
+            return False
+        removed = self._delete(child, key, depth + 1)
+        if removed and not child.has_value:
+            if not child.children:
+                node.remove_child(byte)
+            elif len(child.children) == 1:
+                # Re-compress: merge the single grandchild upward.
+                grand = child.children[0]
+                grand.prefix = (child.prefix + bytes([child.keys[0]])
+                                + grand.prefix)
+                idx = node._index_of(byte)
+                node.children[idx] = grand
+        return removed
+
+    # -- iteration -----------------------------------------------------------------
+
+    def scan(self, start: bytes | None = None,
+             end: bytes | None = None) -> Iterator[tuple[bytes, Any]]:
+        """Yield ``(key, value)`` in byte order for ``start <= key < end``."""
+        for key, value in self._walk(self._root, b""):
+            if start is not None and key < start:
+                continue
+            if end is not None and key >= end:
+                return
+            yield key, value
+
+    def _walk(self, node: _Node, built: bytes):
+        self._visit()
+        built = built + node.prefix
+        if node.has_value:
+            yield built, node.value
+        for byte, child in zip(node.keys, node.children):
+            yield from self._walk(child, built + bytes([byte]))
+
+    def first(self) -> tuple[bytes, Any] | None:
+        return next(self._walk(self._root, b""), None)
+
+    # -- statistics --------------------------------------------------------------------
+
+    def stats(self) -> ArtStats:
+        node_types: dict[str, int] = {}
+        size = 0
+        height = 0
+
+        def walk(node: _Node, depth: int) -> None:
+            nonlocal size, height
+            height = max(height, depth + 1)
+            node_types[node.node_type] = node_types.get(node.node_type, 0) + 1
+            size += (self._HEADER_BYTES + len(node.prefix)
+                     + node.capacity * self._SLOT_BYTES)
+            for child in node.children:
+                walk(child, depth + 1)
+
+        walk(self._root, 0)
+        return ArtStats(entry_count=self._count,
+                        node_count=sum(node_types.values()),
+                        node_types=node_types, height=height,
+                        size_bytes=size)
+
+
+def _common_len(a: bytes, b: bytes) -> int:
+    n = min(len(a), len(b))
+    for i in range(n):
+        if a[i] != b[i]:
+            return i
+    return n

@@ -1,0 +1,48 @@
+"""Competitor systems from the paper's evaluation (Section V-A).
+
+File systems — simulated at block level over the same device and cost
+model as the engine, with the format/journal decisions the paper
+attributes their behaviour to:
+
+* :class:`Ext4` (``data=ordered`` and ``data=journal``) — extent trees,
+  JBD2-style journal; journal mode writes data through the journal in
+  the foreground.
+* :class:`Xfs` — B+tree allocator with delayed allocation (fewest
+  metadata touches; the fastest file system in Table IV).
+* :class:`Btrfs` — copy-on-write with checksummed metadata.
+* :class:`F2fs` — log-structured, append-only allocation (stable near
+  full storage, Fig. 11).
+
+DBMSs — the BLOB formats and logging of Section II / Table I:
+
+* :class:`PostgresBlobStore` — TOAST chunk relation, two lookups + scan
+  per read, full WAL copies, client/server IPC.
+* :class:`SqliteBlobStore` — overflow-page linked list, WAL with
+  aggressive checkpointing, optional WITHOUT-ROWID content index
+  (four copies per BLOB).
+* :class:`MysqlBlobStore` — overflow linked list, doublewrite buffer +
+  redo log, client/server IPC.
+"""
+
+from repro.baselines.filesystem import FsError, FsStats, SimulatedFilesystem
+from repro.baselines.ext4 import Ext4, Ext4Journal
+from repro.baselines.xfs import Xfs
+from repro.baselines.btrfs import Btrfs
+from repro.baselines.f2fs import F2fs
+from repro.baselines.postgres import PostgresBlobStore
+from repro.baselines.sqlite import SqliteBlobStore
+from repro.baselines.mysql import MysqlBlobStore
+
+__all__ = [
+    "SimulatedFilesystem",
+    "FsError",
+    "FsStats",
+    "Ext4",
+    "Ext4Journal",
+    "Xfs",
+    "Btrfs",
+    "F2fs",
+    "PostgresBlobStore",
+    "SqliteBlobStore",
+    "MysqlBlobStore",
+]

@@ -1,0 +1,29 @@
+"""BtrFS: copy-on-write B-tree file system with checksummed blocks.
+
+Every overwrite relocates blocks (no in-place update), and all data is
+checksummed on write — extra CPU per block.  Near-full storage the COW
+allocator struggles to find space, the Fig. 11 degradation.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.filesystem import FsFile, SimulatedFilesystem
+
+
+class Btrfs(SimulatedFilesystem):
+    name = "btrfs"
+    journal_blocks = 2048  # the log tree
+    data_journaling = False
+    copy_on_write = True
+    #: CRC32C checksum per block on the write path.
+    write_block_cpu_ns = 60.0
+    #: COW B-tree inserts per created file.
+    create_cpu_ns = 1500.0
+
+    def _create_metadata_blocks(self) -> int:
+        # fs-tree item + checksum-tree item + extent-tree item.
+        return 3
+
+    def _metadata_chain_length(self, file: FsFile) -> int:
+        # fs-tree lookup (2 levels) + extent item per fragmented file.
+        return 2 if len(file.extents) <= 4 else 3

@@ -1,0 +1,137 @@
+"""Shared machinery for the DBMS competitor models.
+
+Each baseline implements the BLOB format and logging scheme the paper
+describes for it (Section II, Table I) over the shared device and cost
+model.  Content is kept byte-exact; time is charged for the operations
+the real engine would perform: client/server round trips with wire
+(de)serialization, SQL statement handling, B-Tree traversals, per-page
+processing of chunk/overflow structures, WAL copies of the content, and
+(for SQLite) foreground WAL checkpoints.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.btree import BTree
+from repro.db.errors import BlobTooBigError, DuplicateKeyError, KeyNotFoundError
+from repro.sim.cost import CostModel
+from repro.storage.device import SimulatedNVMe
+
+
+@dataclass
+class DbmsStats:
+    """Counters the benchmarks read."""
+
+    puts: int = 0
+    gets: int = 0
+    deletes: int = 0
+    checkpoints: int = 0
+    wal_bytes: int = 0
+
+
+class DbmsBlobStoreBase:
+    """Key -> BLOB store with the competitor's access-path costs."""
+
+    name = "dbms"
+    #: Database page size (engine-specific).
+    page_size = 8192
+    #: BLOB size limit; exceeding it raises BlobTooBigError (Fig. 6d).
+    max_blob_bytes = 1 << 62
+    #: Client/server engines pay an IPC round trip per statement.
+    client_server = False
+
+    def __init__(self, model: CostModel, device: SimulatedNVMe) -> None:
+        self.model = model
+        self.device = device
+        self.stats = DbmsStats()
+        self._content: dict[bytes, bytes] = {}
+        self._primary = BTree(node_bytes=self.page_size, model=model,
+                              key_size=lambda k: len(k))
+        self._next_pid = 0
+
+    # -- common charging helpers ---------------------------------------------
+
+    def _statement(self, payload_bytes: int) -> None:
+        """One SQL statement: parse/plan, plus the wire cost if remote."""
+        self.model.sql_statement()
+        if self.client_server:
+            self.model.ipc_roundtrip(payload_bytes)
+
+    def _wal_append(self, nbytes: int, foreground: bool = False) -> None:
+        """Copy ``nbytes`` through the WAL buffer and write it out."""
+        self.model.memcpy(nbytes)
+        self.stats.wal_bytes += nbytes
+        npages = (nbytes + self.device.page_size - 1) // self.device.page_size
+        if npages:
+            pid = self._wal_cursor(npages)
+            self.device.write(pid, b"\x00" * (npages * self.device.page_size),
+                              category="wal", background=not foreground)
+
+    _WAL_REGION_PAGES = 65536
+
+    def _wal_cursor(self, npages: int) -> int:
+        pid = self._next_pid % max(1, self._WAL_REGION_PAGES - npages)
+        self._next_pid += npages
+        return pid
+
+    def _data_write(self, nbytes: int, category: str = "data",
+                    foreground: bool = False) -> None:
+        """Write content pages to their home location (page-granular)."""
+        npages = (nbytes + self.device.page_size - 1) // self.device.page_size
+        if npages:
+            pid = self._wal_cursor(npages)
+            self.device.write(pid, b"\x00" * (npages * self.device.page_size),
+                              category=category, background=not foreground)
+
+    # -- public API -------------------------------------------------------------
+
+    def put(self, key: bytes, data: bytes) -> None:
+        if len(data) > self.max_blob_bytes:
+            raise BlobTooBigError(
+                f"{self.name}: BLOB of {len(data)} bytes exceeds the "
+                f"{self.max_blob_bytes}-byte limit")
+        if self._primary.lookup(key) is not None:
+            raise DuplicateKeyError(f"{key!r} exists")
+        self._statement(len(data))
+        self._content[key] = bytes(data)
+        self._primary.insert(key, len(data))
+        self._store(key, data)
+        self.stats.puts += 1
+
+    def get(self, key: bytes) -> bytes:
+        size = self._primary.lookup(key)
+        if size is None:
+            raise KeyNotFoundError(f"{key!r} not found")
+        self._statement(size)
+        data = self._content[key]
+        self._load(key, size)
+        self.stats.gets += 1
+        return data
+
+    def delete(self, key: bytes) -> None:
+        size = self._primary.lookup(key)
+        if size is None:
+            raise KeyNotFoundError(f"{key!r} not found")
+        self._statement(0)
+        self._drop(key, size)
+        self._primary.delete(key)
+        del self._content[key]
+        self.stats.deletes += 1
+
+    def exists(self, key: bytes) -> bool:
+        return self._primary.lookup(key) is not None
+
+    def flush(self) -> None:
+        """Force any deferred home-location writes (accounting hook)."""
+
+    # -- engine-specific hooks ------------------------------------------------------
+
+    def _store(self, key: bytes, data: bytes) -> None:
+        raise NotImplementedError
+
+    def _load(self, key: bytes, size: int) -> None:
+        raise NotImplementedError
+
+    def _drop(self, key: bytes, size: int) -> None:
+        raise NotImplementedError

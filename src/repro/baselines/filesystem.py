@@ -1,0 +1,586 @@
+"""Block-level simulated file systems (competitors of Section V).
+
+The base class implements the VFS layer every Linux file system shares:
+path/fd management, the page cache with background writeback, dirty-page
+throttling, and free-space management.  Subclasses plug in the decisions
+the paper attributes performance differences to:
+
+* the *allocation policy* (extent-based best-effort, copy-on-write,
+  log-structured append);
+* the *metadata read chain* (how many dependent block reads a cold
+  access needs: inode, extent-tree levels, ...);
+* the *journal behaviour* (none, metadata-only background commits, or
+  data-through-the-journal in the foreground, as Ext4 ``data=journal``).
+
+Calibration anchors (see DESIGN.md): ``fsync`` is disabled exactly as in
+the paper; readahead is disabled, so cold reads fetch one block per
+device command — which reproduces the paper's measured Ext4 read ceiling
+of ~59 MB/s on 4 KiB blocks.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+from repro.sim.cost import CostModel
+from repro.storage.device import IoRequest, SimulatedNVMe
+
+
+class FsError(OSError):
+    """File-system level error (missing file, no space, bad fd)."""
+
+
+@dataclass
+class FsStats:
+    """Counters the benchmarks read."""
+
+    files_created: int = 0
+    files_deleted: int = 0
+    foreground_journal_bytes: int = 0
+    writeback_bytes: int = 0
+    alloc_fragments: int = 0
+
+
+@dataclass
+class FsFile:
+    inode: int
+    path: str
+    size: int = 0
+    #: Physical extents in logical order: (start_block, nblocks).
+    extents: list[tuple[int, int]] = field(default_factory=list)
+
+    def nblocks(self, block_size: int) -> int:
+        return (self.size + block_size - 1) // block_size
+
+
+class FreeSpace:
+    """Free extent list with coalescing and best-effort allocation.
+
+    Allocation takes from the largest free run first (the paper's
+    "best-effort approach ... seeking the largest free space available"),
+    splitting across runs when no single run suffices — which is exactly
+    what produces fragmentation as utilization climbs (Fig. 11).
+    """
+
+    def __init__(self, start: int, nblocks: int) -> None:
+        self._runs: list[tuple[int, int]] = [(start, nblocks)]
+        self.free_blocks = nblocks
+
+    def allocate(self, nblocks: int) -> list[tuple[int, int]]:
+        if nblocks > self.free_blocks:
+            raise FsError(28, f"no space: need {nblocks} blocks, "
+                              f"{self.free_blocks} free")
+        got: list[tuple[int, int]] = []
+        remaining = nblocks
+        while remaining > 0:
+            # Largest run first.
+            idx = max(range(len(self._runs)), key=lambda i: self._runs[i][1])
+            start, length = self._runs[idx]
+            take = min(length, remaining)
+            got.append((start, take))
+            if take == length:
+                self._runs.pop(idx)
+            else:
+                self._runs[idx] = (start + take, length - take)
+            remaining -= take
+        self.free_blocks -= nblocks
+        return got
+
+    def allocate_append(self, nblocks: int) -> list[tuple[int, int]]:
+        """Log-structured policy: take from the lowest-addressed run
+        (F2FS always appends to the current log segment)."""
+        if nblocks > self.free_blocks:
+            raise FsError(28, "no space")
+        got: list[tuple[int, int]] = []
+        remaining = nblocks
+        while remaining > 0:
+            idx = min(range(len(self._runs)), key=lambda i: self._runs[i][0])
+            start, length = self._runs[idx]
+            take = min(length, remaining)
+            got.append((start, take))
+            if take == length:
+                self._runs.pop(idx)
+            else:
+                self._runs[idx] = (start + take, length - take)
+            remaining -= take
+        self.free_blocks -= nblocks
+        return got
+
+    def free(self, start: int, nblocks: int) -> None:
+        self._runs.append((start, nblocks))
+        self.free_blocks += nblocks
+        self._coalesce()
+
+    def _coalesce(self) -> None:
+        self._runs.sort()
+        merged: list[tuple[int, int]] = []
+        for start, length in self._runs:
+            if merged and merged[-1][0] + merged[-1][1] == start:
+                merged[-1] = (merged[-1][0], merged[-1][1] + length)
+            else:
+                merged.append((start, length))
+        self._runs = merged
+
+    @property
+    def largest_run(self) -> int:
+        return max((length for _, length in self._runs), default=0)
+
+    @property
+    def run_count(self) -> int:
+        return len(self._runs)
+
+
+class SimulatedFilesystem:
+    """Base: VFS + page cache + writeback.  Subclasses set the policy."""
+
+    name = "fs"
+    #: Blocks reserved at partition start for the journal (0 = none).
+    journal_blocks = 0
+    #: True = file data passes through the journal in the foreground
+    #: (Ext4 ``data=journal``); False = metadata-only, background.
+    data_journaling = False
+    #: Copy-on-write: overwrites allocate new blocks (BtrFS).
+    copy_on_write = False
+    #: Log-structured allocation (F2FS).
+    log_structured = False
+    #: Per-block metadata CPU on writes (checksums etc.).
+    write_block_cpu_ns = 30.0
+    #: CPU cost of creating one file beyond the syscall itself: dirent
+    #: insertion, inode initialization, allocator bookkeeping.  This is
+    #: the Table IV differentiator — git clone is dominated by ``open``
+    #: for file creation (36 % of Ext4's runtime).
+    create_cpu_ns = 1000.0
+    #: Foreground data journaling batches into JBD2-style transactions.
+    journal_batch_bytes = 4 * 1024 * 1024
+
+    def __init__(self, model: CostModel, device: SimulatedNVMe) -> None:
+        self.model = model
+        self.device = device
+        data_start = self.journal_blocks
+        self.free = FreeSpace(data_start,
+                              device.capacity_pages - data_start)
+        self.block_size = device.page_size
+        self.stats = FsStats()
+        self._files: dict[str, FsFile] = {}
+        self._fds: dict[int, FsFile] = {}
+        self._next_fd = itertools.count(3)
+        self._next_inode = itertools.count(1)
+        #: Logical content per inode (host memory; costs are simulated).
+        self._data: dict[int, bytearray] = {}
+        #: Page-cache residency/dirtiness per (inode, block index).
+        self._resident: set[tuple[int, int]] = set()
+        self._dirty: set[tuple[int, int]] = set()
+        self._inode_cached: set[int] = set()
+        self._journal_pos = 0
+        self._journal_pending_bytes = 0
+
+    # -- path / fd management ----------------------------------------------
+
+    def create(self, path: str) -> int:
+        """``open(O_CREAT)``: directory update + inode allocation."""
+        self.model.syscall("creat")
+        if path in self._files:
+            raise FsError(17, f"exists: {path}")
+        inode = next(self._next_inode)
+        file = FsFile(inode=inode, path=path)
+        self._files[path] = file
+        self._data[inode] = bytearray()
+        self._inode_cached.add(inode)
+        self.stats.files_created += 1
+        self.model.cpu(self.create_cpu_ns)
+        self._journal_metadata(self._create_metadata_blocks())
+        return self._new_fd(file)
+
+    def open(self, path: str) -> int:
+        self.model.syscall("open")
+        file = self._lookup(path)
+        if file.inode not in self._inode_cached:
+            # Cold open: read the inode block.
+            self.device.read(self._inode_block(file), 1)
+            self._inode_cached.add(file.inode)
+        return self._new_fd(file)
+
+    def _new_fd(self, file: FsFile) -> int:
+        fd = next(self._next_fd)
+        self._fds[fd] = file
+        return fd
+
+    def close(self, fd: int) -> None:
+        self.model.syscall("close")
+        if fd not in self._fds:
+            raise FsError(9, f"bad fd {fd}")
+        del self._fds[fd]
+
+    def _lookup(self, path: str) -> FsFile:
+        try:
+            return self._files[path]
+        except KeyError:
+            raise FsError(2, f"no such file: {path}") from None
+
+    def _file(self, fd: int) -> FsFile:
+        try:
+            return self._fds[fd]
+        except KeyError:
+            raise FsError(9, f"bad fd {fd}") from None
+
+    # -- stat -------------------------------------------------------------------
+
+    def fstat(self, fd: int) -> FsFile:
+        self.model.syscall("fstat")
+        return self._file(fd)
+
+    def stat(self, path: str) -> FsFile:
+        self.model.syscall("stat")
+        file = self._lookup(path)
+        if file.inode not in self._inode_cached:
+            self.device.read(self._inode_block(file), 1)
+            self._inode_cached.add(file.inode)
+        return file
+
+    def exists(self, path: str) -> bool:
+        return path in self._files
+
+    def listdir(self) -> list[str]:
+        self.model.syscall("readdir")
+        return sorted(self._files)
+
+    # -- write path ---------------------------------------------------------------
+
+    def pwrite(self, fd: int, data: bytes, offset: int) -> int:
+        """Write into the page cache; allocation policy runs here."""
+        self.model.syscall("pwrite")
+        file = self._file(fd)
+        end = offset + len(data)
+        bs = self.block_size
+        old_blocks = file.nblocks(bs)
+        new_blocks = (max(end, file.size) + bs - 1) // bs
+
+        buf = self._data[file.inode]
+        if len(buf) < end:
+            buf.extend(b"\x00" * (end - len(buf)))
+        buf[offset:end] = data
+        file.size = max(file.size, end)
+
+        # Fresh page-cache pages for the extension.
+        grown = new_blocks - old_blocks
+        if grown > 0:
+            self.model.cpu(grown * self.model.params.page_cache_alloc_ns)
+            self._allocate_blocks(file, grown)
+
+        touched = range(offset // bs, (end + bs - 1) // bs)
+        if self.copy_on_write:
+            self._cow_remap(file, touched, old_blocks)
+        for b in touched:
+            self._resident.add((file.inode, b))
+            self._dirty.add((file.inode, b))
+        self.model.kernel_copy(len(data))
+        self.model.cpu(len(touched) * self.write_block_cpu_ns)
+
+        if self.data_journaling:
+            self._journal_data(len(data))
+        self._throttle_if_needed(len(data))
+        return len(data)
+
+    def _allocate_blocks(self, file: FsFile, nblocks: int) -> None:
+        if self.log_structured:
+            # Log-structured allocation appends to the current segment:
+            # no search, constant cost — why F2FS stays flat in Fig. 11.
+            runs = self.free.allocate_append(nblocks)
+            self.model.cpu(200.0)
+        else:
+            # Best-effort allocators scan their free structures (block
+            # groups, bitmaps, free-space trees); near-full they find no
+            # single run large enough, and *every* fragment of the split
+            # allocation repeats the search.  That multiplicative cost
+            # is the Fig. 11 slowdown: "complicated mechanisms to
+            # prevent fragmentation ... will not work well when the
+            # storage is almost full".
+            scan_before = self.free.run_count
+            runs = self.free.allocate(nblocks)
+            self.model.cpu(400.0 * max(1, scan_before) * len(runs))
+            self.model.cpu(len(runs) * 350.0)
+        self.stats.alloc_fragments += len(runs)
+        for start, count in runs:
+            if file.extents and \
+                    file.extents[-1][0] + file.extents[-1][1] == start:
+                file.extents[-1] = (file.extents[-1][0],
+                                    file.extents[-1][1] + count)
+            else:
+                file.extents.append((start, count))
+
+    def _cow_remap(self, file: FsFile, touched, old_blocks: int) -> None:
+        """Copy-on-write: overwritten blocks move to fresh locations."""
+        overwritten = [b for b in touched if b < old_blocks]
+        if not overwritten:
+            return
+        scan_before = self.free.run_count
+        runs = self.free.allocate(len(overwritten))
+        self.model.cpu(400.0 * max(1, scan_before) * len(runs))
+        self.stats.alloc_fragments += len(runs)
+        new_positions = [start + i for start, count in runs
+                         for i in range(count)]
+        for b, pos in zip(overwritten, new_positions):
+            old_pos = self._phys_block(file, b)
+            if old_pos is not None:
+                self.free.free(old_pos, 1)
+            self._set_phys_block(file, b, pos)
+
+    def _throttle_if_needed(self, nbytes: int) -> None:
+        """Linux dirty-ratio balancing: huge buffered writes run at
+        device speed.  (The engine uses O_DIRECT and never pays this.)"""
+        limit = self.model.params.dirty_throttle_bytes
+        dirty_bytes = len(self._dirty) * self.block_size
+        if dirty_bytes > limit:
+            self.writeback()
+            overflow = max(0, nbytes - limit // 4)
+            if overflow:
+                self.model.cpu(overflow * self.model.params.ssd_write_ns_per_byte)
+
+    def ftruncate(self, fd: int, size: int) -> None:
+        """Resize; shrinking frees blocks, growing allocates."""
+        self.model.syscall("ftruncate")
+        file = self._file(fd)
+        bs = self.block_size
+        old_blocks = file.nblocks(bs)
+        new_blocks = (size + bs - 1) // bs
+        buf = self._data[file.inode]
+        if size < file.size:
+            del buf[size:]
+            self._release_tail_blocks(file, new_blocks)
+        else:
+            buf.extend(b"\x00" * (size - len(buf)))
+            if new_blocks > old_blocks:
+                self.model.cpu((new_blocks - old_blocks)
+                               * self.model.params.page_cache_alloc_ns)
+                self._allocate_blocks(file, new_blocks - old_blocks)
+        file.size = size
+        self._journal_metadata(1)
+
+    def _release_tail_blocks(self, file: FsFile, keep_blocks: int) -> None:
+        """Free every physical block past the first ``keep_blocks``."""
+        kept: list[tuple[int, int]] = []
+        remaining = keep_blocks
+        for start, count in file.extents:
+            if remaining >= count:
+                kept.append((start, count))
+                remaining -= count
+            elif remaining > 0:
+                kept.append((start, remaining))
+                self.free.free(start + remaining, count - remaining)
+                remaining = 0
+            else:
+                self.free.free(start, count)
+        old_blocks = file.nblocks(self.block_size)
+        for b in range(keep_blocks, old_blocks):
+            self._resident.discard((file.inode, b))
+            self._dirty.discard((file.inode, b))
+        file.extents = kept
+
+    # -- read path -------------------------------------------------------------------
+
+    def pread(self, fd: int, size: int, offset: int) -> bytes:
+        """Read via the page cache; cold blocks fetched one per command
+        (readahead disabled, as in the paper's configuration)."""
+        self.model.syscall("pread")
+        file = self._file(fd)
+        if offset >= file.size:
+            return b""
+        size = min(size, file.size - offset)
+        bs = self.block_size
+        first, last = offset // bs, (offset + size - 1) // bs
+        missing = [b for b in range(first, last + 1)
+                   if (file.inode, b) not in self._resident]
+        if missing:
+            self._charge_metadata_walk(file)
+            for b in missing:
+                pos = self._phys_block(file, b)
+                if pos is not None:
+                    self.device.read(pos, 1)
+                self._resident.add((file.inode, b))
+        data = bytes(self._data[file.inode][offset:offset + size])
+        self.model.kernel_copy(size)
+        return data
+
+    def read_file(self, path: str) -> bytes:
+        """Convenience: open + fstat + pread-all + close, like an app."""
+        fd = self.open(path)
+        try:
+            file = self.fstat(fd)
+            return self.pread(fd, file.size, 0)
+        finally:
+            self.close(fd)
+
+    def write_file(self, path: str, data: bytes) -> None:
+        """Convenience: create (or truncate) + pwrite + close."""
+        if self.exists(path):
+            fd = self.open(path)
+            self.ftruncate(fd, 0)
+        else:
+            fd = self.create(path)
+        try:
+            self.pwrite(fd, data, 0)
+        finally:
+            self.close(fd)
+
+    # -- delete --------------------------------------------------------------------------
+
+    def unlink(self, path: str) -> None:
+        self.model.syscall("unlink")
+        file = self._lookup(path)
+        for start, count in file.extents:
+            self.free.free(start, count)
+        for b in range(file.nblocks(self.block_size)):
+            self._resident.discard((file.inode, b))
+            self._dirty.discard((file.inode, b))
+        self._inode_cached.discard(file.inode)
+        del self._data[file.inode]
+        del self._files[path]
+        self.stats.files_deleted += 1
+        self._journal_metadata(self._create_metadata_blocks())
+
+    # -- writeback / caches ------------------------------------------------------------------
+
+    def writeback(self) -> int:
+        """Flush dirty page-cache pages to their home locations
+        (background: kworker flusher threads)."""
+        requests: list[IoRequest] = []
+        total = 0
+        by_inode: dict[int, list[int]] = {}
+        for inode, block in self._dirty:
+            by_inode.setdefault(inode, []).append(block)
+        inode_to_file = {f.inode: f for f in self._files.values()}
+        for inode, blocks in by_inode.items():
+            file = inode_to_file.get(inode)
+            if file is None:
+                continue
+            data = self._data[inode]
+            bs = self.block_size
+            for block in sorted(blocks):
+                pos = self._phys_block(file, block)
+                if pos is None:
+                    continue
+                chunk = bytes(data[block * bs:(block + 1) * bs]).ljust(bs, b"\x00")
+                requests.append(IoRequest(pid=pos, npages=1, data=chunk,
+                                          category="data"))
+                total += bs
+        if requests:
+            self.device.submit(requests, background=True)
+        self._dirty.clear()
+        self.stats.writeback_bytes += total
+        if self.data_journaling:
+            self._flush_journal_batch()
+        return total
+
+    def drop_caches(self) -> None:
+        """``echo 3 > /proc/sys/vm/drop_caches`` for cold-cache runs."""
+        self.writeback()
+        self._resident.clear()
+        self._inode_cached.clear()
+
+    # -- journal --------------------------------------------------------------------------------
+
+    def _journal_metadata(self, nblocks: int) -> None:
+        """Metadata journaling: committed in the background."""
+        if self.journal_blocks <= 0 or nblocks <= 0:
+            return
+        self._journal_write(nblocks, foreground=False)
+
+    def _journal_data(self, nbytes: int) -> None:
+        """``data=journal``: file data written to the journal, and the
+        paper observes this I/O lands in the execution time.  JBD2
+        batches dirty data into journal transactions, so the commit
+        latency amortizes over ``journal_batch_bytes``."""
+        self._journal_pending_bytes += nbytes
+        self.stats.foreground_journal_bytes += nbytes
+        if self._journal_pending_bytes >= self.journal_batch_bytes:
+            self._flush_journal_batch()
+
+    def _flush_journal_batch(self) -> None:
+        nblocks = (self._journal_pending_bytes + self.block_size - 1) \
+            // self.block_size
+        if nblocks:
+            self._journal_write(nblocks, foreground=True)
+        self._journal_pending_bytes = 0
+
+    def _journal_write(self, nblocks: int, foreground: bool) -> None:
+        bs = self.block_size
+        while nblocks > 0:
+            take = min(nblocks, self.journal_blocks - self._journal_pos)
+            if take <= 0:
+                self._journal_pos = 0
+                continue
+            self.device.write(self._journal_pos, b"\x00" * (take * bs),
+                              category="journal",
+                              background=not foreground)
+            self._journal_pos = (self._journal_pos + take) % self.journal_blocks
+            nblocks -= take
+
+    # -- policy hooks -------------------------------------------------------------------------------
+
+    def _create_metadata_blocks(self) -> int:
+        """Metadata blocks a create/unlink journals (dirent + inode + map)."""
+        return 2
+
+    def _metadata_chain_length(self, file: FsFile) -> int:
+        """Dependent metadata block reads for a cold access."""
+        return 1  # the inode block
+
+    def _charge_metadata_walk(self, file: FsFile) -> None:
+        """Cold read: walk the metadata chain with dependent reads."""
+        if file.inode in self._inode_cached:
+            return
+        for _ in range(self._metadata_chain_length(file)):
+            self.device.read(self._inode_block(file), 1)
+        self._inode_cached.add(file.inode)
+
+    def _inode_block(self, file: FsFile) -> int:
+        # Inode tables live in the journal-free metadata area; model as
+        # a deterministic block derived from the inode number.
+        return self.journal_blocks + file.inode % 64
+
+    # -- geometry helpers ------------------------------------------------------------------------------
+
+    def _phys_block(self, file: FsFile, logical: int) -> int | None:
+        remaining = logical
+        for start, count in file.extents:
+            if remaining < count:
+                return start + remaining
+            remaining -= count
+        return None
+
+    def _set_phys_block(self, file: FsFile, logical: int, pos: int) -> None:
+        """Repoint one logical block (COW); splits extents as needed."""
+        new_extents: list[tuple[int, int]] = []
+        remaining = logical
+        placed = False
+        for start, count in file.extents:
+            if placed or remaining >= count:
+                new_extents.append((start, count))
+                if not placed:
+                    remaining -= count
+                continue
+            # Split this extent around `remaining`.
+            if remaining > 0:
+                new_extents.append((start, remaining))
+            new_extents.append((pos, 1))
+            if count - remaining - 1 > 0:
+                new_extents.append((start + remaining + 1,
+                                    count - remaining - 1))
+            placed = True
+        file.extents = _merge_extents(new_extents)
+
+    def utilization(self) -> float:
+        used = self.device.capacity_pages - self.journal_blocks \
+            - self.free.free_blocks
+        return used / (self.device.capacity_pages - self.journal_blocks)
+
+
+def _merge_extents(extents: list[tuple[int, int]]) -> list[tuple[int, int]]:
+    merged: list[tuple[int, int]] = []
+    for start, count in extents:
+        if merged and merged[-1][0] + merged[-1][1] == start:
+            merged[-1] = (merged[-1][0], merged[-1][1] + count)
+        else:
+            merged.append((start, count))
+    return merged

@@ -1,0 +1,61 @@
+"""PostgreSQL baseline: TOAST storage over a client/server access path.
+
+Section II: TOAST stores BLOB chunks (and metadata) in a separate
+relation; every read costs *two* relation lookups (main + TOAST index)
+plus a scan over the chunk pages, and "every TOAST page contains only
+four chunks by default".  Content is additionally copied in full to the
+WAL.  Fig. 6d: the client library rejects parameters of 1 GB and above
+("Statement parameter length overflow").
+"""
+
+from __future__ import annotations
+
+from repro.baselines.dbms import DbmsBlobStoreBase
+from repro.btree import BTree
+
+#: TOAST_MAX_CHUNK_SIZE for 8 KiB pages — four chunks per page.
+TOAST_CHUNK_BYTES = 1996
+#: libpq limits a single statement parameter to < 1 GB.
+PARAM_LIMIT_BYTES = 10**9 - 1
+
+
+class PostgresBlobStore(DbmsBlobStoreBase):
+    name = "postgresql"
+    page_size = 8192
+    max_blob_bytes = PARAM_LIMIT_BYTES
+    client_server = True
+
+    def __init__(self, model, device) -> None:
+        super().__init__(model, device)
+        #: Index over (value_id, chunk_seq) in pg_toast.
+        self._toast_index = BTree(node_bytes=self.page_size, model=model,
+                                  key_size=lambda k: len(k))
+
+    def _chunks(self, size: int) -> int:
+        return max(1, (size + TOAST_CHUNK_BYTES - 1) // TOAST_CHUNK_BYTES)
+
+    def _chunk_pages(self, size: int) -> int:
+        return (self._chunks(size) + 3) // 4  # four chunks per page
+
+    def _store(self, key: bytes, data: bytes) -> None:
+        nchunks = self._chunks(len(data))
+        # Chunk the value into the TOAST relation, indexing each chunk.
+        self.model.memcpy(len(data))
+        for seq in range(nchunks):
+            self._toast_index.insert(key + seq.to_bytes(4, "big"), seq)
+        # Full content goes to the WAL, then heap pages at checkpoint.
+        self._wal_append(len(data))
+        self._data_write(self._chunk_pages(len(data)) * self.page_size)
+
+    def _load(self, key: bytes, size: int) -> None:
+        # Second lookup: the TOAST index; then scan all chunk pages.
+        self._toast_index.lookup(key + (0).to_bytes(4, "big"))
+        pages = self._chunk_pages(size)
+        # Chunk reassembly touches every page and copies the content.
+        self.model.cpu(pages * 250.0)
+        self.model.memcpy(size)
+
+    def _drop(self, key: bytes, size: int) -> None:
+        for seq in range(self._chunks(size)):
+            self._toast_index.delete(key + seq.to_bytes(4, "big"))
+        self._wal_append(64 * self._chunks(size))

@@ -1,0 +1,30 @@
+"""XFS: B+tree allocation groups with delayed allocation.
+
+Table IV's best file system: delayed allocation produces few, large
+extents, and its metadata updates touch the fewest journal blocks (the
+paper: XFS "only spends 36.6 % of the execution time on system calls,
+the least compared to other file systems").
+"""
+
+from __future__ import annotations
+
+from repro.baselines.filesystem import FsFile, SimulatedFilesystem
+
+
+class Xfs(SimulatedFilesystem):
+    name = "xfs"
+    journal_blocks = 4096
+    data_journaling = False
+    #: Cheaper per-block write path (no bitmap scanning; B+tree extents).
+    write_block_cpu_ns = 18.0
+    #: Delayed logging makes inode creation the cheapest of the group —
+    #: why XFS spends the least time in syscalls (Table IV).
+    create_cpu_ns = 500.0
+
+    def _create_metadata_blocks(self) -> int:
+        # Inode clusters + a compact log item: fewer blocks than ext4.
+        return 2
+
+    def _metadata_chain_length(self, file: FsFile) -> int:
+        # Inode + at most one B+tree level for any realistic file here.
+        return 1 if len(file.extents) <= 8 else 2

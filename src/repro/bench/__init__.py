@@ -1,0 +1,31 @@
+"""Benchmark harness: uniform store adapters, runners, result tables.
+
+Every system under test — the engine variants (``our``, ``our.ht``,
+``our.physlog``), the four file systems, and the three DBMS baselines —
+is wrapped in one :class:`StoreAdapter` interface so each figure's
+benchmark is a single loop over systems.  Throughput is simulated
+transactions per simulated second, read from each system's virtual
+clock.
+"""
+
+from repro.bench.adapters import (
+    ALL_SYSTEMS,
+    DBMS_SYSTEMS,
+    FS_SYSTEMS,
+    OUR_SYSTEMS,
+    StoreAdapter,
+    make_store,
+)
+from repro.bench.harness import RunResult, print_table, run_ycsb
+
+__all__ = [
+    "StoreAdapter",
+    "make_store",
+    "ALL_SYSTEMS",
+    "OUR_SYSTEMS",
+    "FS_SYSTEMS",
+    "DBMS_SYSTEMS",
+    "RunResult",
+    "run_ycsb",
+    "print_table",
+]

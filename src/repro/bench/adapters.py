@@ -1,0 +1,235 @@
+"""Uniform BLOB-store adapters over every system under test."""
+
+from __future__ import annotations
+
+from repro.baselines import (
+    Btrfs,
+    Ext4,
+    Ext4Journal,
+    F2fs,
+    MysqlBlobStore,
+    PostgresBlobStore,
+    SimulatedFilesystem,
+    SqliteBlobStore,
+    Xfs,
+)
+from repro.db import BlobDB, EngineConfig
+from repro.sim.cost import CostModel, CostParams
+from repro.storage.device import SimulatedNVMe
+
+OUR_SYSTEMS = ("our", "our.ht", "our.physlog")
+FS_SYSTEMS = ("ext4.ordered", "ext4.journal", "xfs", "btrfs", "f2fs")
+DBMS_SYSTEMS = ("postgresql", "sqlite", "mysql")
+ALL_SYSTEMS = OUR_SYSTEMS + FS_SYSTEMS + DBMS_SYSTEMS
+
+_FS_CLASSES = {
+    "ext4.ordered": Ext4,
+    "ext4.journal": Ext4Journal,
+    "xfs": Xfs,
+    "btrfs": Btrfs,
+    "f2fs": F2fs,
+}
+
+_DBMS_CLASSES = {
+    "postgresql": PostgresBlobStore,
+    "sqlite": SqliteBlobStore,
+    "mysql": MysqlBlobStore,
+}
+
+
+class StoreAdapter:
+    """``put`` / ``get`` / ``replace`` / ``delete`` / ``stat`` over one
+    system, with the system's virtual clock exposed for timing.
+
+    The semantics match the paper's benchmark loops: ``get`` leaves the
+    caller with its own copy of the content (the ``memcpy()`` read
+    operator), and ``replace`` swaps an entire BLOB (the paper's
+    create/replace access pattern).
+    """
+
+    name: str
+
+    @property
+    def model(self) -> CostModel:
+        raise NotImplementedError
+
+    @property
+    def device(self) -> SimulatedNVMe:
+        raise NotImplementedError
+
+    def put(self, key: bytes, data: bytes) -> None:
+        raise NotImplementedError
+
+    def get(self, key: bytes) -> bytes:
+        raise NotImplementedError
+
+    def replace(self, key: bytes, data: bytes) -> None:
+        self.delete(key)
+        self.put(key, data)
+
+    def delete(self, key: bytes) -> None:
+        raise NotImplementedError
+
+    def stat(self, key: bytes) -> int:
+        """Size lookup (metadata operation, Fig. 7)."""
+        raise NotImplementedError
+
+    def drop_caches(self) -> None:
+        """Make the next reads cold (Fig. 9)."""
+        raise NotImplementedError
+
+
+class OurStoreAdapter(StoreAdapter):
+    """The paper's engine (and its ``.ht`` / ``.physlog`` ablations)."""
+
+    TABLE = "blobs"
+
+    def __init__(self, variant: str, config: EngineConfig) -> None:
+        self.name = variant
+        self.db = BlobDB(config)
+        self.db.create_table(self.TABLE)
+
+    @property
+    def model(self) -> CostModel:
+        return self.db.model
+
+    @property
+    def device(self) -> SimulatedNVMe:
+        return self.db.device
+
+    def put(self, key: bytes, data: bytes) -> None:
+        with self.db.transaction() as txn:
+            self.db.put_blob(txn, self.TABLE, key, data)
+
+    def get(self, key: bytes) -> bytes:
+        # read_bytes performs the single client copy (aliasing view).
+        return self.db.read_blob(self.TABLE, key)
+
+    def replace(self, key: bytes, data: bytes) -> None:
+        with self.db.transaction() as txn:
+            self.db.delete_blob(txn, self.TABLE, key)
+            self.db.put_blob(txn, self.TABLE, key, data)
+
+    def delete(self, key: bytes) -> None:
+        with self.db.transaction() as txn:
+            self.db.delete_blob(txn, self.TABLE, key)
+
+    def stat(self, key: bytes) -> int:
+        return self.db.get_state(self.TABLE, key).size
+
+    def drop_caches(self) -> None:
+        # Push dirty state out, then empty the buffer pool.
+        self.db.pool.flush_all_dirty(background=True)
+        self.db.pool.drop_all_volatile()
+
+
+class FsStoreAdapter(StoreAdapter):
+    """A file per BLOB on a simulated file system."""
+
+    def __init__(self, fs: SimulatedFilesystem) -> None:
+        self.name = fs.name
+        self.fs = fs
+
+    @property
+    def model(self) -> CostModel:
+        return self.fs.model
+
+    @property
+    def device(self) -> SimulatedNVMe:
+        return self.fs.device
+
+    @staticmethod
+    def _path(key: bytes) -> str:
+        return "/" + key.hex()
+
+    def put(self, key: bytes, data: bytes) -> None:
+        self.fs.write_file(self._path(key), data)
+
+    def get(self, key: bytes) -> bytes:
+        # pread copies kernel->user; the application's read operator
+        # copies again — the two memcpys of Section V-B.
+        data = self.fs.read_file(self._path(key))
+        self.model.memcpy(len(data))
+        return data
+
+    def replace(self, key: bytes, data: bytes) -> None:
+        # Overwrite via truncate+write, like applications replacing a
+        # file in place (the ftruncate cost of Fig. 6c).
+        self.fs.write_file(self._path(key), data)
+
+    def delete(self, key: bytes) -> None:
+        self.fs.unlink(self._path(key))
+
+    def stat(self, key: bytes) -> int:
+        return self.fs.stat(self._path(key)).size
+
+    def drop_caches(self) -> None:
+        self.fs.drop_caches()
+
+
+class DbmsStoreAdapter(StoreAdapter):
+    """PostgreSQL / SQLite / MySQL baseline models."""
+
+    def __init__(self, store) -> None:
+        self.name = store.name
+        self.store = store
+
+    @property
+    def model(self) -> CostModel:
+        return self.store.model
+
+    @property
+    def device(self) -> SimulatedNVMe:
+        return self.store.device
+
+    def put(self, key: bytes, data: bytes) -> None:
+        self.store.put(key, data)
+
+    def get(self, key: bytes) -> bytes:
+        data = self.store.get(key)
+        self.model.memcpy(len(data))  # the application's read operator
+        return data
+
+    def delete(self, key: bytes) -> None:
+        self.store.delete(key)
+
+    def stat(self, key: bytes) -> int:
+        self.store.model.sql_statement()
+        size = self.store._primary.lookup(key)
+        if self.store.client_server:
+            self.store.model.ipc_roundtrip(64)
+        return size
+
+    def drop_caches(self) -> None:
+        pass  # baselines are excluded from the cold-cache experiments
+
+
+def make_store(name: str, *, capacity_bytes: int = 1 << 30,
+               buffer_bytes: int = 256 << 20,
+               params: CostParams | None = None,
+               **engine_overrides) -> StoreAdapter:
+    """Build any system under test over its own device and cost model."""
+    page = 4096
+    capacity_pages = capacity_bytes // page
+    if name in OUR_SYSTEMS:
+        config = EngineConfig(
+            device_pages=capacity_pages,
+            buffer_pool_pages=buffer_bytes // page,
+            wal_pages=min(capacity_pages // 8, 65536),
+            catalog_pages=min(capacity_pages // 16, 8192),
+            pool="hashtable" if name == "our.ht" else "vmcache",
+            log_policy="physlog" if name == "our.physlog" else "async-blob",
+            **engine_overrides,
+        )
+        adapter = OurStoreAdapter(name, config)
+        if params is not None:
+            adapter.db.model.params = params
+        return adapter
+    model = CostModel(params)
+    device = SimulatedNVMe(model, capacity_pages=capacity_pages,
+                           page_size=page)
+    if name in _FS_CLASSES:
+        return FsStoreAdapter(_FS_CLASSES[name](model, device))
+    if name in _DBMS_CLASSES:
+        return DbmsStoreAdapter(_DBMS_CLASSES[name](model, device))
+    raise ValueError(f"unknown system {name!r}; pick from {ALL_SYSTEMS}")

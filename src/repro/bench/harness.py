@@ -1,0 +1,87 @@
+"""Benchmark runners and result formatting."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.bench.adapters import StoreAdapter
+from repro.sim.clock import Stopwatch
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+
+
+@dataclass
+class RunResult:
+    """Outcome of one timed benchmark phase on one system."""
+
+    system: str
+    ops: int
+    elapsed_ns: int
+    extra: dict = field(default_factory=dict)
+
+    @property
+    def throughput_ops_s(self) -> float:
+        if self.elapsed_ns <= 0:
+            return float("inf")
+        return self.ops * 1e9 / self.elapsed_ns
+
+    @property
+    def per_op_us(self) -> float:
+        return self.elapsed_ns / self.ops / 1000 if self.ops else 0.0
+
+
+def run_ycsb(store: StoreAdapter, config: YcsbConfig, n_ops: int,
+             *, time_load: bool = False) -> RunResult:
+    """Load the dataset, then run the timed YCSB phase.
+
+    Reads verify content length so a broken adapter cannot silently
+    benchmark nothing.
+    """
+    workload = YcsbWorkload(config)
+    load_sw = Stopwatch(store.model.clock)
+    with load_sw:
+        for key, payload in workload.load_phase():
+            store.put(key, payload)
+    ops_done = 0
+    with Stopwatch(store.model.clock) as sw:
+        for op, key, payload in workload.operations(n_ops):
+            if op == "read":
+                data = store.get(key)
+                assert data, f"empty read from {store.name}"
+            else:
+                store.replace(key, payload)
+            ops_done += 1
+    elapsed = sw.elapsed_ns + (load_sw.elapsed_ns if time_load else 0)
+    return RunResult(system=store.name, ops=ops_done, elapsed_ns=elapsed)
+
+
+def format_table(headers: list[str], rows: list[list[str]]) -> str:
+    widths = [max(len(str(headers[i])),
+                  max((len(str(r[i])) for r in rows), default=0))
+              for i in range(len(headers))]
+    def fmt(row):
+        return "  ".join(str(cell).rjust(w) for cell, w in zip(row, widths))
+    lines = [fmt(headers), fmt(["-" * w for w in widths])]
+    lines.extend(fmt(row) for row in rows)
+    return "\n".join(lines)
+
+
+def print_table(title: str, headers: list[str],
+                rows: list[list[str]]) -> None:
+    print(f"\n=== {title} ===")
+    print(format_table(headers, rows))
+
+
+def human_throughput(ops_s: float) -> str:
+    if ops_s >= 1e6:
+        return f"{ops_s / 1e6:.2f}M"
+    if ops_s >= 1e3:
+        return f"{ops_s / 1e3:.1f}k"
+    return f"{ops_s:.1f}"
+
+
+def bar(value: float, maximum: float, width: int = 24) -> str:
+    """ASCII bar scaled to ``maximum`` (figure-style visual column)."""
+    if maximum <= 0:
+        return ""
+    filled = round(width * min(value, maximum) / maximum)
+    return "#" * filled

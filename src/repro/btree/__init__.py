@@ -1,0 +1,22 @@
+"""B-Tree with prefix compression.
+
+The engine stores every relation and secondary index in this B-Tree.  It
+supports a caller-supplied comparator — which is what makes the paper's
+Blob State index possible: index structures "can store the Blob States in
+sorted order according to their BLOB content ... the indexing structure is
+untouched" (Section III-F).
+
+Two paper-relevant features:
+
+* **Prefix compression** (Bayer & Unterauer prefix B-trees): leaves store
+  the page-common key prefix once, and inner separators are truncated to
+  the shortest string that still separates their subtrees.  Section V-H
+  notes this is why the 1 K-prefix index and the Blob State index end up
+  with the same tree height.
+* **Byte-budgeted nodes**: capacity is bytes, not entry count, so index
+  size and leaf counts (Table III) fall out of the key sizes naturally.
+"""
+
+from repro.btree.btree import BTree, BTreeStats
+
+__all__ = ["BTree", "BTreeStats"]

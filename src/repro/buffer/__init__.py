@@ -1,0 +1,36 @@
+"""Buffer management: hash-table pool vs. vmcache+exmap (Section IV).
+
+Two pools with one interface:
+
+* :class:`HashTablePool` — the traditional design (``Our.ht`` in the
+  paper): a hash table maps each *page* to its frame, so reading an
+  N-page extent costs N translations, and a multi-extent BLOB must be
+  materialized with ``malloc()`` + ``memcpy()`` before an application can
+  see it as contiguous memory.
+* :class:`VmcachePool` — vmcache with exmap: one translation per
+  *extent*, and *virtual-memory aliasing* presents disjoint extents as a
+  single contiguous region with no copy, at the price of a page-table
+  update and a TLB shootdown per aliasing operation.
+
+Both pools implement the paper's extent-granularity synchronization and
+the size-fair eviction policy (Section III-G), and honour the
+``prevent_evict`` flag that protects freshly allocated extents until
+their commit-time flush completes (Section III-C).
+"""
+
+from repro.buffer.frames import BlobView, ExtentFrame
+from repro.buffer.pool import BufferPoolBase, PoolStats
+from repro.buffer.hashtable_pool import HashTablePool
+from repro.buffer.vmcache import VmcachePool
+from repro.buffer.aliasing import AliasingExhausted, AliasingManager
+
+__all__ = [
+    "ExtentFrame",
+    "BlobView",
+    "BufferPoolBase",
+    "PoolStats",
+    "HashTablePool",
+    "VmcachePool",
+    "AliasingManager",
+    "AliasingExhausted",
+]

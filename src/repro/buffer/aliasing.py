@@ -1,0 +1,126 @@
+"""Virtual-memory aliasing areas (Section IV-B).
+
+Every worker owns a *worker-local aliasing area*; BLOBs larger than it
+reserve a contiguous run of logical blocks from a *shared aliasing area*
+guarded by a bitmap range lock ("a simple range lock using a bitmap and
+compare-and-swap").  The paper's example: a 160 GB shared area split into
+1 GB blocks needs a 160-bit bitmap — three ``uint64_t`` words.
+
+The simulation allocates no real virtual memory; it tracks the bitmap,
+charges the exmap page-table update per aliasing call, and charges the
+TLB shootdown on release — the costs Table II and Fig. 10 are about.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cost import CostModel
+
+
+class AliasingExhausted(Exception):
+    """No contiguous run of shared blocks can cover the request."""
+
+
+@dataclass
+class AliasHandle:
+    """An acquired aliasing range; pass back to ``release``."""
+
+    worker_id: int
+    npages: int
+    shared_first_block: int = -1
+    shared_nblocks: int = 0
+
+    @property
+    def is_shared(self) -> bool:
+        return self.shared_nblocks > 0
+
+
+@dataclass
+class AliasingStats:
+    local_acquires: int = 0
+    shared_acquires: int = 0
+    cas_retries: int = 0
+    releases: int = 0
+    tlb_shootdowns: int = 0
+
+
+class AliasingManager:
+    """Worker-local areas plus a block-granular shared area."""
+
+    def __init__(self, model: CostModel, n_workers: int,
+                 worker_local_pages: int, shared_pages: int) -> None:
+        if n_workers < 1 or worker_local_pages < 1 or shared_pages < 1:
+            raise ValueError("aliasing geometry must be positive")
+        self.model = model
+        self.n_workers = n_workers
+        self.worker_local_pages = worker_local_pages
+        # Shared area is split into blocks the size of a worker-local area.
+        self.block_pages = worker_local_pages
+        self.n_blocks = max(1, shared_pages // self.block_pages)
+        self._bitmap = 0
+        self.stats = AliasingStats()
+
+    @property
+    def bitmap_words(self) -> int:
+        """Number of uint64 words the range-lock bitmap occupies."""
+        return (self.n_blocks + 63) // 64
+
+    def total_virtual_pages(self) -> int:
+        """Virtual address budget: all local areas plus the shared area."""
+        return (self.n_workers * self.worker_local_pages
+                + self.n_blocks * self.block_pages)
+
+    # -- acquire/release ---------------------------------------------------------
+
+    def acquire(self, worker_id: int, npages: int) -> AliasHandle:
+        """Map ``npages`` of extents into an aliasing area.
+
+        Charges one exmap call writing ``npages`` PTEs; shared-area
+        requests additionally pay the bitmap compare-and-swap.
+        """
+        if not (0 <= worker_id < self.n_workers):
+            raise ValueError(f"worker {worker_id} out of range")
+        if npages <= 0:
+            raise ValueError("npages must be positive")
+        if npages <= self.worker_local_pages:
+            self.model.exmap_alias(npages)
+            self.stats.local_acquires += 1
+            return AliasHandle(worker_id=worker_id, npages=npages)
+        nblocks = (npages + self.block_pages - 1) // self.block_pages
+        first = self._reserve_blocks(nblocks)
+        self.model.exmap_alias(npages)
+        self.stats.shared_acquires += 1
+        return AliasHandle(worker_id=worker_id, npages=npages,
+                           shared_first_block=first, shared_nblocks=nblocks)
+
+    def _reserve_blocks(self, nblocks: int) -> int:
+        """First-fit contiguous run in the bitmap, set atomically (CAS)."""
+        if nblocks > self.n_blocks:
+            raise AliasingExhausted(
+                f"need {nblocks} blocks, shared area has {self.n_blocks}")
+        mask = (1 << nblocks) - 1
+        for first in range(self.n_blocks - nblocks + 1):
+            if self._bitmap & (mask << first) == 0:
+                # One CAS on the word(s) holding the range.
+                self.model.latch(contended=False)
+                self._bitmap |= mask << first
+                return first
+        raise AliasingExhausted(
+            f"no contiguous {nblocks}-block run free in shared area")
+
+    def release(self, handle: AliasHandle) -> None:
+        """Unalias: clear PTEs and shoot down the stale TLB entries."""
+        if handle.is_shared:
+            mask = ((1 << handle.shared_nblocks) - 1) << handle.shared_first_block
+            if self._bitmap & mask != mask:
+                raise ValueError("releasing blocks that are not reserved")
+            self.model.latch(contended=False)
+            self._bitmap &= ~mask
+        self.model.exmap_alias(handle.npages)
+        self.model.tlb_shootdown()
+        self.stats.releases += 1
+        self.stats.tlb_shootdowns += 1
+
+    def blocks_in_use(self) -> int:
+        return bin(self._bitmap).count("1")

@@ -1,0 +1,251 @@
+"""Common buffer-pool machinery: residency, fair eviction, write-back."""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+from repro.buffer.frames import BlobView, ExtentFrame
+from repro.sim.cost import CostModel
+from repro.storage.device import IoRequest, SimulatedNVMe
+
+
+@dataclass
+class PoolStats:
+    """Counters for the buffer experiments (Figs. 9, 10)."""
+
+    hits: int = 0
+    misses: int = 0
+    evictions: int = 0
+    writebacks: int = 0
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+
+class BufferPoolBase:
+    """Extent-granular buffer pool over a simulated device.
+
+    Subclasses implement the translation cost (:meth:`_translate`) and the
+    materialization strategy (:meth:`read_blob`): that is exactly where
+    the hash-table design and vmcache+exmap differ in the paper.
+    """
+
+    def __init__(self, device: SimulatedNVMe, model: CostModel,
+                 capacity_pages: int, eviction_seed: int = 0,
+                 eviction_policy: str = "fair") -> None:
+        if capacity_pages <= 0:
+            raise ValueError("capacity must be positive")
+        if eviction_policy not in ("fair", "uniform"):
+            raise ValueError("eviction_policy must be 'fair' or 'uniform'")
+        self.device = device
+        self.model = model
+        self.capacity_pages = capacity_pages
+        #: "fair" accepts a victim with probability proportional to its
+        #: page count (Section III-G); "uniform" treats every extent as
+        #: equally evictable (the ablation baseline).
+        self.eviction_policy = eviction_policy
+        self.stats = PoolStats()
+        self._frames: dict[int, ExtentFrame] = {}
+        self._used_pages = 0
+        self._clockhand = 0
+        self._rng = random.Random(eviction_seed)
+        self._max_extent_pages = 1
+
+    # -- residency -----------------------------------------------------------
+
+    @property
+    def used_pages(self) -> int:
+        return self._used_pages
+
+    def is_resident(self, head_pid: int) -> bool:
+        return head_pid in self._frames
+
+    def get_frame(self, head_pid: int) -> ExtentFrame | None:
+        frame = self._frames.get(head_pid)
+        if frame is not None:
+            self._translate(frame.npages)
+            self._touch(frame)
+        return frame
+
+    def _touch(self, frame: ExtentFrame) -> None:
+        self._clockhand += 1
+        frame.last_use = self._clockhand
+
+    def _translate(self, npages: int) -> None:
+        """Charge the page-translation cost; subclass-specific."""
+        raise NotImplementedError
+
+    # -- allocation of fresh frames ----------------------------------------------
+
+    def allocate_frame(self, head_pid: int, npages: int, *,
+                       prevent_evict: bool = True) -> ExtentFrame:
+        """Create a frame for a newly allocated extent (no device read).
+
+        Freshly allocated BLOB extents are protected from eviction until
+        their commit-time flush completes (Section III-C).
+        """
+        if head_pid in self._frames:
+            raise ValueError(f"extent {head_pid} already resident")
+        self._make_room(npages)
+        frame = ExtentFrame(head_pid=head_pid, npages=npages,
+                            page_size=self.device.page_size,
+                            prevent_evict=prevent_evict)
+        self._frames[head_pid] = frame
+        self._used_pages += npages
+        self._max_extent_pages = max(self._max_extent_pages, npages)
+        self._touch(frame)
+        return frame
+
+    # -- reads ------------------------------------------------------------------
+
+    def fetch_extents(self, ranges: list[tuple[int, int]],
+                      pin: bool = True) -> list[ExtentFrame]:
+        """Ensure all extents are resident; misses load in ONE async batch.
+
+        This is the paper's read path: "allocates N buffer frames for all
+        those extents and reads the extents using a single asynchronous
+        IO system call" (Section III-D).
+        """
+        missing: list[tuple[int, int]] = []
+        for pid, npages in ranges:
+            frame = self._frames.get(pid)
+            self._translate(npages)
+            if frame is None:
+                self.stats.misses += 1
+                missing.append((pid, npages))
+            else:
+                self.stats.hits += 1
+        if missing:
+            self._make_room(sum(n for _, n in missing))
+            requests = [IoRequest(pid=pid, npages=n) for pid, n in missing]
+            self.model.syscall("io_submit")
+            payloads = self.device.submit(requests)
+            for (pid, npages), payload in zip(missing, payloads):
+                frame = ExtentFrame(head_pid=pid, npages=npages,
+                                    page_size=self.device.page_size,
+                                    data=bytearray(payload))
+                self._frames[pid] = frame
+                self._used_pages += npages
+                self._max_extent_pages = max(self._max_extent_pages, npages)
+        frames = []
+        for pid, _ in ranges:
+            frame = self._frames[pid]
+            self._touch(frame)
+            if pin:
+                frame.pins += 1
+            frames.append(frame)
+        return frames
+
+    def unpin(self, frames: list[ExtentFrame]) -> None:
+        for frame in frames:
+            if frame.pins <= 0:
+                raise RuntimeError(f"frame {frame.head_pid} is not pinned")
+            frame.pins -= 1
+
+    def read_blob(self, ranges: list[tuple[int, int]], size: int,
+                  worker_id: int = 0) -> BlobView:
+        """Present a possibly multi-extent BLOB as contiguous memory."""
+        raise NotImplementedError
+
+    # -- write-back and eviction ---------------------------------------------------
+
+    def write_back(self, frame: ExtentFrame, category: str = "data") -> int:
+        """Flush the frame's dirty page range; returns bytes written."""
+        if not frame.is_dirty:
+            return 0
+        payload = frame.dirty_slice()
+        self.device.write(frame.head_pid + frame.dirty_from, payload,
+                          category=category)
+        frame.clean()
+        self.stats.writebacks += 1
+        return len(payload)
+
+    def flush_batch(self, frames: list[ExtentFrame], category: str = "data",
+                    background: bool = False) -> int:
+        """Flush many frames' dirty ranges as one async batch.
+
+        ``background=True`` models work a group committer / checkpointer
+        performs off the critical path.
+        """
+        requests = []
+        total = 0
+        for frame in frames:
+            if not frame.is_dirty:
+                continue
+            payload = frame.dirty_slice()
+            requests.append(IoRequest(
+                pid=frame.head_pid + frame.dirty_from,
+                npages=frame.dirty_pages, data=payload, category=category))
+            total += len(payload)
+            frame.clean()
+            self.stats.writebacks += 1
+        if requests:
+            if not background:
+                self.model.syscall("io_submit")
+            self.device.submit(requests, background=background)
+        return total
+
+    def flush_all_dirty(self, category: str = "data",
+                        background: bool = True,
+                        skip_protected: bool = True) -> int:
+        """Checkpoint helper: flush every dirty, unprotected frame."""
+        victims = [f for f in self._frames.values()
+                   if f.is_dirty and not (skip_protected and f.prevent_evict)]
+        return self.flush_batch(victims, category=category,
+                                background=background)
+
+    def drop(self, head_pid: int) -> None:
+        """Remove an extent from the pool (deleted BLOBs); must be clean."""
+        frame = self._frames.pop(head_pid, None)
+        if frame is not None:
+            self._used_pages -= frame.npages
+
+    def _make_room(self, npages: int) -> None:
+        if npages > self.capacity_pages:
+            raise ValueError(
+                f"extent batch of {npages} pages exceeds pool capacity "
+                f"{self.capacity_pages}")
+        guard = 0
+        while self._used_pages + npages > self.capacity_pages:
+            if not self._evict_one(force=guard > 2 * len(self._frames) + 8):
+                guard += 1
+                if guard > 4 * len(self._frames) + 16:
+                    raise RuntimeError(
+                        "buffer pool wedged: everything pinned or protected")
+
+    def _evict_one(self, force: bool = False) -> bool:
+        """Fair (size-weighted) eviction of one extent (Section III-G).
+
+        An N-page extent is accepted with probability proportional to N:
+        ``rand(MAX_EXT_SIZE) < extent_size`` — so large extents leave the
+        pool N times more readily than single pages.
+        """
+        candidates = list(self._frames.values())
+        if not candidates:
+            return False
+        self._rng.shuffle(candidates)
+        for frame in candidates:
+            if frame.prevent_evict or frame.pins > 0:
+                continue
+            if self.eviction_policy == "fair":
+                accept = force or \
+                    self._rng.randrange(self._max_extent_pages) < frame.npages
+            else:
+                accept = True
+            if not accept:
+                continue
+            if frame.is_dirty:
+                self.write_back(frame)
+            del self._frames[frame.head_pid]
+            self._used_pages -= frame.npages
+            self.stats.evictions += 1
+            return True
+        return False
+
+    def drop_all_volatile(self) -> None:
+        """Crash simulation: all frames vanish without write-back."""
+        self._frames.clear()
+        self._used_pages = 0

@@ -1,0 +1,36 @@
+"""The paper's primary contribution: single-flush BLOB storage.
+
+Subsystems (paper Section III):
+
+* :mod:`repro.core.tier` — the extent-tier size formula and its
+  Power-of-Two / Fibonacci baselines (III-A).
+* :mod:`repro.core.extent` — extent sequences and tail extents (III-A).
+* :mod:`repro.core.blob_state` — the single-indirection Blob State (III-B).
+* :mod:`repro.core.allocator` — per-tier free lists and extent reuse (III-D).
+* :mod:`repro.core.comparator` — the incremental Blob State comparator (III-F).
+* :mod:`repro.core.blob_manager` — create/read/grow/update/delete (III-C/D).
+* :mod:`repro.core.log_policy` — asynchronous single-flush BLOB logging and
+  the ``physlog`` baseline (III-C, V-B).
+* :mod:`repro.core.recovery` — analysis/redo/undo with SHA-256 validation
+  (III-C "BLOB Recoverability").
+"""
+
+from repro.core.tier import ExtentTier, PowerOfTwoTier, FibonacciTier
+from repro.core.extent import Extent, TailExtent, plan_create, plan_growth
+from repro.core.blob_state import BlobState
+from repro.core.allocator import ExtentAllocator, StorageFull
+from repro.core.comparator import BlobStateComparator
+
+__all__ = [
+    "ExtentTier",
+    "PowerOfTwoTier",
+    "FibonacciTier",
+    "Extent",
+    "TailExtent",
+    "plan_create",
+    "plan_growth",
+    "BlobState",
+    "ExtentAllocator",
+    "StorageFull",
+    "BlobStateComparator",
+]

@@ -1,0 +1,168 @@
+"""Extent allocation with per-tier free lists (Sections III-A and III-D).
+
+Because extent sizes are static per tier, reuse needs only one free list
+per tier: deletion pushes head PIDs onto a transaction-local list, commit
+publishes them to the per-tier free lists, and later allocations pop from
+the free list before extending the high-water mark.  This is the design
+Figure 11 evaluates: recycling stays cheap at any storage utilization.
+
+Tail extents are arbitrary-sized; their space is kept in a size-keyed
+free map and reused on exact size match (first-fit on equal size), which
+is sufficient because tail sizes repeat under stable workloads.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass
+
+from repro.core.extent import AllocationPlan, Extent, TailExtent
+from repro.core.tier import TierTable
+
+
+class StorageFull(Exception):
+    """No free extent and no room left to extend the data area."""
+
+
+@dataclass
+class AllocatorStats:
+    """Counters exposed to the recycling experiment (Fig. 11)."""
+
+    fresh_extents: int = 0
+    reused_extents: int = 0
+    freed_extents: int = 0
+
+    @property
+    def reuse_ratio(self) -> float:
+        total = self.fresh_extents + self.reused_extents
+        return self.reused_extents / total if total else 0.0
+
+
+class ExtentAllocator:
+    """Bump allocator over a page range plus per-tier free lists."""
+
+    def __init__(self, tiers: TierTable, first_pid: int,
+                 capacity_pages: int) -> None:
+        if capacity_pages <= 0:
+            raise ValueError("capacity must be positive")
+        self.tiers = tiers
+        self.first_pid = first_pid
+        self.capacity_pages = capacity_pages
+        self._next_pid = first_pid
+        self._free: dict[int, list[int]] = defaultdict(list)       # tier -> pids
+        self._free_tails: dict[int, list[int]] = defaultdict(list)  # npages -> pids
+        self._free_pages = 0
+        self.stats = AllocatorStats()
+
+    # -- capacity ------------------------------------------------------------
+
+    @property
+    def end_pid(self) -> int:
+        return self.first_pid + self.capacity_pages
+
+    @property
+    def allocated_pages(self) -> int:
+        """Pages currently handed out (bump minus recycled free space)."""
+        return (self._next_pid - self.first_pid) - self._free_pages
+
+    def utilization(self) -> float:
+        return self.allocated_pages / self.capacity_pages
+
+    def _bump(self, npages: int) -> int:
+        if self._next_pid + npages > self.end_pid:
+            raise StorageFull(
+                f"need {npages} pages, {self.end_pid - self._next_pid} left")
+        pid = self._next_pid
+        self._next_pid += npages
+        return pid
+
+    # -- allocation -------------------------------------------------------------
+
+    def allocate_extent(self, tier_index: int) -> Extent:
+        """Allocate one extent of the given tier (free list first)."""
+        npages = self.tiers.size(tier_index)
+        free = self._free.get(tier_index)
+        if free:
+            pid = free.pop()
+            self._free_pages -= npages
+            self.stats.reused_extents += 1
+        else:
+            pid = self._bump(npages)
+            self.stats.fresh_extents += 1
+        return Extent(pid=pid, npages=npages, tier_index=tier_index)
+
+    def allocate_tail(self, npages: int) -> TailExtent:
+        """Allocate one arbitrarily-sized tail extent."""
+        if npages <= 0:
+            raise ValueError("tail extent needs at least one page")
+        free = self._free_tails.get(npages)
+        if free:
+            pid = free.pop()
+            self._free_pages -= npages
+            self.stats.reused_extents += 1
+        else:
+            pid = self._bump(npages)
+            self.stats.fresh_extents += 1
+        return TailExtent(pid=pid, npages=npages)
+
+    def allocate_plan(self, plan: AllocationPlan) \
+            -> tuple[list[Extent], TailExtent | None]:
+        """Allocate everything an :class:`AllocationPlan` asks for."""
+        extents = [self.allocate_extent(i) for i in plan.tier_indices]
+        tail = self.allocate_tail(plan.tail_pages) if plan.tail_pages else None
+        return extents, tail
+
+    # -- deallocation ---------------------------------------------------------------
+
+    def free_extents(self, extents: list[Extent]) -> None:
+        """Publish deleted tiered extents to the per-tier free lists.
+
+        Called at transaction commit with the transaction's temporary
+        free list (Section III-D "BLOB deletion and extent reusability").
+        """
+        for extent in extents:
+            self._free[extent.tier_index].append(extent.pid)
+            self._free_pages += extent.npages
+            self.stats.freed_extents += 1
+
+    def free_tail(self, tail: TailExtent) -> None:
+        self._free_tails[tail.npages].append(tail.pid)
+        self._free_pages += tail.npages
+        self.stats.freed_extents += 1
+
+    def free_list_length(self, tier_index: int) -> int:
+        return len(self._free.get(tier_index, ()))
+
+    # -- checkpoint / recovery support -----------------------------------------
+
+    def snapshot(self) -> tuple[int, dict[int, list[int]], dict[int, list[int]]]:
+        """State persisted by a checkpoint: bump pointer and free lists."""
+        return (self._next_pid,
+                {t: list(p) for t, p in self._free.items() if p},
+                {n: list(p) for n, p in self._free_tails.items() if p})
+
+    def restore(self, next_pid: int, free_extents: dict[int, list[int]],
+                free_tails: dict[int, list[int]]) -> None:
+        """Reset to a snapshot (used when loading a checkpoint)."""
+        if not (self.first_pid <= next_pid <= self.end_pid):
+            raise ValueError(f"bump pointer {next_pid} outside data area")
+        self._next_pid = next_pid
+        self._free = defaultdict(list, {t: list(p)
+                                        for t, p in free_extents.items()})
+        self._free_tails = defaultdict(list, {n: list(p)
+                                              for n, p in free_tails.items()})
+        self._free_pages = (
+            sum(self.tiers.size(t) * len(p) for t, p in self._free.items())
+            + sum(n * len(p) for n, p in self._free_tails.items()))
+
+    def note_allocated(self, pid: int, npages: int, tier_index: int | None,
+                       end_pid: int) -> None:
+        """Recovery: mark an extent seen in a live Blob State as in use."""
+        if tier_index is not None and pid in self._free.get(tier_index, ()):
+            self._free[tier_index].remove(pid)
+            self._free_pages -= npages
+        elif tier_index is None and pid in self._free_tails.get(npages, ()):
+            self._free_tails[npages].remove(pid)
+            self._free_pages -= npages
+        if end_pid > self._next_pid:
+            self._next_pid = min(end_pid, self.end_pid)

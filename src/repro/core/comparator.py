@@ -1,0 +1,96 @@
+"""Incremental Blob State comparator (Section III-F).
+
+Index structures order Blob States *by BLOB content* without storing the
+content in the index.  Comparisons are resolved as cheaply as possible:
+
+1. **SHA-256 equality** — identical digests mean identical content
+   (point-query fast path; see the paper's footnote on SHA-256's
+   practical collision resistance).
+2. **Embedded prefix** — the first 32 bytes stored in the Blob State
+   decide most range comparisons without touching the BLOB.
+3. **Incremental extent comparison** — only when both prefixes match are
+   the extents dereferenced, one extent at a time, stopping at the first
+   difference.
+4. **Size tiebreak** — if one BLOB is a prefix of the other, the shorter
+   one sorts first.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.core.blob_state import PREFIX_LEN, BlobState
+
+#: Yields the BLOB's logical content one extent at a time.
+ChunkReader = Callable[[BlobState], Iterator[bytes]]
+
+
+@dataclass
+class ComparatorStats:
+    """How often each escalation level resolved a comparison."""
+
+    sha_hits: int = 0
+    prefix_hits: int = 0
+    deep_compares: int = 0
+    size_tiebreaks: int = 0
+
+
+class BlobStateComparator:
+    """Three-way comparator over Blob States ordered by BLOB content."""
+
+    def __init__(self, read_chunks: ChunkReader) -> None:
+        self._read_chunks = read_chunks
+        self.stats = ComparatorStats()
+
+    def equal(self, a: BlobState, b: BlobState) -> bool:
+        """Point-query equality: one digest comparison, no BLOB access."""
+        return a.sha256 == b.sha256
+
+    def compare(self, a: BlobState, b: BlobState) -> int:
+        """Return <0, 0, >0 ordering ``a`` against ``b`` by content."""
+        if a.sha256 == b.sha256:
+            self.stats.sha_hits += 1
+            return 0
+        n = min(len(a.prefix), len(b.prefix))
+        if a.prefix[:n] != b.prefix[:n]:
+            self.stats.prefix_hits += 1
+            return -1 if a.prefix[:n] < b.prefix[:n] else 1
+        if len(a.prefix) != len(b.prefix):
+            # One BLOB is shorter than PREFIX_LEN and a strict prefix of
+            # the other's prefix: the shorter sorts first.
+            self.stats.size_tiebreaks += 1
+            return -1 if len(a.prefix) < len(b.prefix) else 1
+        if len(a.prefix) < PREFIX_LEN:
+            # Both fit inside the prefix and the prefixes are equal, yet
+            # the digests differ — impossible unless states are corrupt.
+            raise ValueError("equal short prefixes with different digests")
+        return self._deep_compare(a, b)
+
+    def _deep_compare(self, a: BlobState, b: BlobState) -> int:
+        """Compare extent-by-extent; never materializes both BLOBs."""
+        self.stats.deep_compares += 1
+        iter_a = _byte_windows(self._read_chunks(a))
+        iter_b = _byte_windows(self._read_chunks(b))
+        buf_a = buf_b = b""
+        while True:
+            if not buf_a:
+                buf_a = next(iter_a, b"")
+            if not buf_b:
+                buf_b = next(iter_b, b"")
+            if not buf_a or not buf_b:
+                break
+            n = min(len(buf_a), len(buf_b))
+            if buf_a[:n] != buf_b[:n]:
+                return -1 if buf_a[:n] < buf_b[:n] else 1
+            buf_a, buf_b = buf_a[n:], buf_b[n:]
+        self.stats.size_tiebreaks += 1
+        if a.size == b.size:
+            return 0
+        return -1 if a.size < b.size else 1
+
+
+def _byte_windows(chunks: Iterator[bytes]) -> Iterator[bytes]:
+    for chunk in chunks:
+        if chunk:
+            yield bytes(chunk)

@@ -1,0 +1,108 @@
+"""Extents, tail extents, and extent-sequence planning (Section III-A).
+
+A BLOB is stored as an *extent sequence*: extents of statically-tiered
+sizes (see :mod:`repro.core.tier`), optionally finished by one
+arbitrarily-sized *tail extent* that eliminates internal fragmentation
+for static BLOBs at the cost of slower growth (Section III-H).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.tier import TierTable
+
+
+@dataclass(frozen=True)
+class Extent:
+    """A contiguous run of physical pages belonging to a tier."""
+
+    pid: int
+    npages: int
+    tier_index: int
+
+    def __post_init__(self) -> None:
+        if self.pid < 0 or self.npages <= 0 or self.tier_index < 0:
+            raise ValueError(f"invalid extent {self}")
+
+
+@dataclass(frozen=True)
+class TailExtent:
+    """One arbitrarily-sized extent replacing the last tiered extent."""
+
+    pid: int
+    npages: int
+
+    def __post_init__(self) -> None:
+        if self.pid < 0 or self.npages <= 0:
+            raise ValueError(f"invalid tail extent {self}")
+
+
+@dataclass(frozen=True)
+class AllocationPlan:
+    """What to allocate for a create or grow operation.
+
+    ``tier_indices`` are the tiered extents to allocate (in order), and
+    ``tail_pages`` is the size of a tail extent or 0 when none is used.
+    """
+
+    tier_indices: tuple[int, ...]
+    tail_pages: int
+
+    def capacity_pages(self, tiers: TierTable) -> int:
+        return sum(tiers.size(i) for i in self.tier_indices) + self.tail_pages
+
+
+def plan_create(npages: int, tiers: TierTable, *,
+                use_tail: bool = False) -> AllocationPlan:
+    """Plan the smallest extent sequence for a new ``npages``-page BLOB.
+
+    Without a tail extent, leading tiers ``0..k`` are taken until their
+    capacity covers the BLOB (Figure 1(a)).  With ``use_tail``, tiers are
+    taken only while they still fit *entirely* below the BLOB size and the
+    exact remainder becomes the tail (Figure 1(b)) — zero wasted pages.
+    """
+    if npages <= 0:
+        raise ValueError("BLOB must span at least one page")
+    if not use_tail:
+        k = tiers.tiers_for_pages(npages)
+        return AllocationPlan(tier_indices=tuple(range(k)), tail_pages=0)
+    total = 0
+    indices: list[int] = []
+    i = 0
+    while total + tiers.size(i) < npages:
+        total += tiers.size(i)
+        indices.append(i)
+        i += 1
+    return AllocationPlan(tier_indices=tuple(indices), tail_pages=npages - total)
+
+
+def plan_growth(current_extents: int, current_capacity: int,
+                new_total_pages: int, tiers: TierTable) -> AllocationPlan:
+    """Plan the extra tiered extents needed to grow to ``new_total_pages``.
+
+    The sequence already holds ``current_extents`` tiered extents with
+    ``current_capacity`` pages; growth appends tiers
+    ``current_extents, current_extents+1, ...`` until capacity suffices
+    (Figure 3).  Tail-extent BLOBs must be converted by the caller first
+    (clone the tail into a tiered extent, Section III-D).
+    """
+    if new_total_pages <= current_capacity:
+        return AllocationPlan(tier_indices=(), tail_pages=0)
+    total = current_capacity
+    indices: list[int] = []
+    i = current_extents
+    while total < new_total_pages:
+        total += tiers.size(i)
+        indices.append(i)
+        i += 1
+    return AllocationPlan(tier_indices=tuple(indices), tail_pages=0)
+
+
+def extent_page_ranges(head_pids: list[int], tiers: TierTable,
+                       tail: TailExtent | None = None) -> list[tuple[int, int]]:
+    """Expand head PIDs (+ optional tail) into ``(pid, npages)`` ranges."""
+    ranges = [(pid, tiers.size(i)) for i, pid in enumerate(head_pids)]
+    if tail is not None:
+        ranges.append((tail.pid, tail.npages))
+    return ranges

@@ -1,0 +1,52 @@
+"""Hasher selection: reference pure-Python SHA-256 vs hashlib-backed.
+
+Both produce identical digests and expose the resumable-state interface;
+see :mod:`repro.sha`.  ``resume_or_rehash`` centralizes the fallback the
+fast hasher needs after a simulated crash: when the live intermediate
+state is gone, the BLOB content is re-hashed from scratch (the cost the
+paper's stored intermediate digest normally avoids).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, Protocol
+
+from repro.sha.fast import _TOKEN_PREFIX, FastSha256, StateLost
+from repro.sha.sha256 import Sha256, Sha256State
+
+HASHER_KINDS = ("reference", "fast")
+
+
+class ResumableHasher(Protocol):
+    def update(self, data: bytes) -> None: ...
+    def digest(self) -> bytes: ...
+    def state(self) -> Sha256State: ...
+
+
+def new_hasher(kind: str, data: bytes = b"") -> ResumableHasher:
+    if kind == "reference":
+        return Sha256(data)
+    if kind == "fast":
+        return FastSha256(data)
+    raise ValueError(f"unknown hasher kind {kind!r}; pick from {HASHER_KINDS}")
+
+
+def resume_or_rehash(kind: str, state: Sha256State,
+                     read_existing: Callable[[], Iterable[bytes]]) -> ResumableHasher:
+    """Resume from an intermediate state, re-hashing content if it's lost.
+
+    ``read_existing`` is only invoked on the fallback path; it must yield
+    the BLOB's current content in order.
+    """
+    cls = Sha256 if kind == "reference" else FastSha256
+    try:
+        if kind == "reference" and state.chaining.startswith(_TOKEN_PREFIX):
+            # A fast-hasher token is not a real chaining value; the
+            # reference hasher cannot resume from it.
+            raise StateLost("token-based state from FastSha256")
+        return cls.resume(state)
+    except StateLost:
+        hasher = cls()
+        for chunk in read_existing():
+            hasher.update(chunk)
+        return hasher

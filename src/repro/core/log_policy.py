@@ -1,0 +1,127 @@
+"""BLOB logging policies (Section III-C, baselines in Section V-B).
+
+* :class:`AsyncBlobLogging` (``Our``) — the paper's contribution: the WAL
+  carries only the Blob State; BLOB content is flushed *once*, directly
+  to its extents, at transaction commit.  Ordering is WAL-first (the Blob
+  State must be durable before the extents, or a crash leaves unusable
+  holes), and freshly written extents stay ``prevent_evict``-protected
+  until the flush completes.
+
+* :class:`PhysicalLogging` (``Our.physlog``) — identical engine, but BLOB
+  content is segmented through the WAL buffer like a conventional DBMS.
+  Content is therefore written **twice** (WAL now, extents later during
+  eviction or checkpoint), the log grows by the BLOB size (more frequent
+  checkpoints), and a transaction whose BLOB rivals the WAL buffer size
+  stalls on synchronous segment flushes — the three costs the paper's
+  Figure 6 measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+
+from repro.buffer.frames import ExtentFrame
+from repro.buffer.pool import BufferPoolBase
+from repro.db.transaction import Transaction
+from repro.wal.records import (
+    BlobChunkRecord,
+    BlobDeltaRecord,
+    TxnAbortRecord,
+    TxnCommitRecord,
+)
+from repro.wal.writer import WalWriter
+
+
+class LogPolicyBase:
+    """Strategy interface: how BLOB content reaches durability."""
+
+    name = "abstract"
+
+    def __init__(self, wal: WalWriter) -> None:
+        self.wal = wal
+
+    def log_blob_content(self, txn: Transaction, table: str, key: bytes,
+                         data: bytes, offset: int,
+                         frames: list[ExtentFrame]) -> None:
+        """Called after BLOB bytes were placed into protected frames."""
+        raise NotImplementedError
+
+    def log_deltas(self, txn: Transaction,
+                   deltas: list[BlobDeltaRecord]) -> None:
+        """In-place update scheme: physical deltas always go to the WAL."""
+        for delta in deltas:
+            self.wal.append(replace(delta, txn_id=txn.txn_id))
+
+    def on_commit(self, txn: Transaction, pool: BufferPoolBase) -> None:
+        """Make the transaction durable and settle its dirty extents."""
+        raise NotImplementedError
+
+    def on_abort(self, txn: Transaction, pool: BufferPoolBase) -> None:
+        self.wal.append(TxnAbortRecord(txn_id=txn.txn_id))
+        self.wal.group_commit_flush()
+
+
+class AsyncBlobLogging(LogPolicyBase):
+    """Single-flush logging: WAL gets metadata, extents get content once."""
+
+    name = "async-blob"
+
+    def log_blob_content(self, txn: Transaction, table: str, key: bytes,
+                         data: bytes, offset: int,
+                         frames: list[ExtentFrame]) -> None:
+        # Content is NOT logged; the frames wait for the commit flush.
+        txn.remember_flush(frames)
+
+    def on_commit(self, txn: Transaction, pool: BufferPoolBase) -> None:
+        self.wal.append(TxnCommitRecord(txn_id=txn.txn_id))
+        # Durability order (Section III-C): the WAL buffer — which holds
+        # the Blob States — is persisted *before* the extents.
+        self.wal.group_commit_flush()
+        pool.flush_batch(txn.pending_flush, category="data", background=True)
+        for frame in txn.pending_flush:
+            frame.prevent_evict = False
+
+
+class PhysicalLogging(LogPolicyBase):
+    """Conventional logging: BLOB content segments through the WAL."""
+
+    name = "physlog"
+
+    def __init__(self, wal: WalWriter, segment_bytes: int | None = None) -> None:
+        super().__init__(wal)
+        #: Segments "to accommodate BLOBs larger than the WAL buffer"
+        #: (Section V-B); defaults to the WAL buffer size.
+        self.segment_bytes = segment_bytes or wal.buffer_bytes
+
+    def log_blob_content(self, txn: Transaction, table: str, key: bytes,
+                         data: bytes, offset: int,
+                         frames: list[ExtentFrame]) -> None:
+        for start in range(0, len(data), self.segment_bytes):
+            piece = data[start:start + self.segment_bytes]
+            self.wal.append(BlobChunkRecord(
+                txn_id=txn.txn_id, table=table, key=key,
+                offset=offset + start, data=piece))
+        # Frames are NOT scheduled for a commit flush: like conventional
+        # engines, the dirty pages are written later by eviction or the
+        # checkpointer — the second write of every BLOB.
+        txn.physlog_frames.extend(frames)
+
+    def on_commit(self, txn: Transaction, pool: BufferPoolBase) -> None:
+        self.wal.append(TxnCommitRecord(txn_id=txn.txn_id))
+        self.wal.group_commit_flush()
+        # Commit-time flush applies only to frames other code explicitly
+        # queued (e.g. clone-updated extents); content-bearing frames stay
+        # dirty but become evictable now that their chunks are durable.
+        pool.flush_batch(txn.pending_flush, category="data", background=True)
+        for frame in txn.pending_flush:
+            frame.prevent_evict = False
+        for frame in txn.physlog_frames:
+            frame.prevent_evict = False
+
+
+def make_policy(name: str, wal: WalWriter) -> LogPolicyBase:
+    if name == "async-blob":
+        return AsyncBlobLogging(wal)
+    if name == "physlog":
+        return PhysicalLogging(wal)
+    raise ValueError(f"unknown log policy {name!r}")

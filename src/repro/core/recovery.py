@@ -1,0 +1,366 @@
+"""Crash recovery: analysis / redo / undo with SHA-256 validation.
+
+The paper's recoverability argument (Section III-C): the Blob State is
+forced to the WAL *before* the extents are written, so after a crash the
+Analysis phase can recompute each committed BLOB's SHA-256 from the
+device and compare it against the digest in the logged Blob State.  A
+mismatch means the crash hit the window between WAL durability and the
+extent flush — the transaction is declared *failed* and joins the UNDO
+list, and because its effects are never redone, its extents are never
+marked allocated: the "unusable holes" reclaim themselves.
+
+Physical redo comes first (physlog chunk records and in-place delta
+records rewrite device pages), then validation, then logical redo of the
+surviving transactions, then the allocator rebuild from the checkpoint
+snapshot plus the replayed allocation/free deltas.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.blob_state import BlobState
+from repro.core.hashing import new_hasher
+from repro.core.tier import TierTable
+from repro.db.catalog import CatalogSnapshot, Superblock, decode_value
+from repro.db.config import EngineConfig
+from repro.sim.cost import CostModel
+from repro.storage.device import SimulatedNVMe
+from repro.wal.records import (
+    BlobChunkRecord,
+    BlobDeltaRecord,
+    DeleteRecord,
+    InsertRecord,
+    TxnAbortRecord,
+    TxnBeginRecord,
+    TxnCommitRecord,
+    UpdateRecord,
+    decode_records_with_seq,
+)
+
+
+@dataclass
+class RecoveredState:
+    """Everything needed to restart the engine."""
+
+    tables: dict[str, dict[bytes, object]] = field(default_factory=dict)
+    allocator_next_pid: int = 0
+    free_extents: dict[int, list[int]] = field(default_factory=dict)
+    free_tails: dict[int, list[int]] = field(default_factory=dict)
+    next_txn_id: int = 1
+    checkpoint_id: int = 0
+    #: Committed-in-WAL transactions whose BLOB content failed validation.
+    failed_txns: list[int] = field(default_factory=list)
+    #: Highest valid WAL frame sequence; the new WAL continues above it.
+    wal_max_seq: int = 0
+
+
+def recover_state(device: SimulatedNVMe, config: EngineConfig,
+                  model: CostModel, tiers: TierTable) -> RecoveredState:
+    """Run the full recovery pipeline against a crashed device."""
+    state = RecoveredState(allocator_next_pid=config.data_start_pid)
+    snapshot = _load_snapshot(device, config)
+    if snapshot is not None:
+        state.checkpoint_id = snapshot.checkpoint_id
+        state.next_txn_id = snapshot.next_txn_id
+        state.allocator_next_pid = snapshot.allocator_next_pid
+        state.free_extents = {t: list(p)
+                              for t, p in snapshot.free_extents.items()}
+        state.free_tails = {n: list(p)
+                            for n, p in snapshot.free_tails.items()}
+        for name, rows in snapshot.tables.items():
+            state.tables[name] = {k: decode_value(v) for k, v in rows}
+
+    records, state.wal_max_seq = _read_wal(device, config)
+    committed, aborted, seen_txns = _analyze_outcomes(records)
+    if seen_txns:
+        state.next_txn_id = max(state.next_txn_id, max(seen_txns) + 1)
+
+    # Analysis: validate the BLOB content each key would end up with.
+    # A digest mismatch first triggers *repair-on-demand* — replaying the
+    # key's physical WAL records (physlog chunks, in-place deltas) and
+    # re-checking — because those records exist precisely to redo writes
+    # whose extent flush the crash interrupted.  Repair is keyed, never
+    # blanket: pages that later transactions legitimately reused for
+    # other BLOBs are left alone.  If repair cannot restore the digest,
+    # the writing transaction is declared *failed*; the live value then
+    # falls back to an earlier version, which is re-validated (fixpoint)
+    # — the paper's UNDO list for torn BLOB flushes.
+    snapshot_tables = {name: dict(rows) for name, rows in state.tables.items()}
+    failed: set[int] = set()
+    repaired: set[tuple[str, bytes, int]] = set()
+    verified: set[tuple[str, bytes, int]] = set()
+    #: Successful repair overlays, held back until the fixpoint settles:
+    #: writing one early would poison fallback validation if its
+    #: transaction is later failed by a *different* key.
+    overlays: dict[tuple[str, bytes], tuple[int, dict]] = {}
+    while True:
+        valid = committed - failed
+        live = _compute_live(snapshot_tables, records, valid)
+        newly: set[int] = set()
+        for (table, key), (txn_id, value) in live.items():
+            if txn_id is None or txn_id in failed or txn_id in newly:
+                continue
+            if not isinstance(value, BlobState):
+                continue
+            mark = (table, key, txn_id)
+            if mark in verified:
+                continue
+            if _content_valid(device, model, tiers, config.page_size, value):
+                verified.add(mark)
+                continue
+            if mark not in repaired:
+                repaired.add(mark)
+                overlay = _repair_key(device, records, valid, tiers,
+                                      table, key, value)
+                if overlay and _content_valid(device, model, tiers,
+                                              config.page_size, value,
+                                              overlay=overlay):
+                    verified.add(mark)
+                    overlays[(table, key)] = (txn_id, overlay)
+                    continue
+            newly.add(txn_id)
+        if not newly:
+            break
+        failed |= newly
+    state.failed_txns = sorted(failed)
+    valid = committed - failed
+
+    # Fixpoint settled: commit the overlays of still-valid live owners.
+    final_live = _compute_live(snapshot_tables, records, valid)
+    for (table, key), (txn_id, overlay) in overlays.items():
+        owner = final_live.get((table, key), (None, None))[0]
+        if txn_id in valid and owner == txn_id:
+            for pid, image in overlay.items():
+                device.write(pid, bytes(image), category="data")
+
+    # Logical redo + allocator delta replay, in log order.
+    _redo_logical(state, records, valid, tiers, config)
+    return state
+
+
+def _load_snapshot(device: SimulatedNVMe,
+                   config: EngineConfig) -> CatalogSnapshot | None:
+    try:
+        super_block = Superblock.deserialize(device.read(0, 1))
+    except ValueError:
+        return None
+    if super_block.active_slot < 0:
+        return None
+    slot_pid = (config.catalog_a_pid if super_block.active_slot == 0
+                else config.catalog_b_pid)
+    ps = device.page_size
+    npages = (super_block.catalog_len + ps - 1) // ps
+    raw = device.read(slot_pid, npages)[:super_block.catalog_len]
+    return CatalogSnapshot.deserialize(raw)
+
+
+def _read_wal(device: SimulatedNVMe,
+              config: EngineConfig) -> tuple[list, int]:
+    raw = device.read(config.wal_region_pid, config.wal_pages)
+    records = []
+    max_seq = 0
+    for seq, record in decode_records_with_seq(raw):
+        records.append(record)
+        max_seq = seq
+    return records, max_seq
+
+
+def _compute_live(snapshot_tables: dict[str, dict[bytes, object]], records,
+                  valid: set[int]) -> dict:
+    """Final value per key after replaying ``valid`` txns onto the
+    snapshot; values are ``(writing_txn_id, value)`` with ``None`` for
+    snapshot-provided values (already durable before the checkpoint)."""
+    live: dict[tuple[str, bytes], tuple[int | None, object]] = {}
+    for name, rows in snapshot_tables.items():
+        for key, value in rows.items():
+            live[(name, key)] = (None, value)
+    for record in records:
+        txn_id = getattr(record, "txn_id", None)
+        if txn_id not in valid:
+            continue
+        if isinstance(record, InsertRecord):
+            live[(record.table, record.key)] = \
+                (txn_id, decode_value(record.value))
+        elif isinstance(record, UpdateRecord):
+            live[(record.table, record.key)] = \
+                (txn_id, decode_value(record.new_value))
+        elif isinstance(record, DeleteRecord):
+            live.pop((record.table, record.key), None)
+    return live
+
+
+def _analyze_outcomes(records) -> tuple[set[int], set[int], set[int]]:
+    committed: set[int] = set()
+    aborted: set[int] = set()
+    seen: set[int] = set()
+    for record in records:
+        txn_id = getattr(record, "txn_id", None)
+        if txn_id is not None:
+            seen.add(txn_id)
+        if isinstance(record, TxnCommitRecord):
+            committed.add(record.txn_id)
+        elif isinstance(record, TxnAbortRecord):
+            aborted.add(record.txn_id)
+    return committed - aborted, aborted, seen
+
+
+def _repair_key(device: SimulatedNVMe, records, valid: set[int],
+                tiers: TierTable, table: str, key: bytes,
+                live_state: BlobState) -> dict[int, bytearray]:
+    """Replay one key's physical WAL records into an overlay.
+
+    Applies, in log order, every chunk (physlog content) and in-place
+    delta that a still-valid committed transaction logged for this key.
+    Only pages addressed by those records are touched, so BLOBs that
+    later reused unrelated freed extents are unaffected.  The overlay is
+    returned — the caller validates through it and writes it to the
+    device only if the digest checks out (repairs never corrupt).
+    """
+    ps = device.page_size
+    page_images: dict[int, bytearray] = {}
+
+    def page(pid: int) -> bytearray:
+        if pid not in page_images:
+            page_images[pid] = bytearray(device.read(pid, 1))
+        return page_images[pid]
+
+    live_heads = {pid for pid, _ in live_state.page_ranges(tiers)}
+    for record in records:
+        if getattr(record, "txn_id", None) not in valid:
+            continue
+        if isinstance(record, BlobDeltaRecord) and \
+                record.table == table and record.key == key:
+            # A delta from an older incarnation of this key may address
+            # pages that were freed and reused by *other* BLOBs since;
+            # only deltas targeting the live extents are applicable.
+            if record.pid in live_heads:
+                _apply_span(page, ps, record.pid, record.offset, record.data)
+        elif isinstance(record, BlobChunkRecord) and \
+                record.table == table and record.key == key:
+            _apply_logical(page, ps, tiers, live_state, record.offset,
+                           record.data)
+    return page_images
+
+
+def _apply_span(page, page_size: int, pid: int, offset: int,
+                data: bytes) -> None:
+    """Write ``data`` starting at byte ``offset`` of page ``pid``."""
+    pos = 0
+    while pos < len(data):
+        pid_off, byte_off = divmod(offset + pos, page_size)
+        take = min(page_size - byte_off, len(data) - pos)
+        page(pid + pid_off)[byte_off:byte_off + take] = data[pos:pos + take]
+        pos += take
+
+
+def _apply_logical(page, page_size: int, tiers: TierTable, state: BlobState,
+                   offset: int, data: bytes) -> None:
+    """Write ``data`` at a logical BLOB offset through the extent map."""
+    logical = 0
+    for pid, npages in state.page_ranges(tiers):
+        ext_bytes = npages * page_size
+        lo = max(logical, offset)
+        hi = min(logical + ext_bytes, offset + len(data))
+        if lo < hi:
+            _apply_span(page, page_size, pid, lo - logical,
+                        data[lo - offset:hi - offset])
+        logical += ext_bytes
+
+
+def _content_valid(device, model, tiers, page_size, state: BlobState,
+                   overlay: dict[int, bytearray] | None = None) -> bool:
+    """Digest-check a state's content, optionally through a repair
+    overlay of not-yet-committed page images."""
+    hasher = new_hasher("fast")
+    remaining = state.size
+    for pid, npages in state.page_ranges(tiers):
+        if remaining <= 0:
+            break
+        raw = device.read(pid, npages)
+        if overlay:
+            patched = bytearray(raw)
+            for i in range(npages):
+                image = overlay.get(pid + i)
+                if image is not None:
+                    patched[i * page_size:(i + 1) * page_size] = image
+            raw = bytes(patched)
+        take = min(remaining, npages * page_size)
+        hasher.update(raw[:take])
+        remaining -= take
+    model.hash_bytes(state.size)
+    return hasher.digest() == state.sha256
+
+
+def _redo_logical(state: RecoveredState, records, valid: set[int],
+                  tiers: TierTable, config: EngineConfig) -> None:
+    free_sets: dict[int, set[int]] = {t: set(p)
+                                      for t, p in state.free_extents.items()}
+    tail_sets: dict[int, set[int]] = {n: set(p)
+                                      for n, p in state.free_tails.items()}
+    next_pid = state.allocator_next_pid
+
+    def mark_allocated(blob: BlobState) -> None:
+        nonlocal next_pid
+        for i, pid in enumerate(blob.extent_pids):
+            npages = tiers.size(i)
+            free_sets.get(i, set()).discard(pid)
+            next_pid = max(next_pid, pid + npages)
+        if blob.tail_extent is not None:
+            tail = blob.tail_extent
+            tail_sets.get(tail.npages, set()).discard(tail.pid)
+            next_pid = max(next_pid, tail.pid + tail.npages)
+
+    def mark_freed(blob: BlobState) -> None:
+        nonlocal next_pid
+        for i, pid in enumerate(blob.extent_pids):
+            free_sets.setdefault(i, set()).add(pid)
+            next_pid = max(next_pid, pid + tiers.size(i))
+        if blob.tail_extent is not None:
+            tail = blob.tail_extent
+            tail_sets.setdefault(tail.npages, set()).add(tail.pid)
+            next_pid = max(next_pid, tail.pid + tail.npages)
+
+    for record in records:
+        if isinstance(record, TxnBeginRecord):
+            continue
+        txn_id = getattr(record, "txn_id", None)
+        if txn_id is not None and txn_id not in valid:
+            continue
+        if isinstance(record, InsertRecord):
+            value = decode_value(record.value)
+            if record.table == "\x00tables":
+                state.tables.setdefault(record.key.decode(), {})
+            state.tables.setdefault(record.table, {})[record.key] = value
+            if isinstance(value, BlobState):
+                mark_allocated(value)
+        elif isinstance(record, UpdateRecord):
+            old = decode_value(record.old_value)
+            new = decode_value(record.new_value)
+            state.tables.setdefault(record.table, {})[record.key] = new
+            if isinstance(new, BlobState):
+                mark_allocated(new)
+            if isinstance(old, BlobState) and isinstance(new, BlobState):
+                # Extents present in the old state but not the new one
+                # were released by the update (clone scheme, tail clone).
+                old_pids = set(old.extent_pids)
+                new_pids = set(new.extent_pids)
+                for i, pid in enumerate(old.extent_pids):
+                    if pid not in new_pids:
+                        free_sets.setdefault(i, set()).add(pid)
+                if old.tail_extent is not None and \
+                        old.tail_extent != new.tail_extent:
+                    tail_sets.setdefault(old.tail_extent.npages,
+                                         set()).add(old.tail_extent.pid)
+        elif isinstance(record, DeleteRecord):
+            old = decode_value(record.old_value)
+            state.tables.setdefault(record.table, {}).pop(record.key, None)
+            if isinstance(old, BlobState):
+                mark_freed(old)
+
+    state.tables.setdefault("\x00tables", {})
+    for name in list(state.tables["\x00tables"]):
+        state.tables.setdefault(name.decode(), {})
+    state.free_extents = {t: sorted(p) for t, p in free_sets.items() if p}
+    state.free_tails = {n: sorted(p) for n, p in tail_sets.items() if p}
+    state.allocator_next_pid = min(next_pid, config.device_pages)

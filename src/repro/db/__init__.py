@@ -1,0 +1,43 @@
+"""BlobDB: the transactional engine facade.
+
+This package wires the paper's pieces into a usable database:
+
+* :class:`BlobDB` — tables, ACID transactions, BLOB operations, crash
+  and recovery entry points;
+* :class:`EngineConfig` — every knob the evaluation varies (buffer pool
+  kind, logging policy, tail extents, hasher, worker-local aliasing size);
+* indexes — the Blob State index, the prefix-index baseline, and the
+  semantic (expression) index of Section III-F;
+* 2PL locking on Blob State records (Section III-H).
+"""
+
+from repro.db.config import EngineConfig
+from repro.db.database import BlobDB
+from repro.db.errors import (
+    BlobTooBigError,
+    DatabaseError,
+    DuplicateKeyError,
+    KeyNotFoundError,
+    TableNotFoundError,
+    TransactionConflict,
+    TransactionStateError,
+)
+from repro.db.index import BlobStateIndex, PrefixIndex, SemanticIndex
+from repro.db.transaction import LockTable, Transaction
+
+__all__ = [
+    "BlobDB",
+    "EngineConfig",
+    "Transaction",
+    "LockTable",
+    "BlobStateIndex",
+    "PrefixIndex",
+    "SemanticIndex",
+    "DatabaseError",
+    "TableNotFoundError",
+    "KeyNotFoundError",
+    "DuplicateKeyError",
+    "TransactionConflict",
+    "TransactionStateError",
+    "BlobTooBigError",
+]

@@ -1,0 +1,106 @@
+"""Engine configuration: every knob the paper's evaluation varies."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.hashing import HASHER_KINDS
+
+POOL_KINDS = ("vmcache", "hashtable")
+LOG_POLICIES = ("async-blob", "physlog")
+CONCURRENCY_MODES = ("2pl", "occ")
+
+
+@dataclass
+class EngineConfig:
+    """Configuration of a :class:`~repro.db.database.BlobDB` instance.
+
+    The defaults describe ``Our`` in the paper: vmcache+exmap buffer
+    manager, asynchronous single-flush BLOB logging, 10-tiers-per-level
+    extent tiers, no tail extents.  ``Our.ht`` is ``pool="hashtable"``;
+    ``Our.physlog`` is ``log_policy="physlog"``.
+    """
+
+    page_size: int = 4096
+    #: Total simulated device size in pages (default 256 MiB).
+    device_pages: int = 65536
+    #: Pages of the WAL ring region.
+    wal_pages: int = 2048
+    #: Pages reserved for each of the two catalog checkpoint slots.
+    catalog_pages: int = 1024
+    #: Buffer pool capacity in pages (default 128 MiB).
+    buffer_pool_pages: int = 32768
+    #: WAL buffer in bytes; physlog segments BLOBs through this.
+    wal_buffer_bytes: int = 1 << 20
+    pool: str = "vmcache"
+    log_policy: str = "async-blob"
+    hasher: str = "fast"
+    #: Concurrency control on the Blob State relation (Section III-H):
+    #: strict 2PL with no-wait conflicts, or OCC (reads never block;
+    #: commit-time validation of the read set, Silo-style write markers).
+    concurrency: str = "2pl"
+    #: Structure backing the relations: "btree" (prefix-compressed
+    #: B-Tree) or "art" (adaptive radix tree) — Section III-F: "DBMSs
+    #: can use any data structure like B-Tree or ART".
+    index_structure: str = "btree"
+    use_tail_extents: bool = False
+    tiers_per_level: int = 10
+    max_levels: int = 13
+    n_workers: int = 1
+    #: Worker-local aliasing area in pages (default 16 MiB).
+    worker_local_pages: int = 4096
+    eviction_seed: int = 0
+    #: Checkpoint when the WAL region is this full (background trigger).
+    checkpoint_threshold: float = 0.5
+    #: Out-of-place writes (the paper's Section VI proposal): logical
+    #: PIDs are decoupled from physical addresses, so extent allocation
+    #: never fragments; physical space is exhausted only by live data.
+    out_of_place: bool = False
+    #: Logical address space as a multiple of the physical device when
+    #: ``out_of_place`` is on.
+    logical_space_multiplier: int = 8
+
+    def __post_init__(self) -> None:
+        if self.pool not in POOL_KINDS:
+            raise ValueError(f"pool must be one of {POOL_KINDS}")
+        if self.log_policy not in LOG_POLICIES:
+            raise ValueError(f"log_policy must be one of {LOG_POLICIES}")
+        if self.hasher not in HASHER_KINDS:
+            raise ValueError(f"hasher must be one of {HASHER_KINDS}")
+        if self.concurrency not in CONCURRENCY_MODES:
+            raise ValueError(
+                f"concurrency must be one of {CONCURRENCY_MODES}")
+        if self.index_structure not in ("btree", "art"):
+            raise ValueError("index_structure must be 'btree' or 'art'")
+        if not 0.0 < self.checkpoint_threshold <= 1.0:
+            raise ValueError("checkpoint_threshold must be in (0, 1]")
+        if self.data_pages <= 0:
+            raise ValueError("device too small for the configured regions")
+
+    # -- device layout -------------------------------------------------------
+    #
+    # [0]                superblock
+    # [1 .. C]           catalog slot A
+    # [1+C .. 1+2C]      catalog slot B
+    # [1+2C .. 1+2C+W]   WAL ring
+    # [rest]             data area (extent allocator)
+
+    @property
+    def catalog_a_pid(self) -> int:
+        return 1
+
+    @property
+    def catalog_b_pid(self) -> int:
+        return 1 + self.catalog_pages
+
+    @property
+    def wal_region_pid(self) -> int:
+        return 1 + 2 * self.catalog_pages
+
+    @property
+    def data_start_pid(self) -> int:
+        return self.wal_region_pid + self.wal_pages
+
+    @property
+    def data_pages(self) -> int:
+        return self.device_pages - self.data_start_pid

@@ -1,0 +1,29 @@
+"""Exception hierarchy of the engine."""
+
+
+class DatabaseError(Exception):
+    """Base class for all engine errors."""
+
+
+class TableNotFoundError(DatabaseError):
+    """The referenced table does not exist."""
+
+
+class KeyNotFoundError(DatabaseError):
+    """The referenced key is not present in the table."""
+
+
+class DuplicateKeyError(DatabaseError):
+    """An insert collided with an existing primary key."""
+
+
+class TransactionConflict(DatabaseError):
+    """2PL no-wait: the lock is held by another transaction."""
+
+
+class TransactionStateError(DatabaseError):
+    """The transaction is not in a state that allows the operation."""
+
+
+class BlobTooBigError(DatabaseError):
+    """The BLOB exceeds a configured limit (used by DBMS baselines)."""

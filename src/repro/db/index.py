@@ -1,0 +1,212 @@
+"""Secondary indexes over BLOB content (Section III-F).
+
+* :class:`BlobStateIndex` — the paper's contribution: the index stores
+  *Blob States* ordered by BLOB content through the incremental
+  comparator.  No content is copied into the index, point queries compare
+  digests, range queries usually stop at the embedded prefix.
+* :class:`PrefixIndex` — the MySQL/PostgreSQL-style baseline: the first N
+  bytes of the content are the key, so documents sharing a prefix collide
+  and all but one become unindexable (the paper's 17 % miss rate).
+* :class:`SemanticIndex` — an expression index over a UDF of the content
+  (``CREATE INDEX foo image(classify(content))``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterator
+
+from repro.btree import BTree, BTreeStats
+from repro.core.blob_state import PREFIX_LEN, BlobState
+from repro.core.comparator import BlobStateComparator
+from repro.core.hashing import new_hasher
+from repro.db.database import BlobDB
+
+
+@dataclass(frozen=True)
+class ProbeState(BlobState):
+    """A Blob State synthesized from query bytes (not stored anywhere).
+
+    Lets point/range queries by raw content run through the same
+    comparator as stored states: the comparator reads its content from
+    the attached ``data`` instead of extents.
+    """
+
+    data: bytes = b""
+
+
+def make_probe(data: bytes, hasher_kind: str = "fast") -> ProbeState:
+    """Build the comparator-compatible probe for query bytes."""
+    hasher = new_hasher(hasher_kind, data)
+    return ProbeState(size=len(data), sha256=hasher.digest(),
+                      sha_state=hasher.state(), prefix=data[:PREFIX_LEN],
+                      data=data)
+
+
+class BlobStateIndex:
+    """Orders Blob States by content; maps them to primary keys."""
+
+    def __init__(self, db: BlobDB, table: str,
+                 node_bytes: int | None = None) -> None:
+        self.db = db
+        self.table = table
+        self.comparator = BlobStateComparator(self._read_chunks)
+        self._tree = BTree(cmp=self.comparator.compare,
+                           key_size=lambda s: s.serialized_size(),
+                           node_bytes=node_bytes or db.config.page_size,
+                           model=db.model)
+
+    def _read_chunks(self, state: BlobState) -> Iterator[bytes]:
+        if isinstance(state, ProbeState):
+            yield state.data
+            return
+        yield from self.db.read_chunks_of(state)
+
+    def build(self) -> int:
+        """Index every BLOB currently in the table; returns entry count."""
+        count = 0
+        for key, value in self.db.scan(self.table):
+            if isinstance(value, BlobState):
+                self.insert(value, key)
+                count += 1
+        self._persist()
+        return count
+
+    def _persist(self) -> None:
+        """Charge writing the built index pages (and their WAL copies)."""
+        nbytes = self.stats().size_bytes
+        self.db.model.memcpy(nbytes)
+        self.db.model.cpu(2 * nbytes * self.db.model.params.ssd_write_ns_per_byte)
+
+    def insert(self, state: BlobState, primary_key: bytes) -> None:
+        existing = self._tree.lookup(state)
+        if existing is None:
+            self._tree.insert(state, [primary_key])
+        elif primary_key not in existing:
+            existing.append(primary_key)
+
+    def remove(self, state: BlobState, primary_key: bytes) -> None:
+        existing = self._tree.lookup(state)
+        if existing is None:
+            return
+        if primary_key in existing:
+            existing.remove(primary_key)
+        if not existing:
+            self._tree.delete(state)
+
+    def lookup_content(self, data: bytes) -> list[bytes]:
+        """Point query by content (digest comparison fast path)."""
+        result = self._tree.lookup(make_probe(data, self.db.config.hasher))
+        return list(result) if result else []
+
+    def range_content(self, low: bytes, high: bytes) -> list[bytes]:
+        """All primary keys whose content is in ``[low, high)``."""
+        probe_lo = make_probe(low, self.db.config.hasher)
+        probe_hi = make_probe(high, self.db.config.hasher)
+        out: list[bytes] = []
+        for _, pks in self._tree.scan(start=probe_lo, end=probe_hi):
+            out.extend(pks)
+        return out
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def stats(self) -> BTreeStats:
+        return self._tree.stats()
+
+
+class PrefixIndex:
+    """Baseline: index only the first ``prefix_bytes`` of the content."""
+
+    def __init__(self, db: BlobDB, table: str, prefix_bytes: int = 1024,
+                 node_bytes: int | None = None) -> None:
+        self.db = db
+        self.table = table
+        self.prefix_bytes = prefix_bytes
+        self._tree = BTree(node_bytes=node_bytes or db.config.page_size,
+                           model=db.model)
+        #: Documents that could not be indexed (prefix collision).
+        self.missed: list[bytes] = []
+
+    def build(self) -> int:
+        count = 0
+        for key, value in self.db.scan(self.table):
+            if isinstance(value, BlobState):
+                # Indexing by content requires detoasting/reading the
+                # document, then copying its prefix into the index.
+                content = b"".join(self.db.read_chunks_of(value))
+                self.db.model.memcpy(len(content))
+                self.insert_content(content, key)
+                count += 1
+        nbytes = self.stats().size_bytes
+        self.db.model.memcpy(nbytes)
+        self.db.model.cpu(2 * nbytes * self.db.model.params.ssd_write_ns_per_byte)
+        return count
+
+    def insert_content(self, data: bytes, primary_key: bytes) -> None:
+        prefix = data[:self.prefix_bytes]
+        self.db.model.memcpy(len(prefix))
+        if self._tree.lookup(prefix) is not None:
+            # The prefix slot is taken: this document is unindexable,
+            # queries for it will miss (paper Table III, miss %).
+            self.missed.append(primary_key)
+            return
+        self._tree.insert(prefix, primary_key)
+
+    def lookup_content(self, data: bytes) -> bytes | None:
+        """May return the wrong or no document for shared prefixes."""
+        return self._tree.lookup(data[:self.prefix_bytes])
+
+    @property
+    def miss_fraction(self) -> float:
+        total = len(self._tree) + len(self.missed)
+        return len(self.missed) / total if total else 0.0
+
+    def __len__(self) -> int:
+        return len(self._tree)
+
+    def stats(self) -> BTreeStats:
+        return self._tree.stats()
+
+
+class SemanticIndex:
+    """Expression index: order BLOBs by ``udf(content)`` (Section III-F)."""
+
+    def __init__(self, db: BlobDB, table: str,
+                 udf: Callable[[bytes], bytes | str],
+                 node_bytes: int | None = None) -> None:
+        self.db = db
+        self.table = table
+        self.udf = udf
+        self._tree = BTree(node_bytes=node_bytes or db.config.page_size,
+                           model=db.model)
+
+    def _derive(self, value: BlobState) -> bytes:
+        content = b"".join(self.db.read_chunks_of(value))
+        derived = self.udf(content)
+        return derived.encode() if isinstance(derived, str) else derived
+
+    def build(self) -> int:
+        count = 0
+        for key, value in self.db.scan(self.table):
+            if isinstance(value, BlobState):
+                self.insert(value, key)
+                count += 1
+        return count
+
+    def insert(self, state: BlobState, primary_key: bytes) -> None:
+        derived = self._derive(state)
+        bucket = self._tree.lookup(derived)
+        if bucket is None:
+            self._tree.insert(derived, [primary_key])
+        elif primary_key not in bucket:
+            bucket.append(primary_key)
+
+    def lookup(self, derived: bytes | str) -> list[bytes]:
+        """``SELECT * WHERE classify(content) = 'cat'``."""
+        key = derived.encode() if isinstance(derived, str) else derived
+        bucket = self._tree.lookup(key)
+        return list(bucket) if bucket else []
+
+    def __len__(self) -> int:
+        return len(self._tree)

@@ -1,0 +1,116 @@
+"""Engine observability: one structured snapshot of every subsystem.
+
+``BlobDB.stats_report()`` gathers the counters a storage engineer would
+put on a dashboard — buffer pool hit ratio, device write amplification
+by category, WAL pressure and checkpoint counts, allocator recycling,
+lock/OCC activity — in one plain-data object that examples and tests can
+assert against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class EngineReport:
+    """A point-in-time engine snapshot (all values cumulative)."""
+
+    # Buffer pool
+    pool_used_pages: int = 0
+    pool_capacity_pages: int = 0
+    pool_hit_ratio: float = 0.0
+    pool_evictions: int = 0
+
+    # Device
+    device_bytes_written_by_category: dict[str, int] = field(
+        default_factory=dict)
+    device_bytes_read: int = 0
+    device_write_requests: int = 0
+
+    # WAL
+    wal_records: int = 0
+    wal_bytes_appended: int = 0
+    wal_synchronous_flushes: int = 0
+    wal_used_fraction: float = 0.0
+    checkpoints_taken: int = 0
+
+    # Allocator
+    allocator_utilization: float = 0.0
+    extents_fresh: int = 0
+    extents_reused: int = 0
+    extents_freed: int = 0
+
+    # Transactions
+    active_transactions: int = 0
+    occ_aborts: int = 0
+
+    # Simulated time
+    simulated_seconds: float = 0.0
+
+    @property
+    def extent_reuse_ratio(self) -> float:
+        total = self.extents_fresh + self.extents_reused
+        return self.extents_reused / total if total else 0.0
+
+    @property
+    def pool_fill_fraction(self) -> float:
+        if not self.pool_capacity_pages:
+            return 0.0
+        return self.pool_used_pages / self.pool_capacity_pages
+
+    def format(self) -> str:
+        """Human-readable multi-line summary."""
+        cats = ", ".join(f"{k}={v >> 10}K"
+                         for k, v in sorted(
+                             self.device_bytes_written_by_category.items())
+                         if v)
+        return "\n".join([
+            f"simulated time: {self.simulated_seconds:.3f}s",
+            f"buffer pool:    {self.pool_used_pages}/"
+            f"{self.pool_capacity_pages} pages "
+            f"({self.pool_fill_fraction:.0%} full, "
+            f"hit ratio {self.pool_hit_ratio:.1%}, "
+            f"{self.pool_evictions} evictions)",
+            f"device:         wrote [{cats}], "
+            f"read {self.device_bytes_read >> 10}K "
+            f"in {self.device_write_requests} write requests",
+            f"wal:            {self.wal_records} records, "
+            f"{self.wal_bytes_appended >> 10}K appended, "
+            f"{self.wal_synchronous_flushes} sync flushes, "
+            f"{self.checkpoints_taken} checkpoints, "
+            f"ring {self.wal_used_fraction:.0%} full",
+            f"allocator:      {self.allocator_utilization:.1%} utilized, "
+            f"{self.extents_fresh} fresh / {self.extents_reused} reused "
+            f"({self.extent_reuse_ratio:.0%} recycling)",
+            f"transactions:   {self.active_transactions} active, "
+            f"{self.occ_aborts} OCC aborts",
+        ])
+
+
+def build_report(db) -> EngineReport:
+    """Collect an :class:`EngineReport` from a live engine."""
+    pool = db.pool
+    device = db.device
+    return EngineReport(
+        pool_used_pages=pool.used_pages,
+        pool_capacity_pages=pool.capacity_pages,
+        pool_hit_ratio=pool.stats.hit_ratio,
+        pool_evictions=pool.stats.evictions,
+        device_bytes_written_by_category=dict(
+            device.stats.bytes_written_by_category),
+        device_bytes_read=device.stats.bytes_read,
+        device_write_requests=device.stats.write_requests,
+        wal_records=db.wal.stats.records,
+        wal_bytes_appended=db.wal.stats.bytes_appended,
+        wal_synchronous_flushes=db.wal.stats.synchronous_flushes,
+        wal_used_fraction=db.wal.used_fraction(),
+        checkpoints_taken=db.checkpoints_taken,
+        allocator_utilization=db.allocator.utilization(),
+        extents_fresh=db.allocator.stats.fresh_extents,
+        extents_reused=db.allocator.stats.reused_extents,
+        extents_freed=db.allocator.stats.freed_extents,
+        active_transactions=len(db._active),
+        occ_aborts=db.occ_aborts,
+        simulated_seconds=db.model.clock.now_s,
+    )

@@ -1,0 +1,140 @@
+"""Transactions and 2PL locking on Blob State records (Section III-H).
+
+The paper argues BLOB concurrency control reduces to single-version
+concurrency control on the Blob State relation.  We implement strict
+two-phase locking with shared/exclusive modes and a *no-wait* conflict
+policy: a conflicting acquisition raises
+:class:`~repro.db.errors.TransactionConflict` and the caller aborts.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.buffer.frames import ExtentFrame
+from repro.core.extent import Extent, TailExtent
+from repro.db.errors import TransactionConflict, TransactionStateError
+from repro.sim.cost import CostModel
+
+
+class LockMode(enum.Enum):
+    SHARED = "S"
+    EXCLUSIVE = "X"
+
+
+class TxnStatus(enum.Enum):
+    ACTIVE = "active"
+    COMMITTED = "committed"
+    ABORTED = "aborted"
+
+
+@dataclass
+class _Lock:
+    mode: LockMode
+    holders: set[int] = field(default_factory=set)
+
+
+class LockTable:
+    """Shared/exclusive record locks keyed by ``(table, key)``."""
+
+    def __init__(self, model: CostModel) -> None:
+        self.model = model
+        self._locks: dict[tuple[str, bytes], _Lock] = {}
+
+    def acquire(self, txn_id: int, table: str, key: bytes,
+                mode: LockMode) -> None:
+        """No-wait acquisition; upgrades S->X when the holder is alone."""
+        lock_key = (table, key)
+        lock = self._locks.get(lock_key)
+        if lock is None:
+            self.model.latch(contended=False)
+            self._locks[lock_key] = _Lock(mode=mode, holders={txn_id})
+            return
+        if txn_id in lock.holders:
+            if mode is LockMode.EXCLUSIVE and lock.mode is LockMode.SHARED:
+                if len(lock.holders) > 1:
+                    self.model.latch(contended=True)
+                    raise TransactionConflict(
+                        f"txn {txn_id} cannot upgrade lock on {lock_key}")
+                lock.mode = LockMode.EXCLUSIVE
+            return
+        if mode is LockMode.SHARED and lock.mode is LockMode.SHARED:
+            self.model.latch(contended=False)
+            lock.holders.add(txn_id)
+            return
+        self.model.latch(contended=True)
+        raise TransactionConflict(
+            f"txn {txn_id} blocked on {lock_key} "
+            f"(held {lock.mode.value} by {sorted(lock.holders)})")
+
+    def release_all(self, txn_id: int) -> None:
+        dead = []
+        for lock_key, lock in self._locks.items():
+            lock.holders.discard(txn_id)
+            if not lock.holders:
+                dead.append(lock_key)
+        for lock_key in dead:
+            del self._locks[lock_key]
+
+    def held_by(self, table: str, key: bytes) -> set[int]:
+        lock = self._locks.get((table, key))
+        return set(lock.holders) if lock else set()
+
+    def __len__(self) -> int:
+        return len(self._locks)
+
+
+@dataclass
+class UndoEntry:
+    """Reverts one logical table change on abort."""
+
+    table: str
+    key: bytes
+    #: Previous value (``None`` means the key did not exist before).
+    old_value: Any
+
+
+class Transaction:
+    """State carried by one transaction between ``begin`` and commit/abort."""
+
+    def __init__(self, txn_id: int) -> None:
+        self.txn_id = txn_id
+        self.status = TxnStatus.ACTIVE
+        #: Dirty BLOB extents awaiting the commit-time single flush.
+        self.pending_flush: list[ExtentFrame] = []
+        #: Extents to publish to the free lists when the commit is durable
+        #: (the paper's transaction-local temporary free list).
+        self.pending_free: list[Extent] = []
+        self.pending_free_tails: list[TailExtent] = []
+        #: Extents allocated by this txn — reclaimed if it aborts.
+        self.allocated: list[Extent] = []
+        self.allocated_tails: list[TailExtent] = []
+        #: Head PIDs whose buffer frames are dropped at commit.  Dropping
+        #: earlier would destroy content an abort must restore (dirty
+        #: physlog frames hold the only copy until their second write).
+        self.pending_drop: list[int] = []
+        #: Logical undo entries, newest last.
+        self.undo: list[UndoEntry] = []
+        #: Physlog only: content-bearing frames that stay dirty past
+        #: commit (their second write happens at eviction/checkpoint).
+        self.physlog_frames: list[ExtentFrame] = []
+        #: Pre-images for in-place delta updates: (head_pid, offset, old).
+        self.delta_undo: list[tuple[int, int, bytes]] = []
+        #: OCC: record versions observed by reads; validated at commit.
+        self.read_set: dict[tuple[str, bytes], int] = {}
+        #: OCC: records written (their versions bump on commit).
+        self.write_set: set[tuple[str, bytes]] = set()
+
+    def ensure_active(self) -> None:
+        if self.status is not TxnStatus.ACTIVE:
+            raise TransactionStateError(
+                f"txn {self.txn_id} is {self.status.value}")
+
+    def remember_flush(self, frames: list[ExtentFrame]) -> None:
+        self.pending_flush.extend(frames)
+
+    def remember_undo(self, table: str, key: bytes, old_value: Any) -> None:
+        self.undo.append(UndoEntry(table=table, key=key, old_value=old_value))
+        self.write_set.add((table, key))

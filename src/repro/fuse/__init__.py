@@ -1,0 +1,24 @@
+"""FUSE exposure of BLOBs as read-only files (Section III-E).
+
+The real system registers with the kernel through libfuse; here the same
+operation set — ``getattr``, ``readdir``, ``open``, ``read``, ``flush``,
+``release`` — is dispatched in-process (the calibration note for this
+reproduction: *"fusepy exists but cannot show write-amplification
+performance claims"*, so kernel dispatch is replaced, not the translation
+logic).  Exactly as in the paper's Listing 1:
+
+* ``open``/``close`` map to transaction begin/commit, making repeated
+  reads of one file consistent;
+* each relation appears as a directory, each row's key as a file name;
+* every operation resolves through one Blob State point query;
+* all files are read-only — writes return ``EROFS``.
+
+:class:`FuseMount` adds a Python file-object facade so unmodified code
+written against ``open()/read()/seek()/close()`` works on DB-backed
+paths.
+"""
+
+from repro.fuse.vfs import BlobFuse, FileAttr, FuseError
+from repro.fuse.posix import DbFile, FuseMount
+
+__all__ = ["BlobFuse", "FileAttr", "FuseError", "FuseMount", "DbFile"]

@@ -1,0 +1,135 @@
+"""POSIX-style facade over the FUSE VFS.
+
+External programs expect *files*; this facade gives unmodified Python
+code the file API it expects — ``mount.open(path)`` returns an object
+supporting ``read``/``seek``/``tell``/``close`` and the context-manager
+protocol, plus ``listdir``/``stat``/``exists`` directory helpers — while
+every byte is served from database BLOBs through the FUSE operations.
+"""
+
+from __future__ import annotations
+
+import errno
+import io
+
+from repro.db.database import BlobDB
+from repro.fuse.vfs import BlobFuse, FileAttr, FuseError
+
+
+class DbFile(io.RawIOBase):
+    """A read-only file handle backed by a BLOB (one transaction)."""
+
+    def __init__(self, fuse: BlobFuse, path: str) -> None:
+        super().__init__()
+        self._fuse = fuse
+        self._path = path
+        self._fh = fuse.open(path)
+        self._pos = 0
+        self._size = fuse.getattr(path).st_size
+
+    # -- io.RawIOBase interface ------------------------------------------
+
+    def readable(self) -> bool:
+        return True
+
+    def writable(self) -> bool:
+        return False
+
+    def seekable(self) -> bool:
+        return True
+
+    def read(self, size: int = -1) -> bytes:
+        self._check_open()
+        if size is None or size < 0:
+            size = self._size - self._pos
+        data = self._fuse.read(self._fh, size, self._pos)
+        self._pos += len(data)
+        return data
+
+    def readall(self) -> bytes:
+        return self.read(-1)
+
+    def readinto(self, buffer) -> int:
+        """Required by ``io.BufferedReader`` wrapping this raw file."""
+        data = self.read(len(buffer))
+        buffer[:len(data)] = data
+        return len(data)
+
+    def seek(self, offset: int, whence: int = io.SEEK_SET) -> int:
+        self._check_open()
+        if whence == io.SEEK_SET:
+            new = offset
+        elif whence == io.SEEK_CUR:
+            new = self._pos + offset
+        elif whence == io.SEEK_END:
+            new = self._size + offset
+        else:
+            raise ValueError(f"invalid whence {whence}")
+        if new < 0:
+            raise ValueError("negative seek position")
+        self._pos = new
+        return self._pos
+
+    def tell(self) -> int:
+        return self._pos
+
+    def write(self, data) -> int:
+        raise OSError(errno.EROFS, "BLOB files are read-only")
+
+    def close(self) -> None:
+        if not self.closed:
+            self._fuse.release(self._fh)
+        super().close()
+
+    @property
+    def name(self) -> str:
+        return self._path
+
+    def _check_open(self) -> None:
+        if self.closed:
+            raise ValueError("I/O operation on closed file")
+
+
+class FuseMount:
+    """The mount point: path-based access to every BLOB in the database."""
+
+    def __init__(self, db: BlobDB, mountpoint: str = "/mnt/blobdb") -> None:
+        self.db = db
+        self.mountpoint = mountpoint.rstrip("/")
+        self.fuse = BlobFuse(db)
+
+    def _relative(self, path: str) -> str:
+        if path.startswith(self.mountpoint):
+            path = path[len(self.mountpoint):]
+        return path if path.startswith("/") else "/" + path
+
+    def open(self, path: str, mode: str = "rb") -> DbFile:
+        """Open a BLOB as a file object; only read modes are allowed."""
+        if any(c in mode for c in "wa+x"):
+            raise OSError(errno.EROFS, "read-only file system")
+        return DbFile(self.fuse, self._relative(path))
+
+    def read_bytes(self, path: str) -> bytes:
+        with self.open(path) as handle:
+            return handle.read()
+
+    def listdir(self, path: str = "/") -> list[str]:
+        entries = self.fuse.readdir(self._relative(path))
+        return [e for e in entries if e not in (".", "..")]
+
+    def stat(self, path: str) -> FileAttr:
+        return self.fuse.getattr(self._relative(path))
+
+    def exists(self, path: str) -> bool:
+        try:
+            self.fuse.getattr(self._relative(path))
+            return True
+        except FuseError as exc:
+            if exc.errno == errno.ENOENT:
+                return False
+            raise
+
+    def walk(self):
+        """Yield ``(table, [file names])`` like a one-level ``os.walk``."""
+        for table in self.listdir("/"):
+            yield table, self.listdir("/" + table)

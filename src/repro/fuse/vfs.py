@@ -1,0 +1,225 @@
+"""The FUSE operation set over a :class:`~repro.db.database.BlobDB`.
+
+Paths follow the paper's "relation as a directory" scheme: with a mount
+point ``/foo/bar``, the BLOB stored in relation ``image`` under key
+``cat.jpg`` appears as ``/foo/bar/image/cat.jpg``.
+"""
+
+from __future__ import annotations
+
+import errno
+import stat as stat_module
+from dataclasses import dataclass
+
+from repro.core.blob_state import BlobState
+from repro.db.database import BlobDB
+from repro.db.errors import KeyNotFoundError, TableNotFoundError
+from repro.db.transaction import Transaction
+
+
+class FuseError(OSError):
+    """Raised by FUSE operations; carries the errno (like fusepy)."""
+
+    def __init__(self, errno_code: int) -> None:
+        super().__init__(errno_code, errno.errorcode.get(errno_code, "?"))
+        self.errno = errno_code
+
+
+@dataclass(frozen=True)
+class FileAttr:
+    """Subset of ``struct stat`` that ``getattr`` fills."""
+
+    st_mode: int
+    st_size: int
+    st_nlink: int = 1
+
+    @property
+    def is_dir(self) -> bool:
+        return stat_module.S_ISDIR(self.st_mode)
+
+
+_DIR_MODE = stat_module.S_IFDIR | 0o555
+#: BLOBs are exposed strictly read-only (Section III-E).
+_FILE_MODE = stat_module.S_IFREG | 0o444
+
+
+class BlobFuse:
+    """In-process implementation of the FUSE operations."""
+
+    def __init__(self, db: BlobDB) -> None:
+        self.db = db
+        self._handles: dict[int, tuple[Transaction, str, bytes]] = {}
+        self._next_fh = 1
+
+    # -- path handling -----------------------------------------------------
+
+    @staticmethod
+    def _split(path: str) -> tuple[str, bytes | None]:
+        """``/image/cat.jpg`` -> ``("image", b"cat.jpg")``.
+
+        The paper's ``ExtractRelationAndFileName``.
+        """
+        parts = [p for p in path.split("/") if p]
+        if not parts:
+            return "", None
+        if len(parts) == 1:
+            return parts[0], None
+        if len(parts) != 2:
+            raise FuseError(errno.ENOENT)
+        return parts[0], parts[1].encode()
+
+    def _state(self, table: str, key: bytes,
+               txn: Transaction | None = None) -> BlobState:
+        try:
+            return self.db.get_state(table, key, txn)
+        except (KeyNotFoundError, TableNotFoundError):
+            raise FuseError(errno.ENOENT) from None
+        except TypeError:
+            raise FuseError(errno.EINVAL) from None
+
+    # -- FUSE operations ------------------------------------------------------
+
+    def getattr(self, path: str) -> FileAttr:
+        """Point query for the Blob State; size comes from the metadata."""
+        self.db.model.syscall("generic")  # FUSE upcall dispatch
+        table, key = self._split(path)
+        if not table:
+            return FileAttr(st_mode=_DIR_MODE, st_size=0, st_nlink=2)
+        if key is None:
+            if table in self.db.list_tables():
+                return FileAttr(st_mode=_DIR_MODE, st_size=0, st_nlink=2)
+            raise FuseError(errno.ENOENT)
+        state = self._state(table, key)
+        return FileAttr(st_mode=_FILE_MODE, st_size=state.size)
+
+    def readdir(self, path: str) -> list[str]:
+        self.db.model.syscall("readdir")
+        table, key = self._split(path)
+        if key is not None:
+            raise FuseError(errno.ENOTDIR)
+        if not table:
+            return [".", ".."] + self.db.list_tables()
+        if table not in self.db.list_tables():
+            raise FuseError(errno.ENOENT)
+        names = [k.decode(errors="replace")
+                 for k, _ in self.db.scan(table)]
+        return [".", ".."] + names
+
+    def open(self, path: str, write: bool = False) -> int:
+        """``open()``: starts the wrapping transaction (Listing 1)."""
+        self.db.model.syscall("open")
+        if write:
+            raise FuseError(errno.EROFS)
+        table, key = self._split(path)
+        if key is None:
+            raise FuseError(errno.EISDIR)
+        txn = self.db.begin()
+        try:
+            self._state(table, key, txn)
+        except FuseError:
+            self.db.abort(txn)
+            raise
+        fh = self._next_fh
+        self._next_fh += 1
+        self._handles[fh] = (txn, table, key)
+        return fh
+
+    def read(self, fh: int, size: int, offset: int) -> bytes:
+        """``pread()``: Blob State lookup, then a bounded copy-out.
+
+        Only the extents overlapping ``[offset, offset+size)`` are
+        loaded — a small read from a huge file stays cheap (Listing 1's
+        size clamp, taken to the buffer manager).
+        """
+        self.db.model.syscall("pread")
+        txn, table, key = self._resolve(fh)
+        state = self._state(table, key, txn)
+        if offset >= state.size:
+            return b""
+        size = min(size, state.size - offset)
+        return self.db.blobs.read_range(state, offset, size)
+
+    def flush(self, fh: int) -> None:
+        """``close()`` triggers flush: commit the wrapping transaction."""
+        txn, _, _ = self._resolve(fh)
+        from repro.db.transaction import TxnStatus
+        if txn.status is TxnStatus.ACTIVE:
+            self.db.commit(txn)
+
+    def release(self, fh: int) -> None:
+        self.db.model.syscall("close")
+        txn, _, _ = self._handles.pop(fh, (None, None, None))
+        if txn is not None:
+            from repro.db.transaction import TxnStatus
+            if txn.status is TxnStatus.ACTIVE:
+                self.db.commit(txn)
+
+    def _resolve(self, fh: int) -> tuple[Transaction, str, bytes]:
+        try:
+            return self._handles[fh]
+        except KeyError:
+            raise FuseError(errno.EBADF) from None
+
+    # -- extended attributes / filesystem stats ---------------------------------
+
+    #: xattr names exposed per file (all served from the Blob State).
+    XATTRS = ("user.sha256", "user.size", "user.extents")
+
+    def getxattr(self, path: str, name: str) -> bytes:
+        """Expose Blob State metadata as extended attributes.
+
+        ``user.sha256`` gives external tools a free content digest —
+        e.g. a backup program can skip unchanged files without reading
+        them.
+        """
+        self.db.model.syscall("generic")
+        table, key = self._split(path)
+        if key is None:
+            raise FuseError(errno.ENODATA)
+        state = self._state(table, key)
+        if name == "user.sha256":
+            return state.sha256.hex().encode()
+        if name == "user.size":
+            return str(state.size).encode()
+        if name == "user.extents":
+            return str(state.num_extents
+                       + (1 if state.tail_extent else 0)).encode()
+        raise FuseError(errno.ENODATA)
+
+    def listxattr(self, path: str) -> list[str]:
+        self.db.model.syscall("generic")
+        table, key = self._split(path)
+        if key is None:
+            return []
+        self._state(table, key)
+        return list(self.XATTRS)
+
+    def statfs(self, path: str = "/") -> dict:
+        """``statvfs``: capacity figures from the extent allocator."""
+        self.db.model.syscall("generic")
+        alloc = self.db.allocator
+        bsize = self.db.config.page_size
+        total = alloc.capacity_pages
+        used = alloc.allocated_pages
+        return {
+            "f_bsize": bsize,
+            "f_blocks": total,
+            "f_bfree": total - used,
+            "f_bavail": total - used,
+            "f_files": sum(self.db.table_size(t)
+                           for t in self.db.list_tables()),
+        }
+
+    # -- write-path operations all refuse (read-only exposure) -----------------
+
+    def write(self, fh: int, data: bytes, offset: int) -> int:
+        raise FuseError(errno.EROFS)
+
+    def truncate(self, path: str, length: int) -> None:
+        raise FuseError(errno.EROFS)
+
+    def unlink(self, path: str) -> None:
+        raise FuseError(errno.EROFS)
+
+    def mkdir(self, path: str) -> None:
+        raise FuseError(errno.EROFS)

@@ -1,0 +1,41 @@
+"""Remote BLOB access over pluggable transports (Section VI, "Networks").
+
+The paper identifies networking as the primary overhead of client/server
+DBMSs (Section V-B) and names the remedies it plans to explore: avoiding
+serialization work, RDMA, and shared memory, citing Fent et al.'s
+unified-transport design [89].  This package implements that layer for
+the engine:
+
+* :class:`TransportProfile` — cost profiles for TCP/Ethernet,
+  Unix-domain sockets, one-sided RDMA, and shared memory;
+* :class:`BlobServer` / :class:`RemoteBlobStore` — a request/response
+  protocol over any profile, with wire (de)serialization priced per
+  byte;
+* zero-serialization reads on shared-memory transports: like the
+  engine's local aliasing path, the response hands the client a view
+  instead of a wire copy.
+
+The ablation bench (``benchmarks/test_ablation_network.py``) shows the
+paper's narrative end to end: TCP costs client/server engines their
+standing; RDMA and shared memory recover most of the embedded
+performance.
+"""
+
+from repro.net.transport import (
+    RDMA,
+    SHARED_MEMORY,
+    TCP_ETHERNET,
+    UNIX_SOCKET,
+    TransportProfile,
+)
+from repro.net.remote import BlobServer, RemoteBlobStore
+
+__all__ = [
+    "TransportProfile",
+    "TCP_ETHERNET",
+    "UNIX_SOCKET",
+    "RDMA",
+    "SHARED_MEMORY",
+    "BlobServer",
+    "RemoteBlobStore",
+]

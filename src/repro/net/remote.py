@@ -1,0 +1,133 @@
+"""Request/response BLOB protocol over a transport profile."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.db.database import BlobDB
+from repro.db.errors import DatabaseError, KeyNotFoundError
+from repro.net.transport import TransportProfile
+
+
+@dataclass
+class ServerStats:
+    requests: int = 0
+    bytes_in: int = 0
+    bytes_out: int = 0
+
+
+class BlobServer:
+    """Executes protocol requests against an engine.
+
+    Server-side work (statement handling, the engine operation itself)
+    is charged on the engine's cost model; the synchronous RPC means
+    client-observed latency = transport + server work, which the shared
+    virtual clock captures naturally.
+    """
+
+    #: Fixed request dispatch cost (parsing the header, finding the op).
+    _DISPATCH_NS = 900.0
+
+    def __init__(self, db: BlobDB, table: str = "blobs") -> None:
+        self.db = db
+        self.table = table
+        if table not in db.list_tables():
+            db.create_table(table)
+        self.stats = ServerStats()
+
+    # Each handler returns the response payload size it ships back.
+
+    def handle_put(self, key: bytes, data: bytes) -> int:
+        self._enter(len(key) + len(data))
+        with self.db.transaction() as txn:
+            if self.db.exists(self.table, key):
+                self.db.delete_blob(txn, self.table, key)
+            self.db.put_blob(txn, self.table, key, data)
+        return self._exit(16)
+
+    def handle_get(self, key: bytes, zero_copy: bool = False) -> bytes:
+        """Read a BLOB; ``zero_copy`` serves it from a shared view.
+
+        On a zero-copy transport the server never copies the payload —
+        it exposes the aliasing view's region and the *client* performs
+        the single materializing copy, like the local read path.
+        """
+        self._enter(len(key))
+        if zero_copy:
+            with self.db.read_blob_view(self.table, key) as view:
+                data = view.contiguous()
+        else:
+            data = self.db.read_blob(self.table, key)
+        self._exit(len(data))
+        return data
+
+    def handle_stat(self, key: bytes) -> int:
+        self._enter(len(key))
+        size = self.db.get_state(self.table, key).size
+        self._exit(16)
+        return size
+
+    def handle_delete(self, key: bytes) -> None:
+        self._enter(len(key))
+        with self.db.transaction() as txn:
+            self.db.delete_blob(txn, self.table, key)
+        self._exit(16)
+
+    def _enter(self, nbytes: int) -> None:
+        self.db.model.cpu(self._DISPATCH_NS)
+        self.stats.requests += 1
+        self.stats.bytes_in += nbytes
+
+    def _exit(self, nbytes: int) -> int:
+        self.stats.bytes_out += nbytes
+        return nbytes
+
+
+class RemoteBlobStore:
+    """Client stub: the engine's operations across a transport.
+
+    With a zero-copy transport (RDMA, shared memory), GET responses are
+    *views* — the payload is not serialized onto a wire, mirroring how
+    the local engine avoids copies via aliasing.
+    """
+
+    def __init__(self, server: BlobServer,
+                 transport: TransportProfile) -> None:
+        self.server = server
+        self.transport = transport
+        self.model = server.db.model  # shared clock: synchronous RPC
+
+    @property
+    def name(self) -> str:
+        return f"our.{self.transport.name}"
+
+    def put(self, key: bytes, data: bytes) -> None:
+        self.server.handle_put(key, data)
+        self.transport.charge_exchange(self.model, len(key) + len(data), 16)
+
+    def get(self, key: bytes) -> bytes:
+        zero_copy = self.transport.zero_copy_responses
+        data = self.server.handle_get(key, zero_copy=zero_copy)
+        wire_bytes = 0 if zero_copy else len(data)
+        self.transport.charge_exchange(self.model, len(key), wire_bytes)
+        if zero_copy:
+            # The client materializes its own copy from the shared
+            # region — exactly one memcpy, like the local path.
+            self.model.memcpy(len(data))
+        return data
+
+    def stat(self, key: bytes) -> int:
+        size = self.server.handle_stat(key)
+        self.transport.charge_exchange(self.model, len(key), 16)
+        return size
+
+    def delete(self, key: bytes) -> None:
+        self.server.handle_delete(key)
+        self.transport.charge_exchange(self.model, len(key), 16)
+
+    def exists(self, key: bytes) -> bool:
+        try:
+            self.stat(key)
+            return True
+        except (KeyNotFoundError, DatabaseError):
+            return False

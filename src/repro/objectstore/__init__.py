@@ -1,0 +1,33 @@
+"""S3-style object store over the BLOB engine.
+
+Section III-A justifies the extent-sequence design by S3's semantics:
+"Amazon S3 ... restricts user interactions to entire BLOBs, disallowing
+partial updates and removals."  This facade shows the engine is a
+natural substrate for exactly that interface:
+
+* buckets are relations, objects are BLOBs;
+* ``ETag`` is free — it *is* the Blob State's SHA-256;
+* multipart upload maps onto BLOB growth: each part appends, resuming
+  the stored intermediate hash, so assembling a multi-gigabyte object
+  never re-reads earlier parts;
+* conditional gets (``if_none_match``) compare digests without touching
+  content.
+"""
+
+from repro.objectstore.store import (
+    BucketNotFound,
+    MultipartUpload,
+    ObjectInfo,
+    ObjectNotFound,
+    ObjectStore,
+    PreconditionFailed,
+)
+
+__all__ = [
+    "ObjectStore",
+    "ObjectInfo",
+    "MultipartUpload",
+    "BucketNotFound",
+    "ObjectNotFound",
+    "PreconditionFailed",
+]

@@ -1,0 +1,19 @@
+"""Resumable SHA-256.
+
+The paper's Blob State stores the *intermediate* SHA-256 digest — the
+chaining value before the final padded block — so that appending to a
+BLOB can resume hashing without re-reading any of the existing content
+(Section III-B/III-D).  Python's ``hashlib`` cannot export intermediate
+state, so :mod:`repro.sha.sha256` implements SHA-256 from scratch with
+``state()`` / ``resume()``, validated against ``hashlib`` by the tests.
+
+:mod:`repro.sha.fast` provides a drop-in hashlib-backed implementation
+for benchmarks: identical digests, resumable via a live-object registry,
+with a documented rehash fallback after state loss (e.g. a simulated
+crash).
+"""
+
+from repro.sha.sha256 import Sha256, Sha256State
+from repro.sha.fast import FastSha256
+
+__all__ = ["Sha256", "Sha256State", "FastSha256"]

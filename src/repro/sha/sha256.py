@@ -1,0 +1,183 @@
+"""Pure-Python SHA-256 (FIPS 180-4) with exportable intermediate state.
+
+This is the reference hasher for the reproduction: Blob State persists
+:class:`Sha256State` (the 32-byte chaining value plus the processed byte
+count and the unprocessed tail), and a later append resumes from it —
+the mechanism behind the paper's O(append) BLOB-growth cost.
+
+Correctness is property-tested against ``hashlib.sha256`` on arbitrary
+inputs and arbitrary split points (``tests/test_sha256.py``).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+_MASK32 = 0xFFFFFFFF
+
+#: SHA-256 initial hash values (FIPS 180-4 section 5.3.3).
+_H0 = (
+    0x6A09E667, 0xBB67AE85, 0x3C6EF372, 0xA54FF53A,
+    0x510E527F, 0x9B05688C, 0x1F83D9AB, 0x5BE0CD19,
+)
+
+#: SHA-256 round constants (FIPS 180-4 section 4.2.2).
+_K = (
+    0x428A2F98, 0x71374491, 0xB5C0FBCF, 0xE9B5DBA5,
+    0x3956C25B, 0x59F111F1, 0x923F82A4, 0xAB1C5ED5,
+    0xD807AA98, 0x12835B01, 0x243185BE, 0x550C7DC3,
+    0x72BE5D74, 0x80DEB1FE, 0x9BDC06A7, 0xC19BF174,
+    0xE49B69C1, 0xEFBE4786, 0x0FC19DC6, 0x240CA1CC,
+    0x2DE92C6F, 0x4A7484AA, 0x5CB0A9DC, 0x76F988DA,
+    0x983E5152, 0xA831C66D, 0xB00327C8, 0xBF597FC7,
+    0xC6E00BF3, 0xD5A79147, 0x06CA6351, 0x14292967,
+    0x27B70A85, 0x2E1B2138, 0x4D2C6DFC, 0x53380D13,
+    0x650A7354, 0x766A0ABB, 0x81C2C92E, 0x92722C85,
+    0xA2BFE8A1, 0xA81A664B, 0xC24B8B70, 0xC76C51A3,
+    0xD192E819, 0xD6990624, 0xF40E3585, 0x106AA070,
+    0x19A4C116, 0x1E376C08, 0x2748774C, 0x34B0BCB5,
+    0x391C0CB3, 0x4ED8AA4A, 0x5B9CCA4F, 0x682E6FF3,
+    0x748F82EE, 0x78A5636F, 0x84C87814, 0x8CC70208,
+    0x90BEFFFA, 0xA4506CEB, 0xBEF9A3F7, 0xC67178F2,
+)
+
+
+def _compress(h: tuple[int, ...], block: bytes | memoryview) -> tuple[int, ...]:
+    """One SHA-256 compression of a 64-byte ``block`` into state ``h``."""
+    w = list(struct.unpack(">16I", block))
+    for i in range(16, 64):
+        x = w[i - 15]
+        s0 = ((x >> 7 | x << 25) ^ (x >> 18 | x << 14) ^ (x >> 3)) & _MASK32
+        y = w[i - 2]
+        s1 = ((y >> 17 | y << 15) ^ (y >> 19 | y << 13) ^ (y >> 10)) & _MASK32
+        w.append((w[i - 16] + s0 + w[i - 7] + s1) & _MASK32)
+
+    a, b, c, d, e, f, g, hh = h
+    for i in range(64):
+        s1 = ((e >> 6 | e << 26) ^ (e >> 11 | e << 21) ^ (e >> 25 | e << 7)) & _MASK32
+        ch = (e & f) ^ (~e & g)
+        t1 = (hh + s1 + ch + _K[i] + w[i]) & _MASK32
+        s0 = ((a >> 2 | a << 30) ^ (a >> 13 | a << 19) ^ (a >> 22 | a << 10)) & _MASK32
+        maj = (a & b) ^ (a & c) ^ (b & c)
+        t2 = (s0 + maj) & _MASK32
+        hh, g, f, e, d, c, b, a = (
+            g, f, e, (d + t1) & _MASK32, c, b, a, (t1 + t2) & _MASK32,
+        )
+    return (
+        (h[0] + a) & _MASK32, (h[1] + b) & _MASK32,
+        (h[2] + c) & _MASK32, (h[3] + d) & _MASK32,
+        (h[4] + e) & _MASK32, (h[5] + f) & _MASK32,
+        (h[6] + g) & _MASK32, (h[7] + hh) & _MASK32,
+    )
+
+
+@dataclass(frozen=True)
+class Sha256State:
+    """Serializable intermediate SHA-256 state.
+
+    ``chaining`` is the 32-byte intermediate digest the paper stores in
+    Blob State; ``length`` is the total bytes absorbed so far and ``tail``
+    is the (< 64 B) unprocessed remainder of the last partial block.
+    """
+
+    chaining: bytes
+    length: int
+    tail: bytes
+
+    SERIALIZED_SIZE = 32 + 8 + 1 + 63
+
+    def serialize(self) -> bytes:
+        """Fixed-size binary encoding (104 bytes)."""
+        if len(self.tail) > 63:
+            raise ValueError("tail must be shorter than one block")
+        return (self.chaining
+                + struct.pack(">QB", self.length, len(self.tail))
+                + self.tail.ljust(63, b"\x00"))
+
+    @classmethod
+    def deserialize(cls, raw: bytes | memoryview) -> "Sha256State":
+        raw = bytes(raw)
+        if len(raw) != cls.SERIALIZED_SIZE:
+            raise ValueError(f"expected {cls.SERIALIZED_SIZE} bytes, got {len(raw)}")
+        chaining = raw[:32]
+        length, tail_len = struct.unpack(">QB", raw[32:41])
+        return cls(chaining=chaining, length=length, tail=raw[41:41 + tail_len])
+
+
+class Sha256:
+    """Incremental SHA-256 with ``state()`` export and ``resume()`` import."""
+
+    block_size = 64
+    digest_size = 32
+    name = "sha256"
+
+    def __init__(self, data: bytes = b"") -> None:
+        self._h = _H0
+        self._length = 0
+        self._tail = b""
+        if data:
+            self.update(data)
+
+    def update(self, data: bytes | bytearray | memoryview) -> None:
+        """Absorb ``data`` into the hash."""
+        data = bytes(data)
+        self._length += len(data)
+        buf = self._tail + data
+        nblocks = len(buf) // 64
+        view = memoryview(buf)
+        h = self._h
+        for i in range(nblocks):
+            h = _compress(h, view[i * 64:(i + 1) * 64])
+        self._h = h
+        self._tail = bytes(view[nblocks * 64:])
+
+    def digest(self) -> bytes:
+        """Return the final 32-byte digest (does not consume the hasher)."""
+        # Padding: 0x80, zeros, 8-byte big-endian bit length.
+        bitlen = self._length * 8
+        pad_zero = (55 - self._length) % 64
+        padded = self._tail + b"\x80" + b"\x00" * pad_zero + struct.pack(">Q", bitlen)
+        h = self._h
+        view = memoryview(padded)
+        for i in range(len(padded) // 64):
+            h = _compress(h, view[i * 64:(i + 1) * 64])
+        return struct.pack(">8I", *h)
+
+    def hexdigest(self) -> str:
+        return self.digest().hex()
+
+    def copy(self) -> "Sha256":
+        clone = Sha256()
+        clone._h = self._h
+        clone._length = self._length
+        clone._tail = self._tail
+        return clone
+
+    # -- resumable-state interface -------------------------------------------
+
+    def state(self) -> Sha256State:
+        """Export the intermediate state (storable in a Blob State)."""
+        return Sha256State(
+            chaining=struct.pack(">8I", *self._h),
+            length=self._length,
+            tail=self._tail,
+        )
+
+    @classmethod
+    def resume(cls, state: Sha256State) -> "Sha256":
+        """Reconstruct a hasher from an exported intermediate state."""
+        if len(state.chaining) != 32:
+            raise ValueError("chaining value must be 32 bytes")
+        if state.length % 64 != len(state.tail) % 64:
+            raise ValueError("tail length inconsistent with total length")
+        hasher = cls()
+        hasher._h = struct.unpack(">8I", state.chaining)
+        hasher._length = state.length
+        hasher._tail = state.tail
+        return hasher
+
+    @property
+    def length(self) -> int:
+        """Total bytes absorbed so far."""
+        return self._length

@@ -1,0 +1,24 @@
+"""Deterministic simulation substrate: virtual time, cost model, workers.
+
+Every system in this repository (our engine, the file-system baselines,
+and the DBMS baselines) executes its real algorithms over real bytes, but
+*time* is simulated: each priced operation (syscall, device I/O, memcpy,
+TLB shootdown, IPC round-trip, ...) advances a :class:`VirtualClock` by an
+amount determined by a shared :class:`CostModel`.  Because all systems are
+priced by the same model, throughput ratios between systems reflect purely
+algorithmic differences — which is exactly what the paper's evaluation is
+about (see DESIGN.md section 1).
+"""
+
+from repro.sim.clock import VirtualClock
+from repro.sim.cost import CostModel, CostParams, PerfCounters
+from repro.sim.workers import WorkerSim, WorkerResult
+
+__all__ = [
+    "VirtualClock",
+    "CostModel",
+    "CostParams",
+    "PerfCounters",
+    "WorkerSim",
+    "WorkerResult",
+]

@@ -1,0 +1,69 @@
+"""Virtual clock measuring simulated nanoseconds.
+
+The clock only moves when a priced operation charges time to it, so runs
+are fully deterministic and independent of host machine speed.
+"""
+
+from __future__ import annotations
+
+
+class VirtualClock:
+    """A monotonically increasing counter of simulated nanoseconds."""
+
+    __slots__ = ("now_ns",)
+
+    def __init__(self, start_ns: int = 0) -> None:
+        if start_ns < 0:
+            raise ValueError("clock cannot start before t=0")
+        self.now_ns = start_ns
+
+    def advance(self, delta_ns: float) -> None:
+        """Move the clock forward by ``delta_ns`` simulated nanoseconds."""
+        if delta_ns < 0:
+            raise ValueError(f"cannot move time backwards ({delta_ns} ns)")
+        self.now_ns += int(delta_ns)
+
+    def advance_to(self, t_ns: int) -> None:
+        """Move the clock forward to absolute time ``t_ns`` (no-op if past)."""
+        if t_ns > self.now_ns:
+            self.now_ns = t_ns
+
+    @property
+    def now_us(self) -> float:
+        return self.now_ns / 1_000.0
+
+    @property
+    def now_ms(self) -> float:
+        return self.now_ns / 1_000_000.0
+
+    @property
+    def now_s(self) -> float:
+        return self.now_ns / 1_000_000_000.0
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"VirtualClock(now_ns={self.now_ns})"
+
+
+class Stopwatch:
+    """Measures elapsed simulated time over a region of code.
+
+    Usage::
+
+        with Stopwatch(clock) as sw:
+            ...  # operations that charge the clock
+        elapsed = sw.elapsed_ns
+    """
+
+    __slots__ = ("_clock", "_start_ns", "elapsed_ns")
+
+    def __init__(self, clock: VirtualClock) -> None:
+        self._clock = clock
+        self._start_ns = 0
+        self.elapsed_ns = 0
+
+    def __enter__(self) -> "Stopwatch":
+        self._start_ns = self._clock.now_ns
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.elapsed_ns = self._clock.now_ns - self._start_ns

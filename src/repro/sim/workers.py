@@ -1,0 +1,118 @@
+"""Deterministic multi-worker simulation with memory-contention modelling.
+
+The paper's scaling experiments (Fig. 10, Table II) are governed by two
+shared hardware resources: aggregate DRAM bandwidth and L3 capacity.
+Python threads cannot demonstrate those effects, so this module runs
+*logical* workers: one worker's operation stream is executed for real
+(charging a :class:`~repro.sim.cost.CostModel`), and the memory-bound
+fraction of its per-op time is then scaled by a fixed-point contention
+factor derived from how many workers compete for bandwidth and whether
+their combined working set spills out of L3.
+
+This reproduces the paper's observations deterministically: a design that
+performs two memcpys per read (hash-table pool: internal copy + client
+copy) saturates bandwidth at high worker counts, while a single-copy
+design (vmcache + aliasing) keeps scaling (Section V-E).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.cost import CostModel, CostParams, PerfCounters
+
+#: Signature of one benchmark operation: receives the cost model to charge
+#: and the worker index, performs the operation (real bytes, real data
+#: structures), and returns nothing.
+WorkerOp = Callable[[CostModel, int], None]
+
+
+@dataclass
+class WorkerResult:
+    """Outcome of a multi-worker simulation run."""
+
+    n_workers: int
+    ops_per_worker: int
+    per_op_ns: float
+    throughput_ops_s: float
+    contention_factor: float
+    l3_spilled: bool
+    counters: PerfCounters
+
+    @property
+    def total_ops(self) -> int:
+        return self.n_workers * self.ops_per_worker
+
+
+class WorkerSim:
+    """Simulates ``n_workers`` symmetric workers running the same op mix."""
+
+    def __init__(self, n_workers: int, params: CostParams | None = None) -> None:
+        if n_workers < 1:
+            raise ValueError("need at least one worker")
+        self.n_workers = n_workers
+        self.params = params or CostParams()
+
+    def run(self, op: WorkerOp, ops_per_worker: int,
+            working_set_bytes: int = 0,
+            setup: Callable[[CostModel], None] | None = None) -> WorkerResult:
+        """Execute ``ops_per_worker`` operations and model N-worker scaling.
+
+        ``working_set_bytes`` is the per-worker memory footprint an op
+        streams through (client buffer + any internal staging buffer); it
+        determines whether N workers together spill L3.
+        """
+        if ops_per_worker < 1:
+            raise ValueError("ops_per_worker must be positive")
+        model = CostModel(self.params)
+        if setup is not None:
+            setup(model)
+        start_ns = model.clock.now_ns
+        start_mem = model.memory_time_ns
+        start_bytes = model.memcpy_bytes
+        base_counters = model.counters.snapshot()
+        for i in range(ops_per_worker):
+            op(model, i)
+        total_ns = model.clock.now_ns - start_ns
+        mem_ns = model.memory_time_ns - start_mem
+        copy_bytes = model.memcpy_bytes - start_bytes
+        counters = model.counters.delta_since(base_counters)
+
+        per_op_total = total_ns / ops_per_worker
+        per_op_mem = mem_ns / ops_per_worker
+        per_op_other = max(0.0, per_op_total - per_op_mem)
+        per_op_bytes = copy_bytes / ops_per_worker
+
+        spilled = (self.n_workers * working_set_bytes) > self.params.l3_bytes
+        if spilled:
+            per_op_mem *= self.params.l3_spill_factor
+
+        factor = self._bandwidth_factor(per_op_other, per_op_mem, per_op_bytes)
+        per_op_ns = per_op_other + factor * per_op_mem
+        throughput = self.n_workers * 1e9 / per_op_ns if per_op_ns else 0.0
+        return WorkerResult(
+            n_workers=self.n_workers,
+            ops_per_worker=ops_per_worker,
+            per_op_ns=per_op_ns,
+            throughput_ops_s=throughput,
+            contention_factor=factor,
+            l3_spilled=spilled,
+            counters=counters,
+        )
+
+    def _bandwidth_factor(self, other_ns: float, mem_ns: float,
+                          bytes_per_op: float) -> float:
+        """Fixed-point slowdown so aggregate demand fits DRAM bandwidth."""
+        if mem_ns <= 0 or bytes_per_op <= 0:
+            return 1.0
+        bw_bytes_per_ns = self.params.memory_bandwidth_bytes_per_s / 1e9
+        factor = 1.0
+        for _ in range(64):
+            per_op = other_ns + factor * mem_ns
+            demand = self.n_workers * bytes_per_op / per_op  # bytes/ns
+            new_factor = max(1.0, factor * demand / bw_bytes_per_ns)
+            if abs(new_factor - factor) < 1e-9:
+                break
+            factor = new_factor
+        return factor

@@ -1,0 +1,22 @@
+"""A small SQL front end for the statement forms the paper uses.
+
+The paper's listings interact with the engine through SQL:
+
+* ``CREATE TABLE image (filename VARCHAR PRIMARY KEY, content BLOB)``
+  (Section III-E, "Relation as a directory");
+* ``CREATE UDF classify(blob) -> TEXT`` and
+  ``CREATE INDEX foo ON image (classify(content))`` (Section III-F,
+  semantic indexes);
+* ``SELECT * FROM image WHERE classify(content) = 'cat'``.
+
+:class:`SqlSession` parses and executes exactly this dialect — plus the
+obvious companions (INSERT, SELECT by key/content, DELETE, UPDATE of the
+BLOB column) — against a :class:`~repro.db.database.BlobDB`, routing
+content predicates through the Blob State index and UDF predicates
+through semantic indexes.  It is intentionally small: a front end for
+the storage engine, not a query optimizer.
+"""
+
+from repro.sql.session import SqlError, SqlSession
+
+__all__ = ["SqlSession", "SqlError"]

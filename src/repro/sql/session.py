@@ -1,0 +1,395 @@
+"""Tokenizer, parser, and executor for the paper's SQL dialect."""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+from repro.db.database import BlobDB
+from repro.db.errors import DatabaseError, KeyNotFoundError
+from repro.db.index import BlobStateIndex, PrefixIndex, SemanticIndex
+
+
+class SqlError(DatabaseError):
+    """Syntax or semantic error in a SQL statement."""
+
+
+# -- tokenizer ---------------------------------------------------------------
+
+_TOKEN_RE = re.compile(
+    r"""
+    \s*(?:
+        (?P<hex>[Xx]'(?:[0-9a-fA-F]{2})*')  |
+        (?P<string>'(?:[^']|'')*')          |
+        (?P<name>[A-Za-z_][A-Za-z_0-9]*)    |
+        (?P<arrow>->)                       |
+        (?P<punct>[(),=*;])
+    )
+    """,
+    re.VERBOSE,
+)
+
+
+@dataclass(frozen=True)
+class Token:
+    kind: str   # "hex" | "string" | "name" | "punct" | "arrow"
+    text: str
+
+
+def tokenize(sql: str) -> list[Token]:
+    tokens: list[Token] = []
+    pos = 0
+    while pos < len(sql):
+        if sql[pos:].strip() == "":
+            break
+        match = _TOKEN_RE.match(sql, pos)
+        if match is None:
+            raise SqlError(f"cannot tokenize near: {sql[pos:pos + 20]!r}")
+        pos = match.end()
+        for kind in ("hex", "string", "name", "arrow", "punct"):
+            text = match.group(kind)
+            if text is not None:
+                tokens.append(Token(kind=kind, text=text))
+                break
+    return tokens
+
+
+class _Cursor:
+    def __init__(self, tokens: list[Token]) -> None:
+        self.tokens = tokens
+        self.pos = 0
+
+    def peek(self) -> Token | None:
+        return self.tokens[self.pos] if self.pos < len(self.tokens) else None
+
+    def next(self) -> Token:
+        token = self.peek()
+        if token is None:
+            raise SqlError("unexpected end of statement")
+        self.pos += 1
+        return token
+
+    def expect_keyword(self, *words: str) -> str:
+        token = self.next()
+        if token.kind != "name" or token.text.upper() not in words:
+            raise SqlError(f"expected {'/'.join(words)}, got {token.text!r}")
+        return token.text.upper()
+
+    def expect_punct(self, char: str) -> None:
+        token = self.next()
+        if token.kind != "punct" or token.text != char:
+            raise SqlError(f"expected {char!r}, got {token.text!r}")
+
+    def try_punct(self, char: str) -> bool:
+        token = self.peek()
+        if token and token.kind == "punct" and token.text == char:
+            self.pos += 1
+            return True
+        return False
+
+    def name(self) -> str:
+        token = self.next()
+        if token.kind != "name":
+            raise SqlError(f"expected identifier, got {token.text!r}")
+        return token.text
+
+    def literal(self) -> bytes:
+        token = self.next()
+        if token.kind == "string":
+            return token.text[1:-1].replace("''", "'").encode()
+        if token.kind == "hex":
+            return bytes.fromhex(token.text[2:-1])
+        raise SqlError(f"expected a literal, got {token.text!r}")
+
+
+# -- schema bookkeeping ---------------------------------------------------------
+
+@dataclass
+class TableSchema:
+    name: str
+    key_column: str
+    blob_column: str
+    #: index name -> index object (content, prefix, or semantic)
+    indexes: dict[str, Any] = field(default_factory=dict)
+
+
+class SqlSession:
+    """Parses and executes statements against one engine."""
+
+    def __init__(self, db: BlobDB | None = None) -> None:
+        self.db = db or BlobDB()
+        self._schemas: dict[str, TableSchema] = {}
+        self._udfs: dict[str, Callable[[bytes], str | bytes]] = {}
+        self._declared_udfs: dict[str, str] = {}
+
+    # -- UDF registry -------------------------------------------------------
+
+    def register_udf(self, name: str,
+                     fn: Callable[[bytes], str | bytes]) -> None:
+        """Bind the Python implementation of a ``CREATE UDF`` function."""
+        self._udfs[name.lower()] = fn
+
+    # -- entry point -----------------------------------------------------------
+
+    def execute(self, sql: str) -> list[tuple]:
+        """Execute one statement; SELECTs return rows, DML returns []."""
+        cursor = _Cursor(tokenize(sql))
+        token = cursor.peek()
+        if token is None:
+            raise SqlError("empty statement")
+        head = token.text.upper()
+        dispatch = {
+            "CREATE": self._execute_create,
+            "INSERT": self._execute_insert,
+            "SELECT": self._execute_select,
+            "DELETE": self._execute_delete,
+            "UPDATE": self._execute_update,
+        }
+        if head not in dispatch:
+            raise SqlError(f"unsupported statement {head!r}")
+        result = dispatch[head](cursor)
+        if cursor.try_punct(";"):
+            pass
+        if cursor.peek() is not None:
+            raise SqlError(f"trailing tokens after statement: "
+                           f"{cursor.peek().text!r}")
+        return result
+
+    # -- CREATE -------------------------------------------------------------------
+
+    def _execute_create(self, cursor: _Cursor) -> list[tuple]:
+        cursor.expect_keyword("CREATE")
+        what = cursor.expect_keyword("TABLE", "INDEX", "UDF")
+        if what == "TABLE":
+            return self._create_table(cursor)
+        if what == "UDF":
+            return self._create_udf(cursor)
+        return self._create_index(cursor)
+
+    def _create_table(self, cursor: _Cursor) -> list[tuple]:
+        table = cursor.name()
+        cursor.expect_punct("(")
+        key_column = cursor.name()
+        cursor.expect_keyword("VARCHAR", "TEXT")
+        cursor.expect_keyword("PRIMARY")
+        cursor.expect_keyword("KEY")
+        cursor.expect_punct(",")
+        blob_column = cursor.name()
+        cursor.expect_keyword("BLOB")
+        cursor.expect_punct(")")
+        self.db.create_table(table)
+        self._schemas[table] = TableSchema(name=table, key_column=key_column,
+                                           blob_column=blob_column)
+        return []
+
+    def _create_udf(self, cursor: _Cursor) -> list[tuple]:
+        name = cursor.name()
+        cursor.expect_punct("(")
+        cursor.expect_keyword("BLOB")
+        cursor.expect_punct(")")
+        token = cursor.next()
+        if token.kind != "arrow":
+            raise SqlError("expected -> in CREATE UDF")
+        cursor.expect_keyword("TEXT")
+        if name.lower() not in self._udfs:
+            raise SqlError(
+                f"UDF {name!r} has no registered implementation; call "
+                f"session.register_udf({name!r}, fn) first")
+        self._declared_udfs[name.lower()] = "TEXT"
+        return []
+
+    def _create_index(self, cursor: _Cursor) -> list[tuple]:
+        index_name = cursor.name()
+        cursor.expect_keyword("ON")
+        schema = self._schema(cursor.name())
+        cursor.expect_punct("(")
+        first = cursor.name()
+        if cursor.try_punct("("):
+            # column(N): a prefix index, or udf(column): semantic.
+            inner = cursor.next()
+            if inner.kind == "name" and inner.text == schema.blob_column:
+                cursor.expect_punct(")")
+                index = self._semantic_index(schema, first)
+            elif inner.kind == "string" or inner.text.isdigit():
+                prefix_bytes = int(inner.text)
+                cursor.expect_punct(")")
+                index = PrefixIndex(self.db, schema.name,
+                                    prefix_bytes=prefix_bytes)
+            else:
+                raise SqlError(f"unexpected {inner.text!r} in index spec")
+        elif first == schema.blob_column:
+            index = BlobStateIndex(self.db, schema.name)
+        else:
+            raise SqlError(f"cannot index column {first!r}")
+        cursor.expect_punct(")")
+        index.build()
+        schema.indexes[index_name] = index
+        return []
+
+    def _semantic_index(self, schema: TableSchema, udf: str) -> SemanticIndex:
+        if udf.lower() not in self._declared_udfs:
+            raise SqlError(f"unknown UDF {udf!r}; CREATE UDF first")
+        return SemanticIndex(self.db, schema.name, self._udfs[udf.lower()])
+
+    # -- INSERT ---------------------------------------------------------------------
+
+    def _execute_insert(self, cursor: _Cursor) -> list[tuple]:
+        cursor.expect_keyword("INSERT")
+        cursor.expect_keyword("INTO")
+        schema = self._schema(cursor.name())
+        cursor.expect_keyword("VALUES")
+        cursor.expect_punct("(")
+        key = cursor.literal()
+        cursor.expect_punct(",")
+        content = cursor.literal()
+        cursor.expect_punct(")")
+        with self.db.transaction() as txn:
+            state = self.db.put_blob(txn, schema.name, key, content)
+        for index in schema.indexes.values():
+            if isinstance(index, BlobStateIndex):
+                index.insert(state, key)
+            elif isinstance(index, SemanticIndex):
+                index.insert(state, key)
+            elif isinstance(index, PrefixIndex):
+                index.insert_content(content, key)
+        return []
+
+    # -- SELECT ---------------------------------------------------------------------
+
+    def _execute_select(self, cursor: _Cursor) -> list[tuple]:
+        cursor.expect_keyword("SELECT")
+        projection = self._parse_projection(cursor)
+        cursor.expect_keyword("FROM")
+        schema = self._schema(cursor.name())
+        keys = self._matching_keys(schema, cursor)
+        rows = []
+        for key in keys:
+            rows.append(self._project(schema, key, projection))
+        return rows
+
+    def _parse_projection(self, cursor: _Cursor):
+        if cursor.try_punct("*"):
+            return ("*",)
+        names = [cursor.name()]
+        while cursor.try_punct(","):
+            names.append(cursor.name())
+        return tuple(names)
+
+    def _matching_keys(self, schema: TableSchema,
+                       cursor: _Cursor) -> list[bytes]:
+        token = cursor.peek()
+        if token is None or token.text.upper() != "WHERE":
+            return [key for key, _ in self.db.scan(schema.name)]
+        cursor.expect_keyword("WHERE")
+        column = cursor.name()
+        if cursor.try_punct("("):
+            # udf(content) = 'label'
+            arg = cursor.name()
+            cursor.expect_punct(")")
+            if arg != schema.blob_column:
+                raise SqlError(f"UDF predicates apply to "
+                               f"{schema.blob_column!r}")
+            cursor.expect_punct("=")
+            label = cursor.literal()
+            index = self._find_semantic_index(schema, column)
+            return sorted(index.lookup(label))
+        cursor.expect_punct("=")
+        value = cursor.literal()
+        if column == schema.key_column:
+            return [value] if self.db.exists(schema.name, value) else []
+        if column == schema.blob_column:
+            index = self._find_content_index(schema)
+            if index is not None:
+                return sorted(index.lookup_content(value))
+            # Fall back to a scan with digest comparisons.
+            from repro.db.index import make_probe
+            probe = make_probe(value, self.db.config.hasher)
+            return [key for key, state in self.db.scan(schema.name)
+                    if state.sha256 == probe.sha256]
+        raise SqlError(f"unknown column {column!r}")
+
+    def _find_semantic_index(self, schema: TableSchema,
+                             udf: str) -> SemanticIndex:
+        for index in schema.indexes.values():
+            if isinstance(index, SemanticIndex) and \
+                    index.udf is self._udfs.get(udf.lower()):
+                return index
+        raise SqlError(f"no semantic index on {udf!r}; CREATE INDEX first")
+
+    def _find_content_index(self, schema: TableSchema):
+        for index in schema.indexes.values():
+            if isinstance(index, BlobStateIndex):
+                return index
+        return None
+
+    def _project(self, schema: TableSchema, key: bytes, projection) -> tuple:
+        out = []
+        for item in projection:
+            if item == "*":
+                out.append(key)
+                out.append(self.db.read_blob(schema.name, key))
+            elif item == schema.key_column:
+                out.append(key)
+            elif item == schema.blob_column:
+                out.append(self.db.read_blob(schema.name, key))
+            elif item.lower() in self._udfs:
+                content = self.db.read_blob(schema.name, key)
+                derived = self._udfs[item.lower()](content)
+                out.append(derived if isinstance(derived, str)
+                           else derived.decode())
+            else:
+                raise SqlError(f"unknown projection {item!r}")
+        return tuple(out)
+
+    # -- DELETE / UPDATE ----------------------------------------------------------------
+
+    def _execute_delete(self, cursor: _Cursor) -> list[tuple]:
+        cursor.expect_keyword("DELETE")
+        cursor.expect_keyword("FROM")
+        schema = self._schema(cursor.name())
+        cursor.expect_keyword("WHERE")
+        column = cursor.name()
+        if column != schema.key_column:
+            raise SqlError("DELETE supports key-column predicates only")
+        cursor.expect_punct("=")
+        key = cursor.literal()
+        try:
+            state = self.db.get_state(schema.name, key)
+        except KeyNotFoundError:
+            return []
+        with self.db.transaction() as txn:
+            self.db.delete_blob(txn, schema.name, key)
+        for index in schema.indexes.values():
+            if isinstance(index, BlobStateIndex):
+                index.remove(state, key)
+        return []
+
+    def _execute_update(self, cursor: _Cursor) -> list[tuple]:
+        cursor.expect_keyword("UPDATE")
+        schema = self._schema(cursor.name())
+        cursor.expect_keyword("SET")
+        column = cursor.name()
+        if column != schema.blob_column:
+            raise SqlError("UPDATE supports the BLOB column only")
+        cursor.expect_punct("=")
+        content = cursor.literal()
+        cursor.expect_keyword("WHERE")
+        key_column = cursor.name()
+        if key_column != schema.key_column:
+            raise SqlError("UPDATE needs a key-column predicate")
+        cursor.expect_punct("=")
+        key = cursor.literal()
+        with self.db.transaction() as txn:
+            if self.db.exists(schema.name, key):
+                self.db.delete_blob(txn, schema.name, key)
+            self.db.put_blob(txn, schema.name, key, content)
+        return []
+
+    # -- helpers ----------------------------------------------------------------------------
+
+    def _schema(self, table: str) -> TableSchema:
+        try:
+            return self._schemas[table]
+        except KeyError:
+            raise SqlError(f"unknown table {table!r}") from None

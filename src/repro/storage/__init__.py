@@ -1,0 +1,25 @@
+"""Simulated page-addressed NVMe storage.
+
+All systems in this reproduction — our engine, the file-system baselines
+and the DBMS baselines — persist real bytes to a :class:`SimulatedNVMe`.
+The device accounts every written byte under a category (``data``,
+``wal``, ``journal``, ``meta``, ``dwb``, ``index``), which is how the
+paper's write-amplification and copies-per-BLOB claims are measured
+(Table I "Duplicated copies", Section II "Excessive BLOB writes").
+"""
+
+from repro.storage.device import (
+    DeviceFull,
+    DeviceStats,
+    IoRequest,
+    SimulatedNVMe,
+    WRITE_CATEGORIES,
+)
+
+__all__ = [
+    "SimulatedNVMe",
+    "DeviceStats",
+    "IoRequest",
+    "DeviceFull",
+    "WRITE_CATEGORIES",
+]

@@ -1,0 +1,198 @@
+"""Out-of-place writes: logical PIDs decoupled from physical addresses.
+
+The paper's proposed answer to storage aging (Section VI): "in
+principle, out-of-place write policy can solve the aging problem.  The
+core idea is to decouple logical PID from the on-storage physical
+address.  Consequently, the DBMS can allocate every extent as new and
+map those PIDs with the available physical addresses."
+
+:class:`RemappedDevice` implements that layer over a physical
+:class:`~repro.storage.device.SimulatedNVMe` with FTL-like semantics:
+
+* the *logical* address space is larger than the physical device, so the
+  extent allocator never fragments — every extent is allocated fresh;
+* every logical page write lands on a freshly allocated physical page
+  (log-structured); the previous physical page, if any, returns to the
+  free pool immediately — overwrites self-reclaim;
+* ``trim`` releases the physical pages of deleted logical extents;
+* reads translate per page and gather (one request per physically
+  contiguous run), priced through the shared cost model.
+
+Physical space is exhausted only when *live* data exceeds the device —
+fragmentation of the logical space is free.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cost import CostModel
+from repro.storage.device import DeviceFull, IoRequest, SimulatedNVMe
+
+
+@dataclass
+class RemapStats:
+    logical_writes: int = 0
+    relocations: int = 0
+    trimmed_pages: int = 0
+
+    @property
+    def live_fraction_meaningful(self) -> bool:  # pragma: no cover
+        return True
+
+
+class RemappedDevice:
+    """A logical page device backed by out-of-place physical writes.
+
+    Implements the same interface the engine uses on
+    :class:`SimulatedNVMe` (``write``/``read``/``submit``/``peek``/
+    ``stats``/``capacity_pages``/``page_size``), so it can be passed to
+    :class:`~repro.db.database.BlobDB` as the device.
+    """
+
+    #: Cost of one logical->physical map update (cached FTL entry).
+    _MAP_UPDATE_NS = 30.0
+
+    def __init__(self, model: CostModel, physical_pages: int,
+                 logical_pages: int | None = None,
+                 page_size: int = 4096) -> None:
+        self.model = model
+        self.physical = SimulatedNVMe(model, capacity_pages=physical_pages,
+                                      page_size=page_size)
+        #: The logical space defaults to 8x the physical device: extents
+        #: are always allocated fresh and never reuse a fragmented range.
+        self.capacity_pages = logical_pages or physical_pages * 8
+        self.page_size = page_size
+        self._map: dict[int, int] = {}
+        self._free: list[int] = list(range(physical_pages - 1, -1, -1))
+        self.remap_stats = RemapStats()
+
+    # -- interface parity with SimulatedNVMe --------------------------------
+
+    @property
+    def stats(self):
+        return self.physical.stats
+
+    @property
+    def capacity_bytes(self) -> int:
+        return self.capacity_pages * self.page_size
+
+    def live_pages(self) -> int:
+        return len(self._map)
+
+    def physical_utilization(self) -> float:
+        return len(self._map) / self.physical.capacity_pages
+
+    # -- translation ----------------------------------------------------------
+
+    def _allocate_physical(self) -> int:
+        if not self._free:
+            raise DeviceFull("out-of-place device: no free physical pages")
+        return self._free.pop()
+
+    def _translate_write(self, logical: int) -> int:
+        """Out-of-place: a write always gets a fresh physical page."""
+        self.model.cpu(self._MAP_UPDATE_NS)
+        new_phys = self._allocate_physical()
+        old = self._map.get(logical)
+        if old is not None:
+            self._free.append(old)
+            self.remap_stats.relocations += 1
+        self._map[logical] = new_phys
+        self.remap_stats.logical_writes += 1
+        return new_phys
+
+    def _check_logical(self, pid: int, npages: int) -> None:
+        if pid < 0 or npages <= 0 or pid + npages > self.capacity_pages:
+            raise DeviceFull(
+                f"logical I/O [{pid}, {pid + npages}) beyond logical "
+                f"capacity {self.capacity_pages}")
+
+    # -- I/O --------------------------------------------------------------------
+
+    def write(self, pid: int, data: bytes, category: str = "data",
+              background: bool = False) -> None:
+        npages = len(data) // self.page_size
+        self.submit([IoRequest(pid=pid, npages=npages, data=data,
+                               category=category)], background=background)
+
+    def read(self, pid: int, npages: int) -> bytes:
+        self._check_logical(pid, npages)
+        return b"".join(
+            self.physical.read(self._map[pid + i], 1)
+            if pid + i in self._map else b"\x00" * self.page_size
+            for i in range(npages))
+
+    def submit(self, requests: list[IoRequest],
+               background: bool = False) -> list[bytes | None]:
+        """Translate each logical request into physical run requests."""
+        physical_requests: list[IoRequest] = []
+        plans: list[tuple[IoRequest, list[int]] | None] = []
+        for req in requests:
+            self._check_logical(req.pid, req.npages)
+            if req.is_write:
+                assert req.data is not None
+                phys = [self._translate_write(req.pid + i)
+                        for i in range(req.npages)]
+                for run_start, run_len, data_off in _runs(phys):
+                    physical_requests.append(IoRequest(
+                        pid=run_start, npages=run_len,
+                        data=req.data[data_off * self.page_size:
+                                      (data_off + run_len) * self.page_size],
+                        category=req.category))
+                plans.append(None)
+            else:
+                phys = [self._map.get(req.pid + i, -1)
+                        for i in range(req.npages)]
+                for run_start, run_len, _ in _runs([p for p in phys if p >= 0]):
+                    physical_requests.append(IoRequest(pid=run_start,
+                                                       npages=run_len))
+                plans.append((req, phys))
+        self.physical.submit(physical_requests, background=background)
+        # Reads re-gather from physical state (content-exact, cost above).
+        results: list[bytes | None] = []
+        for plan in plans:
+            if plan is None:
+                results.append(None)
+                continue
+            req, phys = plan
+            blank = b"\x00" * self.page_size
+            results.append(b"".join(
+                self.physical.peek(p, 1) if p >= 0 else blank
+                for p in phys))
+        return results
+
+    def peek(self, pid: int, npages: int = 1) -> bytes:
+        self._check_logical(pid, npages)
+        blank = b"\x00" * self.page_size
+        return b"".join(
+            self.physical.peek(self._map[pid + i], 1)
+            if pid + i in self._map else blank
+            for i in range(npages))
+
+    # -- reclamation ----------------------------------------------------------------
+
+    def trim(self, pid: int, npages: int) -> None:
+        """Release the physical pages of a deleted logical range."""
+        self._check_logical(pid, npages)
+        for i in range(npages):
+            phys = self._map.pop(pid + i, None)
+            if phys is not None:
+                self._free.append(phys)
+                self.remap_stats.trimmed_pages += 1
+
+    def resident_pages(self) -> int:
+        return self.physical.resident_pages()
+
+
+def _runs(pages: list[int]):
+    """Split a physical page list into contiguous (start, len, offset)."""
+    out = []
+    i = 0
+    while i < len(pages):
+        j = i
+        while j + 1 < len(pages) and pages[j + 1] == pages[j] + 1:
+            j += 1
+        out.append((pages[i], j - i + 1, i))
+        i = j + 1
+    return out

@@ -1,0 +1,42 @@
+"""Write-ahead logging with group commit and checkpointing.
+
+The decisive difference between the paper's design and conventional
+engines lives here: with *asynchronous BLOB logging* the WAL receives
+only the tiny Blob State while BLOB content goes straight to its extents
+at commit (one write per BLOB); with physical logging (``physlog``, the
+paper's baseline) BLOB content is segmented through the WAL buffer and
+additionally written during buffer eviction (two writes per BLOB, more
+frequent checkpoints).
+"""
+
+from repro.wal.records import (
+    BlobChunkRecord,
+    BlobDeltaRecord,
+    CheckpointRecord,
+    DeleteRecord,
+    InsertRecord,
+    LogRecord,
+    TxnAbortRecord,
+    TxnBeginRecord,
+    TxnCommitRecord,
+    UpdateRecord,
+    decode_records,
+)
+from repro.wal.writer import WalFullError, WalStats, WalWriter
+
+__all__ = [
+    "LogRecord",
+    "TxnBeginRecord",
+    "TxnCommitRecord",
+    "TxnAbortRecord",
+    "InsertRecord",
+    "DeleteRecord",
+    "UpdateRecord",
+    "BlobDeltaRecord",
+    "BlobChunkRecord",
+    "CheckpointRecord",
+    "decode_records",
+    "WalWriter",
+    "WalStats",
+    "WalFullError",
+]

@@ -1,0 +1,185 @@
+"""WAL buffer, group commit, and checkpoint-triggering ring writer.
+
+The writer appends encoded records to an in-memory buffer and flushes
+them to a dedicated device region:
+
+* ``group_commit_flush`` — the common case: the group committer drains
+  the buffer off the critical path (``background=True`` device I/O), so a
+  committing transaction pays no device latency (Section V-A: "our
+  implementation uses group commit so the critical path usually does not
+  involve I/O").
+* An ``append`` that overflows the buffer must *wait*: the overflowing
+  flush is synchronous.  This is the physlog penalty the paper measures —
+  "transactions must spend considerable time waiting for the group commit
+  to finish" when BLOB-sized records stream through a BLOB-sized buffer
+  (Section V-B, 10 MB payload).
+
+When the region runs low the writer invokes the checkpoint callback and
+rewinds — checkpoint frequency is therefore proportional to logged bytes,
+reproducing "it increases the log size and thus triggers WAL
+checkpointing more frequently" (Section II).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.sim.cost import CostModel
+from repro.storage.device import SimulatedNVMe
+from repro.wal.records import LogRecord, decode_records
+
+
+class WalFullError(Exception):
+    """A single record is too large for the whole WAL region."""
+
+
+@dataclass
+class WalStats:
+    records: int = 0
+    bytes_appended: int = 0
+    flushes: int = 0
+    synchronous_flushes: int = 0
+    checkpoints: int = 0
+
+
+class WalWriter:
+    """Appends records to a buffered ring over a device region."""
+
+    def __init__(self, device: SimulatedNVMe, model: CostModel,
+                 region_pid: int, region_pages: int,
+                 buffer_bytes: int = 1 << 20,
+                 checkpoint_cb: Callable[[], None] | None = None,
+                 category: str = "wal") -> None:
+        if region_pages < 2:
+            raise ValueError("WAL region needs at least two pages")
+        if buffer_bytes < 4096:
+            raise ValueError("WAL buffer must hold at least one page")
+        self.device = device
+        self.model = model
+        self.region_pid = region_pid
+        self.region_pages = region_pages
+        self.buffer_bytes = buffer_bytes
+        self.checkpoint_cb = checkpoint_cb
+        self.category = category
+        self.stats = WalStats()
+        self._buffer = bytearray()
+        #: Bytes durably written into the region since the last rewind.
+        self._write_off = 0
+        #: Durable prefix of the current (incomplete) region page; a flush
+        #: that lands mid-page rewrites the page including this prefix.
+        self._page_head = b""
+        self._lsn = 0
+        #: Strictly increasing frame sequence; never rewinds, so stale
+        #: ring bytes from a previous pass are detectable at recovery.
+        self._next_seq = 1
+
+    @property
+    def region_bytes(self) -> int:
+        return self.region_pages * self.device.page_size
+
+    @property
+    def lsn(self) -> int:
+        """Monotonic count of bytes ever appended."""
+        return self._lsn
+
+    def used_fraction(self) -> float:
+        return (self._write_off + len(self._buffer)) / self.region_bytes
+
+    # -- appending ---------------------------------------------------------
+
+    def append(self, record: LogRecord) -> int:
+        """Buffer one record; returns its LSN.
+
+        Copies the encoded record into the WAL buffer (priced memcpy).
+        If the buffer overflows, it is flushed *synchronously* — the
+        appender waits, as a physlog transaction does when a BLOB is
+        segmented through a buffer of similar size.
+        """
+        encoded = record.encode(self._next_seq)
+        self._next_seq += 1
+        if len(encoded) > self.region_bytes:
+            raise WalFullError(
+                f"record of {len(encoded)} bytes exceeds WAL region")
+        lsn = self._lsn
+        self.model.memcpy(len(encoded))
+        self._buffer += encoded
+        self._lsn += len(encoded)
+        self.stats.records += 1
+        self.stats.bytes_appended += len(encoded)
+        while len(self._buffer) > self.buffer_bytes:
+            self._flush_prefix(self.buffer_bytes, background=False)
+        return lsn
+
+    # -- flushing -----------------------------------------------------------
+
+    def group_commit_flush(self) -> None:
+        """Drain the buffer off the critical path (group committer)."""
+        self._flush_prefix(len(self._buffer), background=True)
+
+    def sync_flush(self) -> None:
+        """Drain the buffer synchronously (fsync-like durability point)."""
+        self._flush_prefix(len(self._buffer), background=False)
+        self.model.syscall("fdatasync")
+
+    def _flush_prefix(self, nbytes: int, background: bool) -> None:
+        if nbytes <= 0 or not self._buffer:
+            return
+        nbytes = min(nbytes, len(self._buffer))
+        ps = self.device.page_size
+        self._ensure_space(nbytes)
+        # The write starts at the page holding the current offset and must
+        # re-include that page's already-durable prefix.
+        chunk = self._page_head + bytes(self._buffer[:nbytes])
+        npages = (len(chunk) + ps - 1) // ps
+        padded = chunk.ljust(npages * ps, b"\x00")
+        first_pid = self.region_pid + (self._write_off - len(self._page_head)) // ps
+        self.device.write(first_pid, padded, category=self.category,
+                          background=background)
+        del self._buffer[:nbytes]
+        self._write_off += nbytes
+        in_page = self._write_off % ps
+        self._page_head = chunk[-in_page:] if in_page else b""
+        self.stats.flushes += 1
+        if not background:
+            self.stats.synchronous_flushes += 1
+
+    def _ensure_space(self, nbytes: int) -> None:
+        # Leave one page of slack for the final page's zero padding.
+        if self._write_off + nbytes > self.region_bytes - self.device.page_size:
+            self.checkpoint()
+
+    # -- checkpointing --------------------------------------------------------
+
+    def checkpoint(self) -> None:
+        """Run the engine checkpoint and rewind the ring."""
+        self.stats.checkpoints += 1
+        if self.checkpoint_cb is not None:
+            self.checkpoint_cb()
+        self._write_off = 0
+        self._page_head = b""
+
+    def reset(self) -> None:
+        """Rewind without invoking the callback (post-checkpoint reset)."""
+        self._write_off = 0
+        self._page_head = b""
+
+    def set_seq_floor(self, seq: int) -> None:
+        """Continue frame sequencing above ``seq`` (used after recovery,
+        so stale pre-crash ring records stay distinguishable)."""
+        self._next_seq = max(self._next_seq, seq + 1)
+
+    # -- recovery support ---------------------------------------------------------
+
+    def durable_records(self) -> list[LogRecord]:
+        """Decode the records currently durable in the region.
+
+        Used by recovery after a crash: buffered-but-unflushed records are
+        volatile and correctly absent.
+        """
+        ps = self.device.page_size
+        npages = (self._write_off + ps - 1) // ps
+        if npages == 0:
+            return []
+        raw = self.device.peek(self.region_pid, npages)
+        return list(decode_records(raw[:self._write_off]))

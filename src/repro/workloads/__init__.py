@@ -1,0 +1,27 @@
+"""Workload generators for the paper's evaluation.
+
+* :mod:`repro.workloads.ycsb` — YCSB with BLOB payloads (Section V-B):
+  fixed sizes from 120 B to 1 GB, a mixed 4 KB–10 MB configuration, and
+  Zipfian key popularity.
+* :mod:`repro.workloads.wikipedia` — synthetic English-Wikipedia article
+  sizes and view counts fitted to the quantiles the paper itself cites
+  (43 % of articles > 767 B; 95th percentile ≈ 8191 B), used by the
+  read-only experiments (Figs. 8, 9) and the indexing study (Table III).
+* :mod:`repro.workloads.gitclone` — a filesystem-level trace shaped like
+  ``git clone --depth 1`` of the Linux kernel (Table IV): one large
+  packfile plus thousands of small checkout files, dominated by
+  open/fstat/close metadata traffic.
+"""
+
+from repro.workloads.ycsb import YcsbConfig, YcsbWorkload, zipf_sampler
+from repro.workloads.wikipedia import WikipediaCorpus
+from repro.workloads.gitclone import GitCloneTrace, TraceOp
+
+__all__ = [
+    "YcsbConfig",
+    "YcsbWorkload",
+    "zipf_sampler",
+    "WikipediaCorpus",
+    "GitCloneTrace",
+    "TraceOp",
+]

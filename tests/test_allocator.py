@@ -1,0 +1,116 @@
+"""Tests for the extent allocator and per-tier free lists (Section III-D)."""
+
+import pytest
+
+from repro.core.allocator import ExtentAllocator, StorageFull
+from repro.core.extent import AllocationPlan
+from repro.core.tier import ExtentTier
+
+
+@pytest.fixture
+def alloc():
+    return ExtentAllocator(ExtentTier(tiers_per_level=10), first_pid=100,
+                           capacity_pages=1000)
+
+
+class TestBasicAllocation:
+    def test_fresh_allocations_are_contiguous_bump(self, alloc):
+        e0 = alloc.allocate_extent(0)
+        e1 = alloc.allocate_extent(1)
+        assert (e0.pid, e0.npages) == (100, 1)
+        assert (e1.pid, e1.npages) == (101, 2)
+        assert alloc.allocated_pages == 3
+
+    def test_extent_size_follows_tier(self, alloc):
+        assert alloc.allocate_extent(3).npages == 8
+
+    def test_tail_allocation(self, alloc):
+        tail = alloc.allocate_tail(5)
+        assert tail.npages == 5
+        assert alloc.allocated_pages == 5
+
+    def test_tail_rejects_nonpositive(self, alloc):
+        with pytest.raises(ValueError):
+            alloc.allocate_tail(0)
+
+    def test_allocate_plan(self, alloc):
+        plan = AllocationPlan(tier_indices=(0, 1), tail_pages=3)
+        extents, tail = alloc.allocate_plan(plan)
+        assert [e.npages for e in extents] == [1, 2]
+        assert tail.npages == 3
+
+    def test_allocate_plan_without_tail(self, alloc):
+        extents, tail = alloc.allocate_plan(
+            AllocationPlan(tier_indices=(0,), tail_pages=0))
+        assert tail is None
+        assert len(extents) == 1
+
+    def test_storage_full(self):
+        alloc = ExtentAllocator(ExtentTier(), first_pid=0, capacity_pages=4)
+        alloc.allocate_extent(2)  # 4 pages
+        with pytest.raises(StorageFull):
+            alloc.allocate_extent(0)
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            ExtentAllocator(ExtentTier(), first_pid=0, capacity_pages=0)
+
+
+class TestFreeListReuse:
+    def test_freed_extent_is_reused_for_same_tier(self, alloc):
+        extent = alloc.allocate_extent(2)
+        alloc.free_extents([extent])
+        again = alloc.allocate_extent(2)
+        assert again.pid == extent.pid
+        assert alloc.stats.reused_extents == 1
+
+    def test_free_does_not_serve_other_tiers(self, alloc):
+        extent = alloc.allocate_extent(2)
+        alloc.free_extents([extent])
+        other = alloc.allocate_extent(3)
+        assert other.pid != extent.pid
+        assert alloc.stats.reused_extents == 0
+
+    def test_freed_tail_reused_on_exact_size(self, alloc):
+        tail = alloc.allocate_tail(7)
+        alloc.free_tail(tail)
+        again = alloc.allocate_tail(7)
+        assert again.pid == tail.pid
+
+    def test_freed_tail_not_reused_for_other_size(self, alloc):
+        tail = alloc.allocate_tail(7)
+        alloc.free_tail(tail)
+        other = alloc.allocate_tail(6)
+        assert other.pid != tail.pid
+
+    def test_allocated_pages_accounting_with_free(self, alloc):
+        extent = alloc.allocate_extent(3)  # 8 pages
+        assert alloc.allocated_pages == 8
+        alloc.free_extents([extent])
+        assert alloc.allocated_pages == 0
+        alloc.allocate_extent(3)
+        assert alloc.allocated_pages == 8
+
+    def test_reuse_prevents_storage_full(self):
+        """Recycling keeps an alloc/free workload running at full device."""
+        alloc = ExtentAllocator(ExtentTier(), first_pid=0, capacity_pages=8)
+        for _ in range(100):
+            extent = alloc.allocate_extent(2)  # 4 pages, half the device
+            alloc.free_extents([extent])
+        assert alloc.stats.reused_extents == 99
+
+    def test_free_list_length(self, alloc):
+        extents = [alloc.allocate_extent(1) for _ in range(3)]
+        alloc.free_extents(extents)
+        assert alloc.free_list_length(1) == 3
+        assert alloc.free_list_length(0) == 0
+
+    def test_utilization(self, alloc):
+        alloc.allocate_extent(5)  # 32 pages of 1000
+        assert alloc.utilization() == pytest.approx(0.032)
+
+    def test_reuse_ratio_stat(self, alloc):
+        e = alloc.allocate_extent(0)
+        alloc.free_extents([e])
+        alloc.allocate_extent(0)
+        assert alloc.stats.reuse_ratio == pytest.approx(0.5)

@@ -1,0 +1,218 @@
+"""Tests for the Adaptive Radix Tree (paper ref [42])."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.art import ArtTree
+from repro.sim.cost import CostModel
+
+
+class TestBasicOperations:
+    def test_empty_lookup(self):
+        assert ArtTree().lookup(b"missing") is None
+
+    def test_insert_lookup(self):
+        tree = ArtTree()
+        tree.insert(b"hello", 1)
+        tree.insert(b"world", 2)
+        assert tree.lookup(b"hello") == 1
+        assert tree.lookup(b"world") == 2
+        assert tree.lookup(b"hell") is None
+        assert len(tree) == 2
+
+    def test_replace(self):
+        tree = ArtTree()
+        tree.insert(b"k", "old")
+        tree.insert(b"k", "new")
+        assert tree.lookup(b"k") == "new"
+        assert len(tree) == 1
+
+    def test_key_prefix_of_another(self):
+        """ART must handle a key being a strict prefix of another."""
+        tree = ArtTree()
+        tree.insert(b"app", 1)
+        tree.insert(b"apple", 2)
+        tree.insert(b"applesauce", 3)
+        assert tree.lookup(b"app") == 1
+        assert tree.lookup(b"apple") == 2
+        assert tree.lookup(b"applesauce") == 3
+        assert tree.lookup(b"appl") is None
+
+    def test_empty_key(self):
+        tree = ArtTree()
+        tree.insert(b"", "root-value")
+        tree.insert(b"x", 1)
+        assert tree.lookup(b"") == "root-value"
+        assert tree.lookup(b"x") == 1
+
+    def test_none_value_storable(self):
+        tree = ArtTree()
+        tree.insert(b"k", None)
+        assert b"k" in tree is False or tree.lookup(b"k") is None
+        # `lookup` cannot distinguish; `scan` can.
+        assert list(tree.scan()) == [(b"k", None)]
+
+    def test_contains(self):
+        tree = ArtTree()
+        tree.insert(b"yes", 1)
+        assert b"yes" in tree
+        assert b"no" not in tree
+
+    def test_many_random_keys(self):
+        tree = ArtTree()
+        rng = random.Random(4)
+        items = {rng.randbytes(rng.randint(1, 24)): i for i in range(3000)}
+        for k, v in items.items():
+            tree.insert(k, v)
+        assert len(tree) == len(items)
+        for k, v in items.items():
+            assert tree.lookup(k) == v
+
+
+class TestDelete:
+    def test_delete_present(self):
+        tree = ArtTree()
+        tree.insert(b"k", 1)
+        assert tree.delete(b"k") is True
+        assert tree.lookup(b"k") is None
+        assert len(tree) == 0
+
+    def test_delete_absent(self):
+        tree = ArtTree()
+        tree.insert(b"k", 1)
+        assert tree.delete(b"other") is False
+        assert len(tree) == 1
+
+    def test_delete_prefix_key_keeps_longer(self):
+        tree = ArtTree()
+        tree.insert(b"app", 1)
+        tree.insert(b"apple", 2)
+        assert tree.delete(b"app")
+        assert tree.lookup(b"app") is None
+        assert tree.lookup(b"apple") == 2
+
+    def test_delete_recompresses_paths(self):
+        tree = ArtTree()
+        tree.insert(b"abcdef", 1)
+        tree.insert(b"abcxyz", 2)
+        tree.delete(b"abcxyz")
+        assert tree.lookup(b"abcdef") == 1
+        stats = tree.stats()
+        assert stats.node_count <= 2  # root + one compressed leaf
+
+    def test_churn(self):
+        tree = ArtTree()
+        shadow = {}
+        rng = random.Random(11)
+        for _ in range(5000):
+            key = b"k%03d" % rng.randrange(300)
+            if rng.random() < 0.6:
+                tree.insert(key, key)
+                shadow[key] = key
+            else:
+                assert tree.delete(key) == (key in shadow)
+                shadow.pop(key, None)
+        assert len(tree) == len(shadow)
+        for k, v in shadow.items():
+            assert tree.lookup(k) == v
+
+
+class TestScan:
+    def test_scan_byte_order(self):
+        tree = ArtTree()
+        keys = [b"banana", b"apple", b"cherry", b"apricot", b"app"]
+        for k in keys:
+            tree.insert(k, k)
+        assert [k for k, _ in tree.scan()] == sorted(keys)
+
+    def test_range_scan(self):
+        tree = ArtTree()
+        for i in range(100):
+            tree.insert(b"k%03d" % i, i)
+        got = [v for _, v in tree.scan(start=b"k010", end=b"k020")]
+        assert got == list(range(10, 20))
+
+    def test_first(self):
+        tree = ArtTree()
+        assert tree.first() is None
+        for k in (b"m", b"a", b"z"):
+            tree.insert(k, k)
+        assert tree.first() == (b"a", b"a")
+
+
+class TestAdaptivity:
+    def test_low_fanout_stays_node4(self):
+        tree = ArtTree()
+        tree.insert(b"aa", 1)
+        tree.insert(b"ab", 2)
+        stats = tree.stats()
+        assert stats.node_types.get("Node4", 0) >= 1
+        assert "Node256" not in stats.node_types
+
+    def test_high_fanout_grows_to_node256(self):
+        tree = ArtTree()
+        for byte in range(256):
+            tree.insert(bytes([byte]) + b"suffix", byte)
+        stats = tree.stats()
+        assert stats.node_types.get("Node256", 0) >= 1
+
+    def test_dense_keys_compact(self):
+        """Dense integer keys: ART stores them in few fat nodes."""
+        dense = ArtTree()
+        for i in range(4096):
+            dense.insert(i.to_bytes(4, "big"), i)
+        stats = dense.stats()
+        # 4096 entries share the leading-byte paths: beyond one terminal
+        # node per key, only a handful of fat inner nodes exist.
+        inner_nodes = stats.node_count - stats.entry_count
+        assert inner_nodes < 4096 / 8
+        assert stats.height <= 5
+        assert stats.size_bytes / stats.entry_count < 128  # bytes per key
+
+    def test_path_compression_limits_height(self):
+        tree = ArtTree()
+        tree.insert(b"x" * 100 + b"a", 1)
+        tree.insert(b"x" * 100 + b"b", 2)
+        assert tree.stats().height <= 3  # not 100 levels
+
+    def test_cost_model_charged(self):
+        model = CostModel()
+        tree = ArtTree(model=model)
+        tree.insert(b"abc", 1)
+        before = model.clock.now_ns
+        tree.lookup(b"abc")
+        assert model.clock.now_ns > before
+
+
+class TestPropertyBased:
+    @given(st.dictionaries(st.binary(min_size=0, max_size=16),
+                           st.integers(), max_size=200))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_dict(self, items):
+        tree = ArtTree()
+        for k, v in items.items():
+            tree.insert(k, v)
+        assert len(tree) == len(items)
+        for k, v in items.items():
+            assert tree.lookup(k) == v
+        assert [k for k, _ in tree.scan()] == sorted(items)
+
+    @given(st.lists(st.binary(min_size=1, max_size=12), min_size=1,
+                    max_size=100, unique=True), st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_delete_subset(self, keys, data):
+        tree = ArtTree()
+        for k in keys:
+            tree.insert(k, k)
+        to_delete = data.draw(st.lists(st.sampled_from(keys), unique=True))
+        for k in to_delete:
+            assert tree.delete(k)
+        remaining = set(keys) - set(to_delete)
+        assert len(tree) == len(remaining)
+        for k in remaining:
+            assert tree.lookup(k) == k
+        for k in to_delete:
+            assert tree.lookup(k) is None
+        assert [k for k, _ in tree.scan()] == sorted(remaining)

@@ -1,0 +1,93 @@
+"""Tests for the uniform store adapters and the YCSB runner."""
+
+import pytest
+
+from repro.bench import ALL_SYSTEMS, make_store, run_ycsb
+from repro.bench.harness import format_table, human_throughput
+from repro.workloads.ycsb import YcsbConfig
+
+SMALL = dict(capacity_bytes=256 << 20, buffer_bytes=64 << 20)
+
+
+@pytest.mark.parametrize("name", ALL_SYSTEMS)
+class TestAdapterSemantics:
+    def test_put_get_roundtrip(self, name):
+        store = make_store(name, **SMALL)
+        payload = bytes(range(256)) * 40
+        store.put(b"k1", payload)
+        assert store.get(b"k1") == payload
+
+    def test_replace(self, name):
+        store = make_store(name, **SMALL)
+        store.put(b"k", b"old" * 100)
+        store.replace(b"k", b"new" * 50)
+        assert store.get(b"k") == b"new" * 50
+
+    def test_delete(self, name):
+        store = make_store(name, **SMALL)
+        store.put(b"k", b"x" * 100)
+        store.delete(b"k")
+        with pytest.raises(Exception):
+            store.get(b"k")
+
+    def test_stat(self, name):
+        store = make_store(name, **SMALL)
+        store.put(b"k", b"y" * 777)
+        assert store.stat(b"k") == 777
+
+    def test_clock_advances(self, name):
+        store = make_store(name, **SMALL)
+        before = store.model.clock.now_ns
+        store.put(b"k", b"z" * 10000)
+        store.get(b"k")
+        assert store.model.clock.now_ns > before
+
+
+class TestColdCaches:
+    @pytest.mark.parametrize("name", ["our", "our.ht", "ext4.ordered",
+                                      "xfs", "btrfs", "f2fs"])
+    def test_drop_caches_forces_device_reads(self, name):
+        store = make_store(name, **SMALL)
+        store.put(b"k", b"c" * 100_000)
+        store.get(b"k")  # warm
+        store.drop_caches()
+        before = store.device.stats.bytes_read
+        assert store.get(b"k") == b"c" * 100_000
+        assert store.device.stats.bytes_read - before >= 100_000
+
+
+class TestRunYcsb:
+    def test_run_produces_throughput(self):
+        store = make_store("our", **SMALL)
+        result = run_ycsb(store, YcsbConfig(n_records=20, payload=4096),
+                          n_ops=50)
+        assert result.ops == 50
+        assert result.throughput_ops_s > 0
+        assert result.per_op_us > 0
+
+    def test_unknown_system_rejected(self):
+        with pytest.raises(ValueError):
+            make_store("oracle")
+
+    def test_relative_order_small_payloads(self):
+        """Sanity anchor for Fig. 5: our > sqlite > postgresql."""
+        cfg = YcsbConfig(n_records=50, payload=120)
+        results = {name: run_ycsb(make_store(name, **SMALL), cfg, 200)
+                   for name in ("our", "sqlite", "postgresql")}
+        assert results["our"].throughput_ops_s > \
+            results["sqlite"].throughput_ops_s > \
+            results["postgresql"].throughput_ops_s
+
+
+class TestFormatting:
+    def test_format_table_alignment(self):
+        out = format_table(["sys", "txn/s"], [["our", "1.2M"],
+                                              ["ext4", "300k"]])
+        lines = out.splitlines()
+        assert len(lines) == 4
+        assert "our" in lines[2]
+
+    def test_human_throughput(self):
+        assert human_throughput(2_500_000) == "2.50M"
+        assert human_throughput(45_300) == "45.3k"
+        assert human_throughput(12.3) == "12.3"

@@ -1,0 +1,139 @@
+"""Hypothesis stateful testing of the BLOB life-cycle.
+
+A rule-based state machine drives one engine through arbitrary
+interleavings of put/append/update/delete/read/checkpoint/crash against
+a per-key bytes shadow.  Hypothesis shrinks any failure to a minimal
+operation sequence — the sharpest tool for edge cases like zero-byte
+BLOBs, exact page-boundary sizes, and updates at extent seams.
+"""
+
+import hypothesis.strategies as st
+from hypothesis import settings
+from hypothesis.stateful import (
+    Bundle,
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.db import BlobDB, EngineConfig
+
+KEYS = [b"alpha", b"beta", b"gamma"]
+
+#: Sizes chosen to sit on interesting boundaries: empty, sub-page, exact
+#: page, exact tier-capacity (7 pages), spanning, large.
+SIZES = st.sampled_from([0, 1, 100, 4095, 4096, 4097, 8192,
+                         7 * 4096, 7 * 4096 + 1, 60_000])
+
+
+def config():
+    return EngineConfig(device_pages=32768, wal_pages=2048,
+                        catalog_pages=512, buffer_pool_pages=8192)
+
+
+class BlobLifecycle(RuleBasedStateMachine):
+    keys = Bundle("keys")
+
+    @initialize()
+    def setup(self):
+        self.config = config()
+        self.db = BlobDB(self.config)
+        self.db.create_table("t")
+        self.shadow: dict[bytes, bytes] = {}
+        self.fill = 0
+
+    @rule(target=keys, key=st.sampled_from(KEYS))
+    def pick_key(self, key):
+        return key
+
+    @rule(key=keys, size=SIZES, byte=st.integers(0, 255),
+          use_tail=st.booleans())
+    def put(self, key, size, byte, use_tail):
+        data = bytes([byte]) * size
+        with self.db.transaction() as txn:
+            if key in self.shadow:
+                self.db.delete_blob(txn, "t", key)
+            self.db.put_blob(txn, "t", key, data, use_tail=use_tail)
+        self.shadow[key] = data
+
+    @rule(key=keys, size=st.sampled_from([1, 100, 4096, 20_000]),
+          byte=st.integers(0, 255))
+    def append(self, key, size, byte):
+        if key not in self.shadow:
+            return
+        extra = bytes([byte]) * size
+        with self.db.transaction() as txn:
+            self.db.append_blob(txn, "t", key, extra)
+        self.shadow[key] += extra
+
+    @rule(key=keys, offset_frac=st.floats(0, 1), size=st.sampled_from([1, 64, 5000]),
+          scheme=st.sampled_from(["delta", "clone", "auto"]))
+    def update(self, key, offset_frac, size, scheme):
+        current = self.shadow.get(key)
+        if not current:
+            return
+        offset = int(offset_frac * (len(current) - 1))
+        size = min(size, len(current) - offset)
+        if size <= 0:
+            return
+        patch = b"\xee" * size
+        with self.db.transaction() as txn:
+            self.db.update_blob_range(txn, "t", key, offset, patch,
+                                      scheme=scheme)
+        self.shadow[key] = (current[:offset] + patch
+                            + current[offset + size:])
+
+    @rule(key=keys)
+    def delete(self, key):
+        if key not in self.shadow:
+            return
+        with self.db.transaction() as txn:
+            self.db.delete_blob(txn, "t", key)
+        del self.shadow[key]
+
+    @rule(key=keys, size=SIZES, byte=st.integers(0, 255))
+    def aborted_put(self, key, size, byte):
+        if key in self.shadow:
+            return
+        txn = self.db.begin()
+        self.db.put_blob(txn, "t", key, bytes([byte]) * size)
+        self.db.abort(txn)
+
+    @rule()
+    def checkpoint(self):
+        self.db.checkpoint()
+
+    @rule()
+    def crash_and_recover(self):
+        self.db = BlobDB.recover(self.db.crash(), self.config)
+        assert self.db.failed_txns == []
+
+    @rule(key=keys, offset=st.integers(0, 70_000),
+          length=st.integers(0, 10_000))
+    def range_read(self, key, offset, length):
+        if key not in self.shadow:
+            return
+        expected = self.shadow[key][offset:offset + length]
+        assert self.db.read_blob_range("t", key, offset, length) == expected
+
+    @invariant()
+    def contents_match_shadow(self):
+        if not hasattr(self, "db"):
+            return
+        live = {k for k, _ in self.db.scan("t")}
+        assert live == set(self.shadow)
+        for key, expected in self.shadow.items():
+            assert self.db.read_blob("t", key) == expected
+
+    @invariant()
+    def no_leaked_locks_or_txns(self):
+        if not hasattr(self, "db"):
+            return
+        assert len(self.db.locks) == 0
+        assert len(self.db._active) == 0
+
+
+BlobLifecycleTest = BlobLifecycle.TestCase
+BlobLifecycleTest.settings = settings(
+    max_examples=25, stateful_step_count=30, deadline=None)

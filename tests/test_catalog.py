@@ -1,0 +1,96 @@
+"""Tests for the checkpoint catalog and superblock encoding."""
+
+import pytest
+
+from repro.core.blob_state import BlobState
+from repro.db.catalog import (
+    CatalogSnapshot,
+    Superblock,
+    decode_value,
+    encode_value,
+)
+from repro.sha.sha256 import Sha256
+
+
+def make_state(data: bytes) -> BlobState:
+    hasher = Sha256(data)
+    return BlobState(size=len(data), sha256=hasher.digest(),
+                     sha_state=hasher.state(), prefix=data[:32],
+                     extent_pids=(7, 9))
+
+
+class TestValueEncoding:
+    def test_bytes_roundtrip(self):
+        assert decode_value(encode_value(b"plain")) == b"plain"
+
+    def test_blob_state_roundtrip(self):
+        state = make_state(b"blobby content")
+        assert decode_value(encode_value(state)) == state
+
+    def test_bytearray_accepted(self):
+        assert decode_value(encode_value(bytearray(b"ba"))) == b"ba"
+
+    def test_unknown_type_rejected(self):
+        with pytest.raises(TypeError):
+            encode_value(42)
+
+    def test_bad_tag_rejected(self):
+        with pytest.raises(ValueError):
+            decode_value(b"\x99whatever")
+        with pytest.raises(ValueError):
+            decode_value(b"")
+
+
+class TestCatalogSnapshot:
+    def test_roundtrip(self):
+        snap = CatalogSnapshot(
+            checkpoint_id=3, next_txn_id=42, allocator_next_pid=1000,
+            free_extents={0: [5, 9], 2: [100]},
+            free_tails={3: [77]},
+            tables={"image": [(b"cat", encode_value(b"v1"))],
+                    "docs": [(b"a", encode_value(make_state(b"doc")))]},
+        )
+        restored = CatalogSnapshot.deserialize(snap.serialize())
+        assert restored == snap
+
+    def test_empty_snapshot(self):
+        snap = CatalogSnapshot(checkpoint_id=0, next_txn_id=1,
+                               allocator_next_pid=0)
+        assert CatalogSnapshot.deserialize(snap.serialize()) == snap
+
+    def test_corruption_detected(self):
+        raw = bytearray(CatalogSnapshot(
+            checkpoint_id=1, next_txn_id=1,
+            allocator_next_pid=0).serialize())
+        raw[10] ^= 0xFF
+        with pytest.raises(ValueError):
+            CatalogSnapshot.deserialize(bytes(raw))
+
+    def test_not_a_snapshot(self):
+        with pytest.raises(ValueError):
+            CatalogSnapshot.deserialize(b"garbage")
+
+
+class TestSuperblock:
+    def test_roundtrip(self):
+        sb = Superblock(active_slot=1, catalog_len=12345, checkpoint_id=7)
+        raw = sb.serialize(4096)
+        assert len(raw) == 4096
+        assert Superblock.deserialize(raw) == sb
+
+    def test_fresh_marker(self):
+        sb = Superblock(active_slot=-1)
+        assert Superblock.deserialize(sb.serialize(4096)).active_slot == -1
+
+    def test_corruption_detected(self):
+        raw = bytearray(Superblock(active_slot=0).serialize(4096))
+        raw[3] ^= 0x01
+        with pytest.raises(ValueError):
+            Superblock.deserialize(bytes(raw))
+
+    def test_wrong_magic(self):
+        import struct, zlib
+        body = struct.pack(">8sbQQ", b"NOTADB!!", 0, 0, 0)
+        raw = body + struct.pack(">I", zlib.crc32(body))
+        with pytest.raises(ValueError):
+            Superblock.deserialize(raw.ljust(4096, b"\x00"))

@@ -1,0 +1,34 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+class TestCli:
+    def test_info(self, capsys):
+        assert main(["info"]) == 0
+        out = capsys.readouterr().out
+        assert "ICDE 2024" in out
+        assert "vmcache" in out
+
+    def test_survey(self, capsys):
+        assert main(["survey"]) == 0
+        out = capsys.readouterr().out
+        assert "copies/byte" in out
+        assert "our" in out and "mysql" in out
+
+    def test_demo_small(self, capsys):
+        assert main(["demo", "--payload-kb", "4", "--ops", "20",
+                     "--records", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "txn/s" in out
+        assert "our" in out
+
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            main([])
+
+    def test_unknown_command(self):
+        with pytest.raises(SystemExit):
+            main(["frobnicate"])

@@ -1,0 +1,113 @@
+"""Tests for the incremental Blob State comparator (Section III-F)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.blob_state import PREFIX_LEN, BlobState
+from repro.core.comparator import BlobStateComparator
+from repro.sha.sha256 import Sha256
+
+# A toy content store standing in for the buffer manager: states carry a
+# key in extent_pids[0] that resolves to the content, chunked like extents.
+_CONTENT: dict[int, bytes] = {}
+
+
+def make_state(data: bytes) -> BlobState:
+    key = len(_CONTENT)
+    _CONTENT[key] = data
+    hasher = Sha256(data)
+    return BlobState(size=len(data), sha256=hasher.digest(),
+                     sha_state=hasher.state(), prefix=data[:PREFIX_LEN],
+                     extent_pids=(key,))
+
+
+def read_chunks(state: BlobState, chunk: int = 64):
+    data = _CONTENT[state.extent_pids[0]]
+    for i in range(0, len(data), chunk):
+        yield data[i:i + chunk]
+
+
+@pytest.fixture
+def comparator():
+    return BlobStateComparator(read_chunks)
+
+
+class TestEquality:
+    def test_identical_content_is_equal(self, comparator):
+        a = make_state(b"same content" * 10)
+        b = make_state(b"same content" * 10)
+        assert comparator.equal(a, b)
+        assert comparator.compare(a, b) == 0
+        assert comparator.stats.sha_hits == 1
+
+    def test_different_content_not_equal(self, comparator):
+        assert not comparator.equal(make_state(b"aaa"), make_state(b"bbb"))
+
+
+class TestPrefixShortcut:
+    def test_prefix_decides_without_blob_access(self, comparator):
+        a = make_state(b"aaaa" + b"x" * 100)
+        b = make_state(b"bbbb" + b"x" * 100)
+        assert comparator.compare(a, b) < 0
+        assert comparator.stats.prefix_hits == 1
+        assert comparator.stats.deep_compares == 0
+
+    def test_short_blob_prefix_of_short_blob(self, comparator):
+        a = make_state(b"abc")
+        b = make_state(b"abcdef")
+        assert comparator.compare(a, b) < 0
+        assert comparator.compare(b, a) > 0
+        assert comparator.stats.deep_compares == 0
+
+
+class TestDeepComparison:
+    def test_same_prefix_differs_later(self, comparator):
+        common = b"p" * PREFIX_LEN
+        a = make_state(common + b"aaaa")
+        b = make_state(common + b"bbbb")
+        assert comparator.compare(a, b) < 0
+        assert comparator.stats.deep_compares == 1
+
+    def test_difference_beyond_first_chunk(self, comparator):
+        common = b"p" * 1000
+        a = make_state(common + b"1")
+        b = make_state(common + b"2")
+        assert comparator.compare(a, b) < 0
+
+    def test_one_blob_is_prefix_of_other(self, comparator):
+        common = b"p" * 500
+        a = make_state(common)
+        b = make_state(common + b"more")
+        assert comparator.compare(a, b) < 0
+        assert comparator.compare(b, a) > 0
+        assert comparator.stats.size_tiebreaks == 2
+
+    def test_mismatched_chunk_boundaries(self, comparator):
+        """Deep compare must not assume aligned chunk sizes."""
+        base = bytes(range(256)) * 4
+        a = make_state(base + b"\x00")
+        b = make_state(base + b"\x01")
+        assert comparator.compare(a, b) < 0
+
+
+class TestOrderingProperties:
+    @given(st.binary(min_size=0, max_size=300),
+           st.binary(min_size=0, max_size=300))
+    @settings(max_examples=80, deadline=None)
+    def test_matches_bytes_ordering(self, x, y):
+        comparator = BlobStateComparator(read_chunks)
+        result = comparator.compare(make_state(x), make_state(y))
+        expected = (x > y) - (x < y)
+        assert (result > 0) == (expected > 0)
+        assert (result < 0) == (expected < 0)
+        assert (result == 0) == (expected == 0)
+
+    @given(st.lists(st.binary(min_size=0, max_size=120), min_size=2,
+                    max_size=12, unique=True))
+    @settings(max_examples=40, deadline=None)
+    def test_sorting_blob_states_sorts_content(self, blobs):
+        comparator = BlobStateComparator(read_chunks)
+        import functools
+        states = [make_state(b) for b in blobs]
+        ordered = sorted(states, key=functools.cmp_to_key(comparator.compare))
+        assert [_CONTENT[s.extent_pids[0]] for s in ordered] == sorted(blobs)

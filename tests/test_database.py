@@ -1,0 +1,352 @@
+"""End-to-end tests of the BlobDB engine: CRUD, transactions, locking."""
+
+import pytest
+
+from repro.core.blob_state import BlobState
+from repro.db import (
+    BlobDB,
+    DuplicateKeyError,
+    EngineConfig,
+    KeyNotFoundError,
+    TableNotFoundError,
+    TransactionConflict,
+    TransactionStateError,
+)
+
+
+def small_config(**overrides):
+    defaults = dict(device_pages=16384, wal_pages=512, catalog_pages=128,
+                    buffer_pool_pages=4096)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+@pytest.fixture
+def db():
+    database = BlobDB(small_config())
+    database.create_table("image")
+    return database
+
+
+class TestTables:
+    def test_create_and_list(self, db):
+        db.create_table("document")
+        assert db.list_tables() == ["document", "image"]
+
+    def test_duplicate_table_rejected(self, db):
+        with pytest.raises(DuplicateKeyError):
+            db.create_table("image")
+
+    def test_reserved_name_rejected(self, db):
+        with pytest.raises(ValueError):
+            db.create_table("\x00secret")
+        with pytest.raises(ValueError):
+            db.create_table("")
+
+    def test_unknown_table(self, db):
+        with db.transaction() as txn:
+            with pytest.raises(TableNotFoundError):
+                db.put_blob(txn, "nope", b"k", b"data")
+
+
+class TestInlineValues:
+    def test_put_get(self, db):
+        with db.transaction() as txn:
+            db.put(txn, "image", b"meta", b"hello")
+        assert db.get("image", b"meta") == b"hello"
+
+    def test_get_missing_raises(self, db):
+        with pytest.raises(KeyNotFoundError):
+            db.get("image", b"missing")
+
+    def test_duplicate_key_rejected(self, db):
+        with db.transaction() as txn:
+            db.put(txn, "image", b"k", b"1")
+        txn = db.begin()
+        with pytest.raises(DuplicateKeyError):
+            db.put(txn, "image", b"k", b"2")
+        db.abort(txn)
+
+    def test_delete_inline(self, db):
+        with db.transaction() as txn:
+            db.put(txn, "image", b"k", b"v")
+        with db.transaction() as txn:
+            db.delete(txn, "image", b"k")
+        assert not db.exists("image", b"k")
+
+
+class TestBlobCrud:
+    def test_put_and_read_roundtrip(self, db):
+        payload = bytes(range(256)) * 100
+        with db.transaction() as txn:
+            state = db.put_blob(txn, "image", b"cat.jpg", payload)
+        assert isinstance(state, BlobState)
+        assert db.read_blob("image", b"cat.jpg") == payload
+
+    def test_read_via_view(self, db):
+        payload = b"zebra" * 5000
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"z", payload)
+        with db.read_blob_view("image", b"z") as view:
+            assert view.contiguous() == payload
+
+    def test_multi_extent_blob(self, db):
+        """A 100 KB BLOB spans several tiered extents."""
+        payload = b"\xaa" * 100_000
+        with db.transaction() as txn:
+            state = db.put_blob(txn, "image", b"big", payload)
+        assert state.num_extents > 2
+        assert db.read_blob("image", b"big") == payload
+
+    def test_empty_blob(self, db):
+        with db.transaction() as txn:
+            state = db.put_blob(txn, "image", b"empty", b"")
+        assert state.size == 0
+        assert state.num_extents == 0
+        assert db.read_blob("image", b"empty") == b""
+
+    def test_blob_with_tail_extent(self, db):
+        payload = b"t" * (6 * 4096)  # paper's Figure 1 shape
+        with db.transaction() as txn:
+            state = db.put_blob(txn, "image", b"tailed", payload,
+                                use_tail=True)
+        assert state.tail_extent is not None
+        assert state.capacity_pages(db.tiers) == 6  # zero waste
+        assert db.read_blob("image", b"tailed") == payload
+
+    def test_duplicate_blob_key_rejected(self, db):
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"k", b"1")
+        txn = db.begin()
+        with pytest.raises(DuplicateKeyError):
+            db.put_blob(txn, "image", b"k", b"2")
+        db.abort(txn)
+
+    def test_delete_blob_and_space_reuse(self, db):
+        payload = b"d" * 50_000
+        with db.transaction() as txn:
+            state = db.put_blob(txn, "image", b"gone", payload)
+        first_pid = state.extent_pids[0]
+        with db.transaction() as txn:
+            db.delete_blob(txn, "image", b"gone")
+        assert not db.exists("image", b"gone")
+        # A same-shaped BLOB reuses the freed extents (per-tier lists).
+        with db.transaction() as txn:
+            state2 = db.put_blob(txn, "image", b"new", payload)
+        assert state2.extent_pids[0] == first_pid
+
+    def test_blob_state_has_correct_metadata(self, db):
+        import hashlib
+        payload = b"meta-check" * 1000
+        with db.transaction() as txn:
+            state = db.put_blob(txn, "image", b"m", payload)
+        assert state.size == len(payload)
+        assert state.sha256 == hashlib.sha256(payload).digest()
+        assert state.prefix == payload[:32]
+
+    def test_get_on_blob_raises_type_error(self, db):
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"b", b"blobby")
+        with pytest.raises(TypeError):
+            db.get("image", b"b")
+
+    def test_single_flush_write_amplification(self, db):
+        """The headline claim: BLOB content hits the device exactly once."""
+        payload = b"\x5a" * 200_000
+        before = db.device.stats.snapshot()
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"wa", payload)
+        delta = db.device.stats.delta_since(before)
+        data_written = delta.bytes_written_by_category["data"]
+        wal_written = delta.bytes_written_by_category["wal"]
+        # Content written once (page-rounded), only metadata in the WAL.
+        assert data_written <= len(payload) + 2 * 4096
+        assert wal_written < 8192
+
+
+class TestGrow:
+    def test_append_roundtrip(self, db):
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"g", b"start-")
+        with db.transaction() as txn:
+            state = db.append_blob(txn, "image", b"g", b"finish")
+        assert db.read_blob("image", b"g") == b"start-finish"
+        assert state.size == 12
+
+    def test_append_multiple_extents(self, db):
+        import hashlib
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"g", b"a" * 10_000)
+        with db.transaction() as txn:
+            state = db.append_blob(txn, "image", b"g", b"b" * 60_000)
+        expected = b"a" * 10_000 + b"b" * 60_000
+        assert db.read_blob("image", b"g") == expected
+        assert state.sha256 == hashlib.sha256(expected).digest()
+
+    def test_append_does_not_reread_existing_content(self, db):
+        """The resumable hash means growth touches no old extents."""
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"g", b"x" * 500_000)
+        before = db.device.stats.bytes_read
+        with db.transaction() as txn:
+            db.append_blob(txn, "image", b"g", b"y" * 1000)
+        # No device reads of the half-megabyte of existing content.
+        assert db.device.stats.bytes_read - before < 100_000
+
+    def test_append_to_tail_extent_blob_clones_tail(self, db):
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"t", b"1" * (6 * 4096), use_tail=True)
+        with db.transaction() as txn:
+            state = db.append_blob(txn, "image", b"t", b"2" * 4096)
+        assert state.tail_extent is None  # tail was cloned to a tier
+        assert db.read_blob("image", b"t") == b"1" * (6 * 4096) + b"2" * 4096
+
+    def test_append_updates_prefix_of_short_blob(self, db):
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"p", b"abc")
+        with db.transaction() as txn:
+            state = db.append_blob(txn, "image", b"p", b"def")
+        assert state.prefix == b"abcdef"
+
+
+class TestUpdateSchemes:
+    @pytest.fixture
+    def seeded(self, db):
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"u", bytes(range(256)) * 400)
+        return db
+
+    def test_delta_update(self, seeded):
+        with seeded.transaction() as txn:
+            seeded.update_blob_range(txn, "image", b"u", 1000, b"PATCH",
+                                     scheme="delta")
+        content = seeded.read_blob("image", b"u")
+        assert content[1000:1005] == b"PATCH"
+        assert len(content) == 256 * 400
+
+    def test_clone_update(self, seeded):
+        old_state = seeded.get_state("image", b"u")
+        with seeded.transaction() as txn:
+            new_state = seeded.update_blob_range(txn, "image", b"u", 0,
+                                                 b"CLONED", scheme="clone")
+        assert seeded.read_blob("image", b"u")[:6] == b"CLONED"
+        # The touched extent was redirected to a clone.
+        assert new_state.extent_pids[0] != old_state.extent_pids[0]
+
+    def test_auto_picks_delta_for_small_patch(self, seeded):
+        with seeded.transaction() as txn:
+            state = seeded.get_state("image", b"u")
+            result_state = seeded.update_blob_range(
+                txn, "image", b"u", 50_000, b"x", scheme="auto")
+        assert result_state.extent_pids == state.extent_pids  # in-place
+
+    def test_update_refreshes_digest(self, seeded):
+        import hashlib
+        with seeded.transaction() as txn:
+            seeded.update_blob_range(txn, "image", b"u", 0, b"NEW")
+        state = seeded.get_state("image", b"u")
+        assert state.sha256 == hashlib.sha256(
+            seeded.read_blob("image", b"u")).digest()
+        assert state.prefix[:3] == b"NEW"
+
+    def test_update_out_of_bounds_rejected(self, seeded):
+        txn = seeded.begin()
+        with pytest.raises(ValueError):
+            seeded.update_blob_range(txn, "image", b"u", 10**9, b"x")
+        seeded.abort(txn)
+
+
+class TestTransactions:
+    def test_abort_rolls_back_insert(self, db):
+        txn = db.begin()
+        db.put_blob(txn, "image", b"k", b"rollback me")
+        db.abort(txn)
+        assert not db.exists("image", b"k")
+
+    def test_abort_rolls_back_delete(self, db):
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"k", b"keep me")
+        txn = db.begin()
+        db.delete_blob(txn, "image", b"k")
+        db.abort(txn)
+        assert db.read_blob("image", b"k") == b"keep me"
+
+    def test_abort_rolls_back_delta_update(self, db):
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"k", b"original-content" * 100)
+        txn = db.begin()
+        db.update_blob_range(txn, "image", b"k", 0, b"SCRIBBLE",
+                             scheme="delta")
+        db.abort(txn)
+        assert db.read_blob("image", b"k")[:8] == b"original"
+
+    def test_abort_reclaims_extents(self, db):
+        before = db.allocator.allocated_pages
+        txn = db.begin()
+        db.put_blob(txn, "image", b"k", b"z" * 100_000)
+        db.abort(txn)
+        assert db.allocator.allocated_pages == before
+
+    def test_context_manager_aborts_on_exception(self, db):
+        with pytest.raises(RuntimeError):
+            with db.transaction() as txn:
+                db.put_blob(txn, "image", b"k", b"data")
+                raise RuntimeError("boom")
+        assert not db.exists("image", b"k")
+
+    def test_write_write_conflict(self, db):
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"k", b"v")
+        t1 = db.begin()
+        t2 = db.begin()
+        db.append_blob(t1, "image", b"k", b"1")
+        with pytest.raises(TransactionConflict):
+            db.append_blob(t2, "image", b"k", b"2")
+        db.abort(t2)
+        db.commit(t1)
+
+    def test_shared_readers_do_not_conflict(self, db):
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"k", b"v")
+        t1 = db.begin()
+        t2 = db.begin()
+        assert db.read_blob("image", b"k", txn=t1) == b"v"
+        assert db.read_blob("image", b"k", txn=t2) == b"v"
+        db.commit(t1)
+        db.commit(t2)
+
+    def test_reader_blocks_writer(self, db):
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"k", b"v")
+        reader = db.begin()
+        db.read_blob("image", b"k", txn=reader)
+        writer = db.begin()
+        with pytest.raises(TransactionConflict):
+            db.delete_blob(writer, "image", b"k")
+        db.abort(writer)
+        db.commit(reader)
+
+    def test_use_after_commit_rejected(self, db):
+        txn = db.begin()
+        db.commit(txn)
+        with pytest.raises(TransactionStateError):
+            db.put_blob(txn, "image", b"k", b"v")
+
+    def test_locks_released_after_commit(self, db):
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"k", b"v")
+        assert len(db.locks) == 0
+
+
+class TestScan:
+    def test_scan_order(self, db):
+        with db.transaction() as txn:
+            for name in (b"c", b"a", b"b"):
+                db.put_blob(txn, "image", name, b"x" + name)
+        keys = [k for k, _ in db.scan("image")]
+        assert keys == [b"a", b"b", b"c"]
+
+    def test_table_size(self, db):
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"one", b"1")
+        assert db.table_size("image") == 1

@@ -1,0 +1,137 @@
+"""Tests for the PostgreSQL / SQLite / MySQL baseline models."""
+
+import pytest
+
+from repro.baselines import MysqlBlobStore, PostgresBlobStore, SqliteBlobStore
+from repro.baselines.sqlite import CHECKPOINT_PAGES
+from repro.db.errors import BlobTooBigError, DuplicateKeyError, KeyNotFoundError
+from repro.sim.cost import CostModel
+from repro.storage.device import SimulatedNVMe
+
+ALL_DBMS = [PostgresBlobStore, SqliteBlobStore, MysqlBlobStore]
+
+
+def make_store(cls, **kwargs):
+    model = CostModel()
+    device = SimulatedNVMe(model, capacity_pages=1 << 20)
+    return cls(model, device, **kwargs)
+
+
+@pytest.mark.parametrize("cls", ALL_DBMS, ids=lambda c: c.name)
+class TestCommonSemantics:
+    def test_put_get_roundtrip(self, cls):
+        store = make_store(cls)
+        payload = bytes(range(256)) * 500
+        store.put(b"k", payload)
+        assert store.get(b"k") == payload
+
+    def test_get_missing(self, cls):
+        with pytest.raises(KeyNotFoundError):
+            make_store(cls).get(b"nope")
+
+    def test_duplicate_put(self, cls):
+        store = make_store(cls)
+        store.put(b"k", b"1")
+        with pytest.raises(DuplicateKeyError):
+            store.put(b"k", b"2")
+
+    def test_delete(self, cls):
+        store = make_store(cls)
+        store.put(b"k", b"gone")
+        store.delete(b"k")
+        assert not store.exists(b"k")
+        with pytest.raises(KeyNotFoundError):
+            store.delete(b"k")
+
+    def test_wal_receives_content_copy(self, cls):
+        """Every baseline writes BLOBs at least twice (Section II)."""
+        store = make_store(cls)
+        payload = b"w" * 500_000
+        store.put(b"k", payload)
+        assert store.stats.wal_bytes >= len(payload) * 0.9
+
+
+class TestSizeLimits:
+    def test_postgres_statement_parameter_overflow_at_1gb(self):
+        store = make_store(PostgresBlobStore)
+        with pytest.raises(BlobTooBigError):
+            store.put(b"k", b"\x00" * 10**9)
+
+    def test_sqlite_blob_too_big_at_1gb(self):
+        store = make_store(SqliteBlobStore)
+        with pytest.raises(BlobTooBigError):
+            store.put(b"k", b"\x00" * (10**9 + 1))
+
+    def test_mysql_accepts_1gb(self):
+        """LONGBLOB holds 4 GB: the 1 GB payload is allowed (just slow)."""
+        store = make_store(MysqlBlobStore)
+        assert store.max_blob_bytes >= 10**9
+
+
+class TestClientServerOverhead:
+    def test_server_engines_pay_ipc(self):
+        remote = make_store(PostgresBlobStore)
+        embedded = make_store(SqliteBlobStore)
+        remote.put(b"k", b"x" * 120)
+        embedded.put(b"k", b"x" * 120)
+        assert remote.model.clock.now_ns > \
+            embedded.model.clock.now_ns + remote.model.params.ipc_roundtrip_ns / 2
+
+    def test_serialization_scales_with_payload(self):
+        small = make_store(MysqlBlobStore)
+        big = make_store(MysqlBlobStore)
+        small.put(b"k", b"x" * 1000)
+        big.put(b"k", b"x" * 1_000_000)
+        assert big.model.clock.now_ns > 10 * small.model.clock.now_ns
+
+
+class TestSqliteCheckpoints:
+    def test_checkpoint_rate_matches_paper(self):
+        """~2.5 checkpoints per 10 MB BLOB write (Section V-B)."""
+        store = make_store(SqliteBlobStore)
+        store.put(b"k", b"\x00" * (10 * 1024 * 1024))
+        assert store.stats.checkpoints in (2, 3)
+
+    def test_checkpoints_cost_foreground_time(self):
+        quiet = make_store(SqliteBlobStore)
+        noisy = make_store(SqliteBlobStore)
+        small = CHECKPOINT_PAGES // 2 * 4088  # stays below the threshold
+        quiet.put(b"k", b"\x00" * small)
+        noisy.put(b"k", b"\x00" * (small * 8))  # several checkpoints
+        assert noisy.stats.checkpoints >= 3
+        per_byte_quiet = quiet.model.clock.now_ns / small
+        per_byte_noisy = noisy.model.clock.now_ns / (small * 8)
+        assert per_byte_noisy > per_byte_quiet
+
+    def test_content_index_doubles_wal(self):
+        plain = make_store(SqliteBlobStore)
+        indexed = make_store(SqliteBlobStore, with_content_index=True)
+        payload = b"i" * 200_000
+        plain.put(b"k", payload)
+        indexed.put(b"k", payload)
+        assert indexed.stats.wal_bytes >= 1.9 * plain.stats.wal_bytes
+
+
+class TestMysqlDoublewrite:
+    def test_dwb_doubles_page_writes(self):
+        store = make_store(MysqlBlobStore)
+        payload = b"m" * 500_000
+        store.put(b"k", payload)
+        cats = store.device.stats.bytes_written_by_category
+        assert cats["dwb"] >= len(payload) * 0.9
+        assert cats["data"] >= len(payload) * 0.9
+        assert cats["wal"] >= len(payload) * 0.9  # three copies total
+
+
+class TestPostgresToast:
+    def test_toast_index_entry_per_chunk(self):
+        store = make_store(PostgresBlobStore)
+        payload = b"t" * 19_960  # exactly 10 chunks of 1996 bytes
+        store.put(b"k", payload)
+        assert len(store._toast_index) == 10
+
+    def test_delete_removes_chunks(self):
+        store = make_store(PostgresBlobStore)
+        store.put(b"k", b"t" * 19_960)
+        store.delete(b"k")
+        assert len(store._toast_index) == 0

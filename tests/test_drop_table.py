@@ -1,0 +1,91 @@
+"""Tests for DROP TABLE semantics and bucket deletion."""
+
+import pytest
+
+from repro.db import BlobDB, EngineConfig, TableNotFoundError
+from repro.db.errors import DatabaseError
+from repro.objectstore import BucketNotFound, ObjectStore
+
+
+def small_config(**overrides):
+    defaults = dict(device_pages=16384, wal_pages=512, catalog_pages=256,
+                    buffer_pool_pages=4096)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+class TestDropTable:
+    def test_drop_removes_table(self):
+        db = BlobDB(small_config())
+        db.create_table("t")
+        db.drop_table("t")
+        assert db.list_tables() == []
+        with pytest.raises(TableNotFoundError):
+            db.get_state("t", b"k")
+
+    def test_drop_frees_blob_space(self):
+        db = BlobDB(small_config())
+        db.create_table("t")
+        with db.transaction() as txn:
+            db.put_blob(txn, "t", b"k", b"x" * 200_000)
+        used = db.allocator.allocated_pages
+        db.drop_table("t")
+        assert db.allocator.allocated_pages < used
+
+    def test_drop_missing_raises(self):
+        db = BlobDB(small_config())
+        with pytest.raises(TableNotFoundError):
+            db.drop_table("ghost")
+        with pytest.raises(TableNotFoundError):
+            db.drop_table("\x00tables")
+
+    def test_name_reusable_after_drop(self):
+        db = BlobDB(small_config())
+        db.create_table("t")
+        with db.transaction() as txn:
+            db.put_blob(txn, "t", b"old", b"v1")
+        db.drop_table("t")
+        db.create_table("t")
+        assert not db.exists("t", b"old")
+
+    def test_drop_survives_crash(self):
+        db = BlobDB(small_config())
+        db.create_table("keep")
+        db.create_table("gone")
+        with db.transaction() as txn:
+            db.put_blob(txn, "keep", b"k", b"kept")
+            db.put_blob(txn, "gone", b"g", b"dropped")
+        db.drop_table("gone")
+        recovered = BlobDB.recover(db.crash(), db.config)
+        assert recovered.list_tables() == ["keep"]
+        assert recovered.read_blob("keep", b"k") == b"kept"
+
+    def test_drop_before_checkpoint_survives_crash(self):
+        db = BlobDB(small_config())
+        db.create_table("gone")
+        db.checkpoint()
+        db.drop_table("gone")   # only in the WAL tail
+        recovered = BlobDB.recover(db.crash(), db.config)
+        assert recovered.list_tables() == []
+
+
+class TestDeleteBucket:
+    def test_delete_empty_bucket(self):
+        store = ObjectStore(BlobDB(small_config()))
+        store.create_bucket("b")
+        store.delete_bucket("b")
+        assert store.list_buckets() == []
+
+    def test_delete_nonempty_refused(self):
+        store = ObjectStore(BlobDB(small_config()))
+        store.create_bucket("b")
+        store.put_object("b", b"k", b"v")
+        with pytest.raises(DatabaseError):
+            store.delete_bucket("b")
+        store.delete_object("b", b"k")
+        store.delete_bucket("b")
+
+    def test_delete_missing_bucket(self):
+        store = ObjectStore(BlobDB(small_config()))
+        with pytest.raises(BucketNotFound):
+            store.delete_bucket("nope")

@@ -1,0 +1,142 @@
+"""Tests for extent-sequence planning and tail extents (Section III-A)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.extent import (
+    AllocationPlan,
+    Extent,
+    TailExtent,
+    extent_page_ranges,
+    plan_create,
+    plan_growth,
+)
+from repro.core.tier import ExtentTier, PowerOfTwoTier
+
+
+@pytest.fixture
+def tiers():
+    return ExtentTier(tiers_per_level=10)
+
+
+class TestExtentValidation:
+    def test_valid_extent(self):
+        e = Extent(pid=4, npages=2, tier_index=1)
+        assert (e.pid, e.npages, e.tier_index) == (4, 2, 1)
+
+    def test_invalid_extent_rejected(self):
+        with pytest.raises(ValueError):
+            Extent(pid=-1, npages=1, tier_index=0)
+        with pytest.raises(ValueError):
+            Extent(pid=0, npages=0, tier_index=0)
+
+    def test_invalid_tail_rejected(self):
+        with pytest.raises(ValueError):
+            TailExtent(pid=0, npages=0)
+
+
+class TestPlanCreate:
+    def test_paper_figure1_normal(self, tiers):
+        """A 6-page BLOB without tail takes tiers 0,1,2 (1+2+4 = 7 pages)."""
+        plan = plan_create(6, tiers)
+        assert plan.tier_indices == (0, 1, 2)
+        assert plan.tail_pages == 0
+        assert plan.capacity_pages(tiers) == 7  # one wasted page
+
+    def test_paper_figure1_with_tail(self, tiers):
+        """A 6-page BLOB with tail takes tiers 0,1 plus a 3-page tail."""
+        plan = plan_create(6, tiers, use_tail=True)
+        assert plan.tier_indices == (0, 1)
+        assert plan.tail_pages == 3
+        assert plan.capacity_pages(tiers) == 6  # zero waste
+
+    def test_single_page(self, tiers):
+        plan = plan_create(1, tiers)
+        assert plan.tier_indices == (0,)
+
+    def test_single_page_with_tail(self, tiers):
+        """One page fits no full leading tier: the whole BLOB is the tail."""
+        plan = plan_create(1, tiers, use_tail=True)
+        assert plan.tier_indices == ()
+        assert plan.tail_pages == 1
+
+    def test_exact_capacity_fit_without_tail(self, tiers):
+        plan = plan_create(7, tiers)  # 1+2+4 exactly
+        assert plan.tier_indices == (0, 1, 2)
+        assert plan.capacity_pages(tiers) == 7
+
+    def test_exact_fit_with_tail_still_exact(self, tiers):
+        plan = plan_create(7, tiers, use_tail=True)
+        assert plan.capacity_pages(tiers) == 7
+
+    def test_rejects_nonpositive(self, tiers):
+        with pytest.raises(ValueError):
+            plan_create(0, tiers)
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=80, deadline=None)
+    def test_tail_plan_has_zero_waste(self, npages):
+        tiers = ExtentTier(tiers_per_level=6)
+        plan = plan_create(npages, tiers, use_tail=True)
+        assert plan.capacity_pages(tiers) == npages
+
+    @given(st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=80, deadline=None)
+    def test_normal_plan_covers_and_is_minimal(self, npages):
+        tiers = ExtentTier(tiers_per_level=6)
+        plan = plan_create(npages, tiers)
+        cap = plan.capacity_pages(tiers)
+        assert cap >= npages
+        if len(plan.tier_indices) > 1:
+            assert cap - tiers.size(plan.tier_indices[-1]) < npages
+
+
+class TestPlanGrowth:
+    def test_paper_figure3(self, tiers):
+        """Growing a 2-page BLOB (tiers 0,1; capacity 3) by 4 pages.
+
+        The paper's example appends one tier-2 extent (4 pages), reaching
+        capacity 7 >= 6 total pages.
+        """
+        plan = plan_growth(current_extents=2, current_capacity=3,
+                           new_total_pages=6, tiers=tiers)
+        assert plan.tier_indices == (2,)
+        assert plan.tail_pages == 0
+
+    def test_growth_within_capacity_allocates_nothing(self, tiers):
+        plan = plan_growth(3, 7, 7, tiers)
+        assert plan.tier_indices == ()
+
+    def test_growth_spanning_multiple_tiers(self, tiers):
+        plan = plan_growth(0, 0, 100, tiers)
+        assert plan.tier_indices == tuple(range(tiers.tiers_for_pages(100)))
+
+    @given(st.integers(min_value=0, max_value=12),
+           st.integers(min_value=1, max_value=10**5))
+    @settings(max_examples=60, deadline=None)
+    def test_growth_reaches_target(self, current_extents, extra):
+        tiers = ExtentTier(tiers_per_level=6)
+        capacity = tiers.cumulative(current_extents)
+        target = capacity + extra
+        plan = plan_growth(current_extents, capacity, target, tiers)
+        assert capacity + sum(tiers.size(i) for i in plan.tier_indices) >= target
+        # Growth continues the sequence: tier indices are consecutive.
+        assert plan.tier_indices == tuple(
+            range(current_extents, current_extents + len(plan.tier_indices)))
+
+
+class TestPageRanges:
+    def test_ranges_from_head_pids(self):
+        tiers = PowerOfTwoTier()
+        ranges = extent_page_ranges([100, 200, 300], tiers)
+        assert ranges == [(100, 1), (200, 2), (300, 4)]
+
+    def test_ranges_include_tail(self):
+        tiers = PowerOfTwoTier()
+        ranges = extent_page_ranges([10], tiers, TailExtent(pid=50, npages=3))
+        assert ranges == [(10, 1), (50, 3)]
+
+    def test_plan_capacity_with_tail(self):
+        tiers = PowerOfTwoTier()
+        plan = AllocationPlan(tier_indices=(0, 1), tail_pages=5)
+        assert plan.capacity_pages(tiers) == 8

@@ -1,0 +1,238 @@
+"""Tests for the simulated file-system baselines."""
+
+import pytest
+
+from repro.baselines import Btrfs, Ext4, Ext4Journal, F2fs, FsError, Xfs
+from repro.baselines.ext4 import extent_tree_depth
+from repro.sim.cost import CostModel
+from repro.storage.device import SimulatedNVMe
+
+ALL_FS = [Ext4, Ext4Journal, Xfs, Btrfs, F2fs]
+
+
+def make_fs(cls, capacity_pages=65536):
+    model = CostModel()
+    device = SimulatedNVMe(model, capacity_pages=capacity_pages)
+    return cls(model, device)
+
+
+@pytest.mark.parametrize("fs_cls", ALL_FS, ids=lambda c: c.name)
+class TestCommonSemantics:
+    def test_create_write_read_roundtrip(self, fs_cls):
+        fs = make_fs(fs_cls)
+        payload = bytes(range(256)) * 64
+        fd = fs.create("/a.bin")
+        fs.pwrite(fd, payload, 0)
+        assert fs.pread(fd, len(payload), 0) == payload
+        fs.close(fd)
+
+    def test_read_after_reopen(self, fs_cls):
+        fs = make_fs(fs_cls)
+        fs.write_file("/f", b"persistent")
+        assert fs.read_file("/f") == b"persistent"
+
+    def test_pread_with_offset(self, fs_cls):
+        fs = make_fs(fs_cls)
+        fs.write_file("/f", b"0123456789")
+        fd = fs.open("/f")
+        assert fs.pread(fd, 4, 3) == b"3456"
+        fs.close(fd)
+
+    def test_pread_past_eof(self, fs_cls):
+        fs = make_fs(fs_cls)
+        fs.write_file("/f", b"short")
+        fd = fs.open("/f")
+        assert fs.pread(fd, 100, 3) == b"rt"
+        assert fs.pread(fd, 10, 50) == b""
+        fs.close(fd)
+
+    def test_overwrite_in_place(self, fs_cls):
+        fs = make_fs(fs_cls)
+        fs.write_file("/f", b"A" * 10000)
+        fd = fs.open("/f")
+        fs.pwrite(fd, b"B" * 100, 5000)
+        content = fs.pread(fd, 10000, 0)
+        fs.close(fd)
+        assert content[5000:5100] == b"B" * 100
+        assert content[:5000] == b"A" * 5000
+
+    def test_fstat_size(self, fs_cls):
+        fs = make_fs(fs_cls)
+        fs.write_file("/f", b"x" * 1234)
+        fd = fs.open("/f")
+        assert fs.fstat(fd).size == 1234
+        fs.close(fd)
+
+    def test_unlink_frees_space(self, fs_cls):
+        fs = make_fs(fs_cls)
+        before = fs.free.free_blocks
+        fs.write_file("/f", b"x" * 100_000)
+        assert fs.free.free_blocks < before
+        fs.unlink("/f")
+        assert fs.free.free_blocks == before
+        assert not fs.exists("/f")
+
+    def test_duplicate_create_fails(self, fs_cls):
+        fs = make_fs(fs_cls)
+        fs.close(fs.create("/f"))
+        with pytest.raises(FsError):
+            fs.create("/f")
+
+    def test_open_missing_fails(self, fs_cls):
+        fs = make_fs(fs_cls)
+        with pytest.raises(FsError):
+            fs.open("/missing")
+
+    def test_bad_fd_fails(self, fs_cls):
+        fs = make_fs(fs_cls)
+        with pytest.raises(FsError):
+            fs.pread(99, 10, 0)
+
+    def test_ftruncate_shrink_and_grow(self, fs_cls):
+        fs = make_fs(fs_cls)
+        fs.write_file("/f", b"y" * 9000)
+        fd = fs.open("/f")
+        fs.ftruncate(fd, 100)
+        assert fs.fstat(fd).size == 100
+        fs.ftruncate(fd, 5000)
+        content = fs.pread(fd, 5000, 0)
+        fs.close(fd)
+        assert content[:100] == b"y" * 100
+        assert content[100:] == b"\x00" * 4900
+
+    def test_cold_read_after_drop_caches(self, fs_cls):
+        fs = make_fs(fs_cls)
+        payload = b"cold" * 5000
+        fs.write_file("/f", payload)
+        fs.drop_caches()
+        before = fs.device.stats.bytes_read
+        assert fs.read_file("/f") == payload
+        assert fs.device.stats.bytes_read - before >= len(payload)
+
+    def test_no_space_raises(self, fs_cls):
+        fs = make_fs(fs_cls, capacity_pages=64)
+        with pytest.raises(FsError):
+            fs.write_file("/big", b"x" * (300 * 4096))
+
+    def test_listdir(self, fs_cls):
+        fs = make_fs(fs_cls)
+        fs.write_file("/b", b"1")
+        fs.write_file("/a", b"2")
+        assert fs.listdir() == ["/a", "/b"]
+
+
+class TestExtentTreeDepth:
+    def test_inline_extents_have_no_tree(self):
+        assert extent_tree_depth(1) == 0
+        assert extent_tree_depth(4) == 0
+
+    def test_one_level(self):
+        assert extent_tree_depth(5) == 1
+        assert extent_tree_depth(340) == 1
+
+    def test_two_levels(self):
+        assert extent_tree_depth(341) == 2
+
+
+class TestJournalModes:
+    def test_data_journal_writes_data_to_journal_in_foreground(self):
+        ordered = make_fs(Ext4)
+        journal = make_fs(Ext4Journal)
+        payload = b"j" * 100_000
+        for fs in (ordered, journal):
+            fs.write_file("/f", payload)
+            fs.writeback()  # commits the pending journal transaction
+        j_ordered = ordered.device.stats.bytes_written_by_category["journal"]
+        j_journal = journal.device.stats.bytes_written_by_category["journal"]
+        assert j_journal >= len(payload)          # data through the journal
+        assert j_journal > j_ordered * 3
+        assert journal.stats.foreground_journal_bytes >= len(payload)
+        # And the foreground clock paid for it.
+        assert journal.model.clock.now_ns > ordered.model.clock.now_ns
+
+    def test_journal_mode_doubles_write_amplification(self):
+        journal = make_fs(Ext4Journal)
+        payload = b"d" * 200_000
+        journal.write_file("/f", payload)
+        journal.writeback()
+        stats = journal.device.stats
+        assert stats.bytes_written >= 2 * len(payload)
+
+
+class TestCopyOnWrite:
+    def test_btrfs_overwrite_relocates_blocks(self):
+        fs = make_fs(Btrfs)
+        fs.write_file("/f", b"v1" * 4096)
+        file = fs._files["/f"]
+        old_first = fs._phys_block(file, 0)
+        fd = fs.open("/f")
+        fs.pwrite(fd, b"v2" * 2048, 0)
+        fs.close(fd)
+        assert fs._phys_block(file, 0) != old_first
+        assert fs.read_file("/f")[:4096] == b"v2" * 2048
+
+    def test_ext4_overwrite_stays_in_place(self):
+        fs = make_fs(Ext4)
+        fs.write_file("/f", b"v1" * 4096)
+        file = fs._files["/f"]
+        old_first = fs._phys_block(file, 0)
+        fd = fs.open("/f")
+        fs.pwrite(fd, b"v2" * 2048, 0)
+        fs.close(fd)
+        assert fs._phys_block(file, 0) == old_first
+
+
+class TestLogStructured:
+    def test_f2fs_allocations_are_sequential(self):
+        fs = make_fs(F2fs)
+        fs.write_file("/a", b"1" * 40_000)
+        fs.write_file("/b", b"2" * 40_000)
+        a_start = fs._files["/a"].extents[0][0]
+        b_start = fs._files["/b"].extents[0][0]
+        assert b_start > a_start
+
+    def test_f2fs_stays_contiguous_when_fragmented(self):
+        """After churn, F2FS still appends; extent counts stay low."""
+        fs = make_fs(F2fs, capacity_pages=4096)
+        for i in range(30):
+            fs.write_file(f"/f{i}", b"x" * 30_000)
+            if i % 2:
+                fs.unlink(f"/f{i}")
+        fs.write_file("/final", b"y" * 30_000)
+        assert len(fs._files["/final"].extents) <= 3
+
+
+class TestFragmentation:
+    def test_near_full_allocation_fragments(self):
+        """Best-effort allocators split allocations when nearly full."""
+        # Size the partition so the file set nearly fills it; freeing
+        # every other file leaves only scattered same-sized holes.
+        fs = make_fs(Ext4, capacity_pages=Ext4.journal_blocks + 6000)
+        for i in range(120):
+            fs.write_file(f"/f{i}", b"x" * 200_000)
+        for i in range(0, 120, 2):
+            fs.unlink(f"/f{i}")
+        frags_before = fs.stats.alloc_fragments
+        fs.write_file("/big", b"y" * 2_000_000)
+        new_frags = fs.stats.alloc_fragments - frags_before
+        assert new_frags > 5  # the big file landed in many holes
+
+    def test_utilization(self):
+        fs = make_fs(Ext4, capacity_pages=16384)
+        assert fs.utilization() == pytest.approx(0.0)
+        fs.write_file("/f", b"x" * (1000 * 4096))
+        assert fs.utilization() > 0.1
+
+
+class TestReadCeiling:
+    def test_cold_reads_are_block_serial(self):
+        """Readahead off: cold 4 KiB-block reads cap near 59 MB/s."""
+        fs = make_fs(Ext4)
+        payload = b"r" * (2 * 1024 * 1024)
+        fs.write_file("/f", payload)
+        fs.drop_caches()
+        start = fs.model.clock.now_ns
+        fs.read_file("/f")
+        elapsed_s = (fs.model.clock.now_ns - start) / 1e9
+        rate_mb_s = len(payload) / (1 << 20) / elapsed_s
+        assert 30 < rate_mb_s < 90  # the paper measures 59 MB/s

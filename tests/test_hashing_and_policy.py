@@ -1,0 +1,129 @@
+"""Tests for hasher selection/fallback and the logging policies."""
+
+import hashlib
+
+import pytest
+
+from repro.core.hashing import new_hasher, resume_or_rehash
+from repro.core.log_policy import (
+    AsyncBlobLogging,
+    PhysicalLogging,
+    make_policy,
+)
+from repro.db import BlobDB, EngineConfig
+from repro.sha.fast import FastSha256, simulate_state_loss
+from repro.sha.sha256 import Sha256
+
+
+class TestHasherSelection:
+    def test_new_hasher_kinds(self):
+        assert isinstance(new_hasher("reference"), Sha256)
+        assert isinstance(new_hasher("fast"), FastSha256)
+        with pytest.raises(ValueError):
+            new_hasher("md5")
+
+    def test_resume_reference_state(self):
+        state = Sha256(b"prefix-").state()
+        hasher = resume_or_rehash("reference", state, lambda: [b"unused"])
+        hasher.update(b"suffix")
+        assert hasher.digest() == hashlib.sha256(b"prefix-suffix").digest()
+
+    def test_resume_fast_state(self):
+        state = FastSha256(b"prefix-").state()
+        hasher = resume_or_rehash("fast", state, lambda: [b"unused"])
+        hasher.update(b"suffix")
+        assert hasher.digest() == hashlib.sha256(b"prefix-suffix").digest()
+
+    def test_fast_falls_back_after_state_loss(self):
+        state = FastSha256(b"prefix-").state()
+        simulate_state_loss()
+        hasher = resume_or_rehash("fast", state, lambda: [b"pre", b"fix-"])
+        hasher.update(b"suffix")
+        assert hasher.digest() == hashlib.sha256(b"prefix-suffix").digest()
+
+    def test_reference_never_resumes_fast_token(self):
+        """A token-based fast state must not be misread as chaining."""
+        state = FastSha256(b"prefix-").state()
+        hasher = resume_or_rehash("reference", state,
+                                  lambda: [b"prefix-"])
+        hasher.update(b"suffix")
+        assert hasher.digest() == hashlib.sha256(b"prefix-suffix").digest()
+
+
+def engine(policy: str, **overrides):
+    defaults = dict(device_pages=16384, wal_pages=2048, catalog_pages=256,
+                    buffer_pool_pages=4096, log_policy=policy)
+    defaults.update(overrides)
+    db = BlobDB(EngineConfig(**defaults))
+    db.create_table("t")
+    return db
+
+
+class TestPolicyFactory:
+    def test_make_policy(self):
+        db = engine("async-blob")
+        assert isinstance(make_policy("async-blob", db.wal),
+                          AsyncBlobLogging)
+        assert isinstance(make_policy("physlog", db.wal), PhysicalLogging)
+        with pytest.raises(ValueError):
+            make_policy("quantum", db.wal)
+
+
+class TestAsyncPolicy:
+    def test_wal_carries_only_metadata(self):
+        db = engine("async-blob")
+        payload = b"\x61" * 300_000
+        with db.transaction() as txn:
+            db.put_blob(txn, "t", b"k", payload)
+        wal_bytes = db.device.stats.bytes_written_by_category["wal"]
+        assert wal_bytes < 16_384  # Blob State + txn records only
+
+    def test_extents_clean_after_commit(self):
+        db = engine("async-blob")
+        with db.transaction() as txn:
+            state = db.put_blob(txn, "t", b"k", b"\x62" * 100_000)
+        for pid, _ in state.page_ranges(db.tiers):
+            frame = db.pool.get_frame(pid)
+            assert frame is not None
+            assert not frame.is_dirty
+            assert not frame.prevent_evict
+
+    def test_prevent_evict_held_until_commit(self):
+        db = engine("async-blob")
+        txn = db.begin()
+        state = db.put_blob(txn, "t", b"k", b"\x63" * 100_000)
+        frames = [db.pool.get_frame(pid)
+                  for pid, _ in state.page_ranges(db.tiers)]
+        assert all(f.prevent_evict for f in frames)
+        db.commit(txn)
+        assert all(not f.prevent_evict for f in frames)
+
+
+class TestPhyslogPolicy:
+    def test_wal_carries_content(self):
+        db = engine("physlog")
+        payload = b"\x64" * 300_000
+        with db.transaction() as txn:
+            db.put_blob(txn, "t", b"k", payload)
+        wal_bytes = db.device.stats.bytes_written_by_category["wal"]
+        assert wal_bytes >= len(payload)
+
+    def test_extents_stay_dirty_after_commit(self):
+        """The second write is deferred to eviction/checkpoint."""
+        db = engine("physlog")
+        with db.transaction() as txn:
+            state = db.put_blob(txn, "t", b"k", b"\x65" * 100_000)
+        dirty = [db.pool.get_frame(pid).is_dirty
+                 for pid, _ in state.page_ranges(db.tiers)]
+        assert any(dirty)
+        data_before = db.device.stats.bytes_written_by_category["data"]
+        db.checkpoint()
+        data_after = db.device.stats.bytes_written_by_category["data"]
+        assert data_after - data_before >= 100_000  # the second copy
+
+    def test_segmented_appends_flush_synchronously(self):
+        db = engine("physlog", wal_buffer_bytes=65536)
+        sync_before = db.wal.stats.synchronous_flushes
+        with db.transaction() as txn:
+            db.put_blob(txn, "t", b"k", b"\x66" * 500_000)
+        assert db.wal.stats.synchronous_flushes - sync_before >= 7

@@ -1,0 +1,177 @@
+"""Tests for the Blob State / prefix / semantic indexes (Section III-F)."""
+
+import pytest
+
+from repro.db import BlobDB, EngineConfig
+from repro.db.index import BlobStateIndex, PrefixIndex, SemanticIndex, make_probe
+
+
+def small_config(**overrides):
+    defaults = dict(device_pages=16384, wal_pages=512, catalog_pages=128,
+                    buffer_pool_pages=4096)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+@pytest.fixture
+def db():
+    database = BlobDB(small_config())
+    database.create_table("doc")
+    return database
+
+
+def load(db, docs: dict[bytes, bytes]):
+    for key, data in docs.items():
+        with db.transaction() as txn:
+            db.put_blob(txn, "doc", key, data)
+
+
+class TestBlobStateIndex:
+    def test_build_and_point_lookup(self, db):
+        docs = {b"a": b"alpha content", b"b": b"beta content",
+                b"c": b"gamma content"}
+        load(db, docs)
+        index = BlobStateIndex(db, "doc")
+        assert index.build() == 3
+        assert index.lookup_content(b"beta content") == [b"b"]
+        assert index.lookup_content(b"not there") == []
+
+    def test_point_lookup_uses_digest_not_content(self, db):
+        load(db, {b"a": b"x" * 100_000})
+        index = BlobStateIndex(db, "doc")
+        index.build()
+        index.comparator.stats.deep_compares = 0
+        assert index.lookup_content(b"x" * 100_000) == [b"a"]
+        assert index.comparator.stats.deep_compares == 0  # SHA fast path
+
+    def test_duplicate_content_maps_to_all_keys(self, db):
+        load(db, {b"a": b"same", b"b": b"same"})
+        index = BlobStateIndex(db, "doc")
+        index.build()
+        assert sorted(index.lookup_content(b"same")) == [b"a", b"b"]
+        assert len(index) == 1  # one content entry
+
+    def test_range_query(self, db):
+        docs = {b"1": b"apple", b"2": b"banana", b"3": b"cherry",
+                b"4": b"durian"}
+        load(db, docs)
+        index = BlobStateIndex(db, "doc")
+        index.build()
+        assert sorted(index.range_content(b"banana", b"durian")) == \
+            [b"2", b"3"]
+
+    def test_range_with_shared_prefixes_dereferences_blobs(self, db):
+        """Documents identical for > 32 bytes force incremental compares."""
+        common = b"p" * 100
+        docs = {b"a": common + b"aaa", b"b": common + b"bbb",
+                b"c": common + b"ccc"}
+        load(db, docs)
+        index = BlobStateIndex(db, "doc")
+        index.build()
+        assert index.comparator.stats.deep_compares > 0
+        assert sorted(index.range_content(common + b"aaa",
+                                          common + b"ccc")) == [b"a", b"b"]
+
+    def test_remove(self, db):
+        load(db, {b"a": b"removable"})
+        index = BlobStateIndex(db, "doc")
+        index.build()
+        state = db.get_state("doc", b"a")
+        index.remove(state, b"a")
+        assert index.lookup_content(b"removable") == []
+        assert len(index) == 0
+
+    def test_remove_one_of_duplicates(self, db):
+        load(db, {b"a": b"dup", b"b": b"dup"})
+        index = BlobStateIndex(db, "doc")
+        index.build()
+        index.remove(db.get_state("doc", b"a"), b"a")
+        assert index.lookup_content(b"dup") == [b"b"]
+
+    def test_full_content_indexable_regardless_of_size(self, db):
+        """No prefix limit: two 60 KB docs differing at the end both index."""
+        base = b"z" * 60_000
+        load(db, {b"a": base + b"1", b"b": base + b"2"})
+        index = BlobStateIndex(db, "doc")
+        index.build()
+        assert index.lookup_content(base + b"1") == [b"a"]
+        assert index.lookup_content(base + b"2") == [b"b"]
+
+    def test_index_stores_no_content(self, db):
+        """Index size stays metadata-sized: no BLOB copies (Table I)."""
+        load(db, {bytes([i]): bytes([i]) * 50_000 for i in range(8)})
+        index = BlobStateIndex(db, "doc")
+        index.build()
+        stats = index.stats()
+        assert stats.size_bytes < 8 * 50_000 / 10
+
+    def test_probe_state_shape(self):
+        probe = make_probe(b"hello world")
+        assert probe.size == 11
+        assert probe.prefix == b"hello world"
+        assert probe.data == b"hello world"
+
+
+class TestPrefixIndex:
+    def test_collisions_become_misses(self, db):
+        """Documents sharing the 1 K prefix: only one is indexable."""
+        common = b"c" * 1024
+        load(db, {b"a": common + b"tail-a", b"b": common + b"tail-b",
+                  b"c": b"unique document"})
+        index = PrefixIndex(db, "doc", prefix_bytes=1024)
+        index.build()
+        assert len(index.missed) == 1
+        assert index.miss_fraction == pytest.approx(1 / 3)
+
+    def test_lookup_can_return_wrong_document(self, db):
+        common = b"c" * 1024
+        load(db, {b"a": common + b"tail-a", b"b": common + b"tail-b"})
+        index = PrefixIndex(db, "doc", prefix_bytes=1024)
+        index.build()
+        # Both queries hit the same slot: one of them gets key "a" even
+        # though the content differs past the prefix.
+        assert index.lookup_content(common + b"tail-b") == b"a"
+
+    def test_no_misses_for_distinct_prefixes(self, db):
+        load(db, {bytes([i]): bytes([i]) * 2000 for i in range(10)})
+        index = PrefixIndex(db, "doc", prefix_bytes=1024)
+        index.build()
+        assert index.miss_fraction == 0.0
+
+    def test_prefix_index_stores_content_copies(self, db):
+        """The baseline's cost: 1 KB of content per entry in the tree."""
+        load(db, {bytes([i]): bytes([i]) * 5000 for i in range(10)})
+        prefix_index = PrefixIndex(db, "doc", prefix_bytes=1024)
+        prefix_index.build()
+        state_index = BlobStateIndex(db, "doc")
+        state_index.build()
+        assert prefix_index.stats().leaf_key_bytes > \
+            state_index.stats().leaf_key_bytes * 2
+
+
+class TestSemanticIndex:
+    def test_udf_classification(self, db):
+        def classify(content: bytes) -> str:
+            return "cat" if content.startswith(b"\xff\xd8cat") else "other"
+
+        load(db, {b"1.jpg": b"\xff\xd8cat...", b"2.jpg": b"\xff\xd8dog...",
+                  b"3.jpg": b"\xff\xd8cat!!!"})
+        index = SemanticIndex(db, "doc", classify)
+        index.build()
+        assert sorted(index.lookup("cat")) == [b"1.jpg", b"3.jpg"]
+        assert index.lookup("other") == [b"2.jpg"]
+        assert index.lookup("bird") == []
+
+    def test_bytes_udf(self, db):
+        load(db, {b"a": b"12345", b"b": b"123"})
+        index = SemanticIndex(db, "doc", lambda c: len(c).to_bytes(4, "big"))
+        index.build()
+        assert index.lookup((5).to_bytes(4, "big")) == [b"a"]
+
+    def test_incremental_insert(self, db):
+        index = SemanticIndex(db, "doc", lambda c: c[:1])
+        with db.transaction() as txn:
+            state = db.put_blob(txn, "doc", b"k", b"hello")
+        index.insert(state, b"k")
+        assert index.lookup(b"h") == [b"k"]
+        assert len(index) == 1

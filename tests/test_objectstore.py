@@ -1,0 +1,157 @@
+"""Tests for the S3-style object store facade."""
+
+import hashlib
+
+import pytest
+
+from repro.db import BlobDB, EngineConfig
+from repro.db.errors import DatabaseError, DuplicateKeyError
+from repro.objectstore import (
+    BucketNotFound,
+    ObjectNotFound,
+    ObjectStore,
+    PreconditionFailed,
+)
+
+
+@pytest.fixture
+def store():
+    db = BlobDB(EngineConfig(device_pages=16384, wal_pages=512,
+                             catalog_pages=256, buffer_pool_pages=4096))
+    s = ObjectStore(db)
+    s.create_bucket("photos")
+    return s
+
+
+class TestBuckets:
+    def test_create_and_list(self, store):
+        store.create_bucket("docs")
+        assert store.list_buckets() == ["docs", "photos"]
+
+    def test_duplicate_bucket(self, store):
+        with pytest.raises(DuplicateKeyError):
+            store.create_bucket("photos")
+
+    def test_missing_bucket_errors(self, store):
+        with pytest.raises(BucketNotFound):
+            store.put_object("nope", b"k", b"v")
+        with pytest.raises(BucketNotFound):
+            store.head_object("nope", b"k")
+        with pytest.raises(BucketNotFound):
+            list(store.list_objects("nope"))
+
+
+class TestObjects:
+    def test_put_get_roundtrip(self, store):
+        payload = b"\xff\xd8jpeg" * 1000
+        info = store.put_object("photos", b"cat.jpg", payload)
+        assert info.size == len(payload)
+        assert store.get_object("photos", b"cat.jpg") == payload
+
+    def test_etag_is_content_sha256(self, store):
+        payload = b"etag me"
+        info = store.put_object("photos", b"k", payload)
+        assert info.etag == hashlib.sha256(payload).hexdigest()
+
+    def test_put_replaces_whole_object(self, store):
+        store.put_object("photos", b"k", b"version 1")
+        info = store.put_object("photos", b"k", b"v2")
+        assert store.get_object("photos", b"k") == b"v2"
+        assert info.size == 2
+
+    def test_head_without_content_access(self, store):
+        store.put_object("photos", b"k", b"x" * 50_000)
+        reads_before = store.db.device.stats.bytes_read
+        info = store.head_object("photos", b"k")
+        assert info.size == 50_000
+        assert store.db.device.stats.bytes_read == reads_before
+
+    def test_delete(self, store):
+        store.put_object("photos", b"k", b"bye")
+        store.delete_object("photos", b"k")
+        with pytest.raises(ObjectNotFound):
+            store.get_object("photos", b"k")
+        with pytest.raises(ObjectNotFound):
+            store.delete_object("photos", b"k")
+
+    def test_conditional_get_not_modified(self, store):
+        info = store.put_object("photos", b"k", b"cacheable")
+        with pytest.raises(PreconditionFailed):
+            store.get_object("photos", b"k", if_none_match=info.etag)
+        # After modification the stale ETag no longer matches.
+        store.put_object("photos", b"k", b"changed")
+        assert store.get_object("photos", b"k",
+                                if_none_match=info.etag) == b"changed"
+
+    def test_list_with_prefix(self, store):
+        for key in (b"2024/a.jpg", b"2024/b.jpg", b"2025/c.jpg"):
+            store.put_object("photos", key, b"img")
+        got = [o.key for o in store.list_objects("photos", prefix=b"2024/")]
+        assert got == [b"2024/a.jpg", b"2024/b.jpg"]
+        assert len(list(store.list_objects("photos"))) == 3
+
+    def test_list_prefix_at_byte_boundary(self, store):
+        store.put_object("photos", b"\xff\xfe", b"1")
+        store.put_object("photos", b"\xff\xff", b"2")
+        got = [o.key for o in store.list_objects("photos", prefix=b"\xff")]
+        assert got == [b"\xff\xfe", b"\xff\xff"]
+
+
+class TestMultipart:
+    def test_multipart_assembles_in_order(self, store):
+        upload = store.create_multipart_upload("photos", b"big.bin")
+        parts = [b"part-one|" * 1000, b"part-two|" * 2000, b"end" * 10]
+        for part in parts:
+            upload.upload_part(part)
+        info = upload.complete()
+        expected = b"".join(parts)
+        assert info.size == len(expected)
+        assert info.etag == hashlib.sha256(expected).hexdigest()
+        assert store.get_object("photos", b"big.bin") == expected
+
+    def test_multipart_never_rereads_earlier_parts(self, store):
+        """The resumable hash: part N costs O(N), not O(total)."""
+        upload = store.create_multipart_upload("photos", b"big.bin")
+        upload.upload_part(b"x" * 500_000)
+        reads_before = store.db.device.stats.bytes_read
+        upload.upload_part(b"y" * 1000)
+        assert store.db.device.stats.bytes_read - reads_before < 100_000
+        upload.complete()
+
+    def test_multipart_replaces_existing_object(self, store):
+        store.put_object("photos", b"k", b"old")
+        upload = store.create_multipart_upload("photos", b"k")
+        upload.upload_part(b"new content")
+        upload.complete()
+        assert store.get_object("photos", b"k") == b"new content"
+
+    def test_staging_hidden_from_listing(self, store):
+        upload = store.create_multipart_upload("photos", b"wip")
+        upload.upload_part(b"partial")
+        assert list(store.list_objects("photos")) == []
+        upload.complete()
+        assert [o.key for o in store.list_objects("photos")] == [b"wip"]
+
+    def test_abort_discards_parts(self, store):
+        upload = store.create_multipart_upload("photos", b"never")
+        upload.upload_part(b"discard me")
+        upload.abort()
+        with pytest.raises(ObjectNotFound):
+            store.head_object("photos", b"never")
+        with pytest.raises(DatabaseError):
+            upload.upload_part(b"too late")
+
+    def test_empty_complete_rejected(self, store):
+        upload = store.create_multipart_upload("photos", b"empty")
+        with pytest.raises(DatabaseError):
+            upload.complete()
+
+    def test_completed_object_survives_crash(self, store):
+        upload = store.create_multipart_upload("photos", b"durable.bin")
+        upload.upload_part(b"p1" * 10_000)
+        upload.upload_part(b"p2" * 10_000)
+        upload.complete()
+        db = store.db
+        recovered = BlobDB.recover(db.crash(), db.config)
+        assert recovered.read_blob("photos", b"durable.bin") == \
+            b"p1" * 10_000 + b"p2" * 10_000

@@ -1,0 +1,147 @@
+"""Tests for the OCC concurrency mode (Section III-H alternatives).
+
+The paper sketches single-version concurrency control on the Blob State
+relation via 2PL, OCC, or Silo.  ``concurrency="occ"`` implements the
+optimistic variant: reads take no locks and record versions; commit-time
+backward validation aborts transactions whose reads went stale; writers
+install markers first-updater-wins (write-write conflicts abort early).
+"""
+
+import pytest
+
+from repro.db import BlobDB, EngineConfig, TransactionConflict
+
+
+def make_db(concurrency="occ"):
+    db = BlobDB(EngineConfig(device_pages=16384, wal_pages=512,
+                             catalog_pages=128, buffer_pool_pages=4096,
+                             concurrency=concurrency))
+    db.create_table("t")
+    with db.transaction() as txn:
+        db.put_blob(txn, "t", b"k", b"base content")
+    return db
+
+
+class TestOccReads:
+    def test_readers_do_not_block_writers(self):
+        """The OCC advantage over 2PL: an open reader does not stop a
+        writer from committing."""
+        db = make_db()
+        reader = db.begin()
+        assert db.read_blob("t", b"k", txn=reader) == b"base content"
+        writer = db.begin()
+        db.append_blob(writer, "t", b"k", b"!")   # no conflict raised
+        db.commit(writer)
+        # The reader is now doomed, but the writer proceeded.
+        with pytest.raises(TransactionConflict):
+            db.commit(reader)
+
+    def test_2pl_blocks_the_same_interleaving(self):
+        db = make_db(concurrency="2pl")
+        reader = db.begin()
+        db.read_blob("t", b"k", txn=reader)
+        writer = db.begin()
+        with pytest.raises(TransactionConflict):
+            db.append_blob(writer, "t", b"k", b"!")
+        db.abort(writer)
+        db.commit(reader)
+
+    def test_stale_read_fails_validation(self):
+        db = make_db()
+        reader = db.begin()
+        db.read_blob("t", b"k", txn=reader)
+        with db.transaction() as writer:
+            db.append_blob(writer, "t", b"k", b"+new")
+        with pytest.raises(TransactionConflict):
+            db.commit(reader)
+        assert db.occ_aborts == 1
+
+    def test_no_dirty_reads_of_inflight_writes(self):
+        """The engine applies writes in place, so a record under an
+        active write marker is unreadable — reading it would become a
+        dirty read if the writer aborts (found by the stress tests)."""
+        db = make_db()
+        writer = db.begin()
+        db.append_blob(writer, "t", b"k", b"-uncommitted")
+        reader = db.begin()
+        with pytest.raises(TransactionConflict):
+            db.read_blob("t", b"k", txn=reader)
+        db.abort(reader)
+        db.abort(writer)
+        # The rolled-back bytes were never observable.
+        assert db.read_blob("t", b"k") == b"base content"
+
+    def test_unconflicted_reader_commits(self):
+        db = make_db()
+        reader = db.begin()
+        assert db.read_blob("t", b"k", txn=reader) == b"base content"
+        db.commit(reader)
+        assert db.occ_aborts == 0
+
+    def test_reader_of_other_key_unaffected(self):
+        db = make_db()
+        with db.transaction() as txn:
+            db.put_blob(txn, "t", b"other", b"unrelated")
+        reader = db.begin()
+        db.read_blob("t", b"other", txn=reader)
+        with db.transaction() as writer:
+            db.append_blob(writer, "t", b"k", b"+")
+        db.commit(reader)  # no conflict: versions of b"other" unchanged
+
+
+class TestOccWrites:
+    def test_write_write_conflicts_abort_early(self):
+        """First-updater-wins: the second writer aborts immediately."""
+        db = make_db()
+        a = db.begin()
+        b = db.begin()
+        db.append_blob(a, "t", b"k", b"-a")
+        with pytest.raises(TransactionConflict):
+            db.append_blob(b, "t", b"k", b"-b")
+        db.abort(b)
+        db.commit(a)
+        assert db.read_blob("t", b"k") == b"base content-a"
+
+    def test_read_own_write_validates(self):
+        """A transaction that reads then writes the same key commits if
+        nobody else intervened."""
+        db = make_db()
+        txn = db.begin()
+        content = db.read_blob("t", b"k", txn=txn)
+        db.append_blob(txn, "t", b"k", b"-mine")
+        db.commit(txn)
+        assert db.read_blob("t", b"k") == content + b"-mine"
+
+    def test_failed_validation_rolls_back_writes(self):
+        db = make_db()
+        doomed = db.begin()
+        db.read_blob("t", b"k", txn=doomed)
+        db.put_blob(doomed, "t", b"new-key", b"should vanish")
+        with db.transaction() as writer:
+            db.append_blob(writer, "t", b"k", b"+")
+        with pytest.raises(TransactionConflict):
+            db.commit(doomed)
+        assert not db.exists("t", b"new-key")
+
+    def test_versions_bump_only_on_commit(self):
+        db = make_db()
+        aborted = db.begin()
+        db.append_blob(aborted, "t", b"k", b"-never")
+        db.abort(aborted)
+        reader = db.begin()
+        db.read_blob("t", b"k", txn=reader)
+        db.commit(reader)  # the aborted write must not have bumped k
+
+    def test_occ_survives_crash_recovery(self):
+        db = make_db()
+        with db.transaction() as txn:
+            db.append_blob(txn, "t", b"k", b"-durable")
+        recovered = BlobDB.recover(db.crash(), db.config)
+        assert recovered.read_blob("t", b"k") == b"base content-durable"
+        # And OCC still works on the recovered engine.
+        reader = recovered.begin()
+        recovered.read_blob("t", b"k", txn=reader)
+        with recovered.transaction() as writer:
+            recovered.append_blob(writer, "t", b"k", b"!")
+        with pytest.raises(TransactionConflict):
+            recovered.commit(reader)

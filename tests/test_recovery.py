@@ -1,0 +1,296 @@
+"""Crash & recovery tests (Section III-C BLOB recoverability).
+
+The decisive scenarios: content committed before a crash must survive;
+uncommitted work must vanish; and a crash in the window between WAL
+durability and the extent flush must be detected by the SHA-256
+validation and rolled back (the "failed transaction" undo list).
+"""
+
+import pytest
+
+from repro.db import BlobDB, EngineConfig
+
+
+def small_config(**overrides):
+    defaults = dict(device_pages=16384, wal_pages=512, catalog_pages=256,
+                    buffer_pool_pages=4096)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+def crash_and_recover(db):
+    config = db.config
+    device = db.crash()
+    return BlobDB.recover(device, config)
+
+
+class TestCommittedDataSurvives:
+    def test_blob_survives_crash(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        payload = bytes(range(256)) * 300
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"cat.jpg", payload)
+        recovered = crash_and_recover(db)
+        assert recovered.read_blob("image", b"cat.jpg") == payload
+        assert recovered.failed_txns == []
+
+    def test_inline_value_survives_crash(self):
+        db = BlobDB(small_config())
+        db.create_table("kv")
+        with db.transaction() as txn:
+            db.put(txn, "kv", b"k", b"inline-value")
+        recovered = crash_and_recover(db)
+        assert recovered.get("kv", b"k") == b"inline-value"
+
+    def test_multiple_tables_and_blobs(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        db.create_table("document")
+        blobs = {(t, bytes([i])): bytes([i]) * (1000 * (i + 1))
+                 for t in ("image", "document") for i in range(5)}
+        for (table, key), data in blobs.items():
+            with db.transaction() as txn:
+                db.put_blob(txn, table, key, data)
+        recovered = crash_and_recover(db)
+        for (table, key), data in blobs.items():
+            assert recovered.read_blob(table, key) == data
+
+    def test_committed_delete_survives_crash(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"k", b"doomed")
+        with db.transaction() as txn:
+            db.delete_blob(txn, "image", b"k")
+        recovered = crash_and_recover(db)
+        assert not recovered.exists("image", b"k")
+
+    def test_committed_append_survives_crash(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"g", b"part1|")
+        with db.transaction() as txn:
+            db.append_blob(txn, "image", b"g", b"part2")
+        recovered = crash_and_recover(db)
+        assert recovered.read_blob("image", b"g") == b"part1|part2"
+
+    def test_tables_created_after_checkpoint_survive(self):
+        db = BlobDB(small_config())
+        db.create_table("early")
+        db.checkpoint()
+        db.create_table("late")
+        with db.transaction() as txn:
+            db.put_blob(txn, "late", b"k", b"v")
+        recovered = crash_and_recover(db)
+        assert "late" in recovered.list_tables()
+        assert recovered.read_blob("late", b"k") == b"v"
+
+
+class TestUncommittedDataVanishes:
+    def test_open_transaction_lost(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        txn = db.begin()
+        db.put_blob(txn, "image", b"limbo", b"never committed")
+        # No commit; crash now.
+        recovered = crash_and_recover(db)
+        assert not recovered.exists("image", b"limbo")
+
+    def test_aborted_transaction_stays_aborted(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        txn = db.begin()
+        db.put_blob(txn, "image", b"k", b"aborted")
+        db.abort(txn)
+        recovered = crash_and_recover(db)
+        assert not recovered.exists("image", b"k")
+
+    def test_uncommitted_extents_are_reclaimable(self):
+        """Allocations of lost transactions leave no holes."""
+        config = small_config()
+        db = BlobDB(config)
+        db.create_table("image")
+        txn = db.begin()
+        db.put_blob(txn, "image", b"limbo", b"x" * 100_000)
+        recovered = crash_and_recover(db)
+        # The recovered engine can allocate the same space again.
+        with recovered.transaction() as txn2:
+            recovered.put_blob(txn2, "image", b"fresh", b"y" * 100_000)
+        assert recovered.read_blob("image", b"fresh") == b"y" * 100_000
+
+
+class TestShaValidationWindow:
+    def _crash_between_wal_and_extent_flush(self, db, table, key, data):
+        """Commit whose extent flush never reaches the device."""
+        txn = db.begin()
+        db.put_blob(txn, table, key, data)
+        original = db.pool.flush_batch
+        db.pool.flush_batch = lambda *a, **k: 0  # extents never flushed
+        try:
+            db.commit(txn)
+        finally:
+            db.pool.flush_batch = original
+
+    def test_failed_blob_txn_is_undone(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        self._crash_between_wal_and_extent_flush(db, "image", b"torn",
+                                                 b"t" * 50_000)
+        recovered = crash_and_recover(db)
+        # Analysis found the digest mismatch: txn on the undo list,
+        # its effects absent (Section III-C).
+        assert recovered.failed_txns
+        assert not recovered.exists("image", b"torn")
+
+    def test_failed_txn_extents_are_reusable(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        self._crash_between_wal_and_extent_flush(db, "image", b"torn",
+                                                 b"t" * 50_000)
+        recovered = crash_and_recover(db)
+        with recovered.transaction() as txn:
+            recovered.put_blob(txn, "image", b"ok", b"o" * 50_000)
+        assert recovered.read_blob("image", b"ok") == b"o" * 50_000
+
+    def test_healthy_txns_unaffected_by_failed_one(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"good", b"g" * 10_000)
+        self._crash_between_wal_and_extent_flush(db, "image", b"torn",
+                                                 b"t" * 50_000)
+        recovered = crash_and_recover(db)
+        assert recovered.read_blob("image", b"good") == b"g" * 10_000
+        assert not recovered.exists("image", b"torn")
+
+
+class TestCheckpointing:
+    def test_recovery_from_snapshot_plus_wal_tail(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"before", b"b" * 5000)
+        db.checkpoint()
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"after", b"a" * 5000)
+        recovered = crash_and_recover(db)
+        assert recovered.read_blob("image", b"before") == b"b" * 5000
+        assert recovered.read_blob("image", b"after") == b"a" * 5000
+
+    def test_free_lists_survive_checkpoint_and_crash(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        with db.transaction() as txn:
+            state = db.put_blob(txn, "image", b"k", b"x" * 50_000)
+        first_pid = state.extent_pids[0]
+        with db.transaction() as txn:
+            db.delete_blob(txn, "image", b"k")
+        db.checkpoint()
+        recovered = crash_and_recover(db)
+        with recovered.transaction() as txn:
+            state2 = recovered.put_blob(txn, "image", b"k2", b"y" * 50_000)
+        assert state2.extent_pids[0] == first_pid  # freed space reused
+
+    def test_wal_pressure_triggers_checkpoint(self):
+        db = BlobDB(small_config(wal_pages=64,
+                                 checkpoint_threshold=0.3))
+        db.create_table("kv")
+        for i in range(200):
+            with db.transaction() as txn:
+                db.put(txn, "kv", b"k%d" % i, b"v" * 400)
+        assert db.checkpoints_taken >= 1
+        recovered = crash_and_recover(db)
+        for i in range(200):
+            assert recovered.get("kv", b"k%d" % i) == b"v" * 400
+
+    def test_checkpoint_with_active_txn_rejected(self):
+        from repro.db.errors import TransactionStateError
+        db = BlobDB(small_config())
+        db.create_table("image")
+        txn = db.begin()
+        with pytest.raises(TransactionStateError):
+            db.checkpoint()
+        db.abort(txn)
+
+    def test_double_crash_recover(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"k", b"stable")
+        recovered1 = crash_and_recover(db)
+        with recovered1.transaction() as txn:
+            recovered1.put_blob(txn, "image", b"k2", b"second life")
+        recovered2 = crash_and_recover(recovered1)
+        assert recovered2.read_blob("image", b"k") == b"stable"
+        assert recovered2.read_blob("image", b"k2") == b"second life"
+
+
+class TestPhyslogRecovery:
+    def test_physlog_redoes_content_from_wal_chunks(self):
+        """Physlog content lives in the WAL until eviction; a crash right
+        after commit must restore it from the chunk records."""
+        config = small_config(log_policy="physlog",
+                              wal_pages=1024, wal_buffer_bytes=1 << 16)
+        db = BlobDB(config)
+        db.create_table("image")
+        payload = bytes(range(256)) * 150
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"k", payload)
+        # Frames are dirty and unflushed: content is only in the WAL.
+        recovered = crash_and_recover(db)
+        assert recovered.read_blob("image", b"k") == payload
+
+    def test_physlog_writes_content_twice_by_checkpoint(self):
+        config = small_config(log_policy="physlog", wal_pages=1024)
+        db = BlobDB(config)
+        db.create_table("image")
+        payload = b"2x" * 25_000
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"k", payload)
+        db.checkpoint()  # flushes the dirty frames: the second write
+        cats = db.device.stats.bytes_written_by_category
+        assert cats["wal"] >= len(payload)       # first copy: WAL chunks
+        assert cats["data"] >= len(payload)      # second copy: extents
+
+    def test_grow_after_recovery_falls_back_to_rehash(self):
+        """FastSha256 live states die in a crash; growth must still work."""
+        db = BlobDB(small_config(hasher="fast"))
+        db.create_table("image")
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"g", b"pre-crash|")
+        recovered = crash_and_recover(db)
+        with recovered.transaction() as txn:
+            recovered.append_blob(txn, "image", b"g", b"post-crash")
+        import hashlib
+        content = recovered.read_blob("image", b"g")
+        assert content == b"pre-crash|post-crash"
+        state = recovered.get_state("image", b"g")
+        assert state.sha256 == hashlib.sha256(content).digest()
+
+
+class TestRecoveryOfUpdates:
+    def test_delta_update_survives_crash(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"u", b"\x00" * 40_000)
+        with db.transaction() as txn:
+            db.update_blob_range(txn, "image", b"u", 100, b"DELTA",
+                                 scheme="delta")
+        recovered = crash_and_recover(db)
+        content = recovered.read_blob("image", b"u")
+        assert content[100:105] == b"DELTA"
+        assert recovered.failed_txns == []
+
+    def test_clone_update_survives_crash(self):
+        db = BlobDB(small_config())
+        db.create_table("image")
+        with db.transaction() as txn:
+            db.put_blob(txn, "image", b"u", b"\x01" * 40_000)
+        with db.transaction() as txn:
+            db.update_blob_range(txn, "image", b"u", 0, b"CLONE",
+                                 scheme="clone")
+        recovered = crash_and_recover(db)
+        assert recovered.read_blob("image", b"u")[:5] == b"CLONE"

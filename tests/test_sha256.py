@@ -1,0 +1,150 @@
+"""Tests for the resumable SHA-256 implementations."""
+
+import hashlib
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sha.fast import FastSha256, StateLost, simulate_state_loss
+from repro.sha.sha256 import Sha256, Sha256State
+
+# NIST FIPS 180-4 / well-known test vectors.
+KNOWN_VECTORS = [
+    (b"", "e3b0c44298fc1c149afbf4c8996fb92427ae41e4649b934ca495991b7852b855"),
+    (b"abc", "ba7816bf8f01cfea414140de5dae2223b00361a396177a9cb410ff61f20015ad"),
+    (b"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+     "248d6a61d20638b8e5c026930c3e6039a33ce45964ff2167f6ecedd419db06c1"),
+    (b"a" * 1_000_000,
+     "cdc76e5c9914fb9281a1c7e284d73e67f1809a48a497200e046d39ccc7112cd0"),
+]
+
+
+class TestKnownVectors:
+    @pytest.mark.parametrize("message,expected", KNOWN_VECTORS,
+                             ids=["empty", "abc", "two-block", "million-a"])
+    def test_fips_vectors(self, message, expected):
+        assert Sha256(message).hexdigest() == expected
+
+    def test_digest_does_not_consume(self):
+        hasher = Sha256(b"abc")
+        first = hasher.digest()
+        assert hasher.digest() == first
+        hasher.update(b"def")
+        assert hasher.digest() == hashlib.sha256(b"abcdef").digest()
+
+
+class TestIncrementalUpdates:
+    def test_update_in_pieces_matches_oneshot(self):
+        hasher = Sha256()
+        for piece in (b"hello ", b"wor", b"ld", b"!" * 200):
+            hasher.update(piece)
+        expected = hashlib.sha256(b"hello world" + b"!" * 200).hexdigest()
+        assert hasher.hexdigest() == expected
+
+    def test_copy_is_independent(self):
+        a = Sha256(b"shared prefix")
+        b = a.copy()
+        a.update(b"-a")
+        b.update(b"-b")
+        assert a.digest() == hashlib.sha256(b"shared prefix-a").digest()
+        assert b.digest() == hashlib.sha256(b"shared prefix-b").digest()
+
+    @given(st.binary(max_size=2048), st.binary(max_size=2048))
+    @settings(max_examples=60, deadline=None)
+    def test_split_point_irrelevant(self, left, right):
+        hasher = Sha256(left)
+        hasher.update(right)
+        assert hasher.digest() == hashlib.sha256(left + right).digest()
+
+    @given(st.binary(max_size=4096))
+    @settings(max_examples=60, deadline=None)
+    def test_matches_hashlib(self, data):
+        assert Sha256(data).digest() == hashlib.sha256(data).digest()
+
+
+class TestResumableState:
+    def test_state_roundtrip_resumes_hashing(self):
+        prefix, suffix = b"x" * 777, b"y" * 333
+        hasher = Sha256(prefix)
+        state = hasher.state()
+        resumed = Sha256.resume(state)
+        resumed.update(suffix)
+        assert resumed.digest() == hashlib.sha256(prefix + suffix).digest()
+
+    def test_state_serialization_roundtrip(self):
+        state = Sha256(b"q" * 100).state()
+        raw = state.serialize()
+        assert len(raw) == Sha256State.SERIALIZED_SIZE
+        restored = Sha256State.deserialize(raw)
+        assert restored == state
+        resumed = Sha256.resume(restored)
+        resumed.update(b"tail")
+        assert resumed.digest() == hashlib.sha256(b"q" * 100 + b"tail").digest()
+
+    def test_deserialize_rejects_wrong_size(self):
+        with pytest.raises(ValueError):
+            Sha256State.deserialize(b"short")
+
+    def test_resume_rejects_inconsistent_state(self):
+        bad = Sha256State(chaining=b"\x00" * 32, length=100, tail=b"abc")
+        with pytest.raises(ValueError):
+            Sha256.resume(bad)
+
+    def test_resume_rejects_bad_chaining_length(self):
+        bad = Sha256State(chaining=b"\x00" * 31, length=0, tail=b"")
+        with pytest.raises(ValueError):
+            Sha256.resume(bad)
+
+    @given(st.binary(max_size=1024), st.binary(max_size=1024))
+    @settings(max_examples=40, deadline=None)
+    def test_resume_property(self, prefix, suffix):
+        """Resuming at any split point yields the digest of the whole."""
+        state = Sha256(prefix).state()
+        resumed = Sha256.resume(Sha256State.deserialize(state.serialize()))
+        resumed.update(suffix)
+        assert resumed.digest() == hashlib.sha256(prefix + suffix).digest()
+
+    def test_length_property(self):
+        hasher = Sha256(b"abc")
+        hasher.update(b"de")
+        assert hasher.length == 5
+
+
+class TestFastSha256:
+    def test_digests_match_hashlib(self):
+        data = b"fast path" * 1000
+        assert FastSha256(data).digest() == hashlib.sha256(data).digest()
+
+    def test_digests_match_reference(self):
+        data = bytes(range(256)) * 7
+        assert FastSha256(data).digest() == Sha256(data).digest()
+
+    def test_resume_via_registry(self):
+        hasher = FastSha256(b"part one|")
+        state = hasher.state()
+        resumed = FastSha256.resume(state)
+        resumed.update(b"part two")
+        expected = hashlib.sha256(b"part one|part two").digest()
+        assert resumed.digest() == expected
+
+    def test_resume_after_crash_raises_state_lost(self):
+        state = FastSha256(b"doomed").state()
+        simulate_state_loss()
+        with pytest.raises(StateLost):
+            FastSha256.resume(state)
+
+    def test_resume_rejects_reference_state(self):
+        state = Sha256(b"pure").state()
+        with pytest.raises(StateLost):
+            FastSha256.resume(state)
+
+    def test_copy_is_independent(self):
+        a = FastSha256(b"base")
+        b = a.copy()
+        b.update(b"!")
+        assert a.digest() == hashlib.sha256(b"base").digest()
+        assert b.digest() == hashlib.sha256(b"base!").digest()
+
+    def test_length_tracked(self):
+        hasher = FastSha256(b"12345")
+        assert hasher.length == 5

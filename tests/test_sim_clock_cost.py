@@ -1,0 +1,155 @@
+"""Tests for the virtual clock and cost model."""
+
+import pytest
+
+from repro.sim.clock import Stopwatch, VirtualClock
+from repro.sim.cost import CostModel, CostParams, PerfCounters, SYSCALL_NS
+
+
+class TestVirtualClock:
+    def test_starts_at_zero(self):
+        assert VirtualClock().now_ns == 0
+
+    def test_advance_accumulates(self):
+        clock = VirtualClock()
+        clock.advance(100)
+        clock.advance(250)
+        assert clock.now_ns == 350
+
+    def test_advance_rejects_negative(self):
+        with pytest.raises(ValueError):
+            VirtualClock().advance(-1)
+
+    def test_negative_start_rejected(self):
+        with pytest.raises(ValueError):
+            VirtualClock(start_ns=-5)
+
+    def test_advance_to_is_monotonic(self):
+        clock = VirtualClock()
+        clock.advance_to(500)
+        clock.advance_to(100)  # no-op: time never goes backwards
+        assert clock.now_ns == 500
+
+    def test_unit_conversions(self):
+        clock = VirtualClock(start_ns=2_500_000_000)
+        assert clock.now_s == 2.5
+        assert clock.now_ms == 2500.0
+        assert clock.now_us == 2_500_000.0
+
+    def test_stopwatch_measures_region(self):
+        clock = VirtualClock()
+        clock.advance(10)
+        with Stopwatch(clock) as sw:
+            clock.advance(42)
+        assert sw.elapsed_ns == 42
+
+
+class TestCostParams:
+    def test_copy_with_override(self):
+        base = CostParams()
+        faster = base.copy(memcpy_ns_per_byte=0.01)
+        assert faster.memcpy_ns_per_byte == 0.01
+        assert base.memcpy_ns_per_byte != 0.01
+        assert faster.ssd_read_latency_ns == base.ssd_read_latency_ns
+
+    def test_copy_rejects_unknown_parameter(self):
+        with pytest.raises(TypeError):
+            CostParams().copy(warp_drive_ns=1.0)
+
+
+class TestCostModel:
+    def test_syscall_charges_known_price(self):
+        model = CostModel()
+        model.syscall("open")
+        assert model.clock.now_ns == int(SYSCALL_NS["open"])
+        assert model.counters.kernel_cycles > 0
+
+    def test_unknown_syscall_uses_generic_price(self):
+        model = CostModel()
+        model.syscall("frobnicate")
+        assert model.clock.now_ns == int(SYSCALL_NS["generic"])
+
+    def test_memcpy_scales_with_bytes(self):
+        model = CostModel()
+        model.memcpy(1_000_000)
+        t1 = model.clock.now_ns
+        model.memcpy(2_000_000)
+        assert model.clock.now_ns - t1 == pytest.approx(2 * t1, rel=0.01)
+
+    def test_memcpy_tracks_bandwidth_demand(self):
+        model = CostModel()
+        model.memcpy(4096)
+        model.kernel_copy(4096)
+        assert model.memcpy_bytes == 8192
+        assert model.memory_time_ns > 0
+
+    def test_memcpy_with_faults_charges_kernel_time(self):
+        plain = CostModel()
+        plain.memcpy(64 * 1024)
+        faulting = CostModel()
+        faulting.memcpy(64 * 1024, faults=True)
+        assert faulting.clock.now_ns > plain.clock.now_ns
+        assert faulting.counters.kernel_cycles > plain.counters.kernel_cycles
+
+    def test_memory_contention_slows_copies(self):
+        model = CostModel()
+        model.memcpy(1_000_000)
+        base = model.clock.now_ns
+        model.memory_contention = 2.0
+        model.memcpy(1_000_000)
+        assert model.clock.now_ns - base == pytest.approx(2 * base, rel=0.01)
+
+    def test_io_batch_overlaps_latency(self):
+        """32 batched 4K reads pay one latency wave, not 32 latencies."""
+        params = CostParams()
+        batched = CostModel(params)
+        batched.ssd_read(32 * 4096, requests=32)
+        serial = CostModel(params)
+        for _ in range(32):
+            serial.ssd_read(4096, requests=1)
+        assert batched.clock.now_ns < serial.clock.now_ns / 10
+
+    def test_io_batch_beyond_queue_depth_pays_extra_wave(self):
+        params = CostParams(ssd_queue_depth=4)
+        model = CostModel(params)
+        model.ssd_read(8 * 4096, requests=8)  # two waves of four
+        expected_latency = 2 * params.ssd_read_latency_ns
+        assert model.clock.now_ns >= expected_latency
+
+    def test_ipc_roundtrip_charges_serialization(self):
+        empty = CostModel()
+        empty.ipc_roundtrip(0)
+        loaded = CostModel()
+        loaded.ipc_roundtrip(100_000)
+        assert loaded.clock.now_ns > empty.clock.now_ns
+
+    def test_contended_latch_costs_more(self):
+        model = CostModel()
+        model.latch(contended=False)
+        base = model.clock.now_ns
+        model.latch(contended=True)
+        assert model.clock.now_ns - base > base
+
+    def test_hash_charge_scales(self):
+        model = CostModel()
+        model.hash_bytes(1 << 20)
+        assert model.clock.now_ns == pytest.approx(
+            (1 << 20) * model.params.hash_ns_per_byte, rel=0.01)
+
+
+class TestPerfCounters:
+    def test_snapshot_and_delta(self):
+        model = CostModel()
+        model.syscall("open")
+        snap = model.counters.snapshot()
+        model.syscall("close")
+        delta = model.counters.delta_since(snap)
+        assert delta.kernel_cycles == pytest.approx(
+            SYSCALL_NS["close"] / 0.2, rel=0.01)
+
+    def test_add_merges_counters(self):
+        a = PerfCounters(instructions=1, cycles=2, kernel_cycles=3, cache_misses=4)
+        b = PerfCounters(instructions=10, cycles=20, kernel_cycles=30, cache_misses=40)
+        a.add(b)
+        assert (a.instructions, a.cycles, a.kernel_cycles, a.cache_misses) == \
+            (11, 22, 33, 44)

@@ -1,0 +1,185 @@
+"""Tests for the SQL front end (the paper's own statement forms)."""
+
+import pytest
+
+from repro.db import BlobDB, EngineConfig
+from repro.sql import SqlError, SqlSession
+
+
+@pytest.fixture
+def session():
+    db = BlobDB(EngineConfig(device_pages=16384, wal_pages=512,
+                             catalog_pages=256, buffer_pool_pages=4096))
+    return SqlSession(db)
+
+
+def classify(content: bytes) -> str:
+    return "cat" if b"meow" in content else "other"
+
+
+class TestCreateTable:
+    def test_paper_listing(self, session):
+        """The exact statement from Section III-E."""
+        session.execute(
+            "CREATE TABLE image (filename VARCHAR PRIMARY KEY, "
+            "content BLOB)")
+        assert "image" in session.db.list_tables()
+
+    def test_text_key_type(self, session):
+        session.execute("CREATE TABLE t (k TEXT PRIMARY KEY, v BLOB)")
+        assert "t" in session.db.list_tables()
+
+    def test_bad_schema_rejected(self, session):
+        with pytest.raises(SqlError):
+            session.execute("CREATE TABLE t (a INT, b BLOB)")
+
+
+class TestInsertSelect:
+    @pytest.fixture
+    def loaded(self, session):
+        session.execute("CREATE TABLE image (filename VARCHAR PRIMARY KEY, "
+                        "content BLOB)")
+        session.execute("INSERT INTO image VALUES ('cat.jpg', X'ff d8'"
+                        .replace(" d8", "d8") + ")")
+        session.execute("INSERT INTO image VALUES ('note.txt', 'meow text')")
+        return session
+
+    def test_select_star(self, loaded):
+        rows = loaded.execute("SELECT * FROM image")
+        assert (b"cat.jpg", b"\xff\xd8") in rows
+        assert (b"note.txt", b"meow text") in rows
+
+    def test_select_by_key(self, loaded):
+        rows = loaded.execute(
+            "SELECT content FROM image WHERE filename = 'note.txt'")
+        assert rows == [(b"meow text",)]
+
+    def test_select_missing_key(self, loaded):
+        assert loaded.execute(
+            "SELECT * FROM image WHERE filename = 'nope'") == []
+
+    def test_select_projection(self, loaded):
+        rows = loaded.execute("SELECT filename FROM image")
+        assert sorted(rows) == [(b"cat.jpg",), (b"note.txt",)]
+
+    def test_hex_literals(self, loaded):
+        rows = loaded.execute(
+            "SELECT filename FROM image WHERE content = X'ffd8'")
+        assert rows == [(b"cat.jpg",)]
+
+    def test_quoted_quote(self, session):
+        session.execute("CREATE TABLE t (k VARCHAR PRIMARY KEY, v BLOB)")
+        session.execute("INSERT INTO t VALUES ('it''s', 'val')")
+        assert session.execute("SELECT v FROM t WHERE k = 'it''s'") == \
+            [(b"val",)]
+
+    def test_unknown_table(self, session):
+        with pytest.raises(SqlError):
+            session.execute("SELECT * FROM ghosts")
+
+    def test_trailing_garbage_rejected(self, loaded):
+        with pytest.raises(SqlError):
+            loaded.execute("SELECT * FROM image garbage here")
+
+
+class TestDeleteUpdate:
+    @pytest.fixture
+    def loaded(self, session):
+        session.execute("CREATE TABLE t (k VARCHAR PRIMARY KEY, v BLOB)")
+        session.execute("INSERT INTO t VALUES ('a', 'one')")
+        return session
+
+    def test_delete(self, loaded):
+        loaded.execute("DELETE FROM t WHERE k = 'a'")
+        assert loaded.execute("SELECT * FROM t") == []
+
+    def test_delete_missing_is_noop(self, loaded):
+        loaded.execute("DELETE FROM t WHERE k = 'zzz'")
+        assert len(loaded.execute("SELECT * FROM t")) == 1
+
+    def test_update_replaces_blob(self, loaded):
+        loaded.execute("UPDATE t SET v = 'two' WHERE k = 'a'")
+        assert loaded.execute("SELECT v FROM t WHERE k = 'a'") == [(b"two",)]
+
+
+class TestContentIndex:
+    def test_content_equality_uses_index(self, session):
+        session.execute("CREATE TABLE docs (name VARCHAR PRIMARY KEY, "
+                        "body BLOB)")
+        for i in range(20):
+            session.execute(
+                f"INSERT INTO docs VALUES ('d{i}', 'document {i} body')")
+        session.execute("CREATE INDEX by_content ON docs (body)")
+        rows = session.execute(
+            "SELECT name FROM docs WHERE body = 'document 7 body'")
+        assert rows == [(b"d7",)]
+
+    def test_content_equality_without_index_falls_back(self, session):
+        session.execute("CREATE TABLE docs (name VARCHAR PRIMARY KEY, "
+                        "body BLOB)")
+        session.execute("INSERT INTO docs VALUES ('d', 'needle')")
+        rows = session.execute("SELECT name FROM docs WHERE body = 'needle'")
+        assert rows == [(b"d",)]
+
+    def test_index_maintained_by_dml(self, session):
+        session.execute("CREATE TABLE docs (name VARCHAR PRIMARY KEY, "
+                        "body BLOB)")
+        session.execute("CREATE INDEX by_content ON docs (body)")
+        session.execute("INSERT INTO docs VALUES ('d', 'late insert')")
+        assert session.execute(
+            "SELECT name FROM docs WHERE body = 'late insert'") == [(b"d",)]
+        session.execute("DELETE FROM docs WHERE name = 'd'")
+        assert session.execute(
+            "SELECT name FROM docs WHERE body = 'late insert'") == []
+
+
+class TestSemanticIndex:
+    def test_paper_listing_iii_f(self, session):
+        """CREATE UDF / CREATE INDEX / SELECT — the Section III-F flow."""
+        session.register_udf("classify", classify)
+        session.execute("CREATE TABLE image (filename VARCHAR PRIMARY KEY, "
+                        "content BLOB)")
+        session.execute("INSERT INTO image VALUES ('1.jpg', 'meow meow')")
+        session.execute("INSERT INTO image VALUES ('2.jpg', 'woof woof')")
+        session.execute("INSERT INTO image VALUES ('3.jpg', 'meow!')")
+        session.execute("CREATE UDF classify(blob) -> TEXT")
+        session.execute("CREATE INDEX foo ON image (classify(content))")
+        rows = session.execute(
+            "SELECT * FROM image WHERE classify(content) = 'cat'")
+        names = sorted(r[0] for r in rows)
+        assert names == [b"1.jpg", b"3.jpg"]
+
+    def test_udf_projection(self, session):
+        session.register_udf("classify", classify)
+        session.execute("CREATE TABLE image (f VARCHAR PRIMARY KEY, "
+                        "content BLOB)")
+        session.execute("INSERT INTO image VALUES ('x', 'meow')")
+        rows = session.execute("SELECT f, classify FROM image")
+        assert rows == [(b"x", "cat")]
+
+    def test_udf_without_implementation_rejected(self, session):
+        with pytest.raises(SqlError):
+            session.execute("CREATE UDF mystery(blob) -> TEXT")
+
+    def test_semantic_predicate_requires_index(self, session):
+        session.register_udf("classify", classify)
+        session.execute("CREATE TABLE image (f VARCHAR PRIMARY KEY, "
+                        "content BLOB)")
+        session.execute("CREATE UDF classify(blob) -> TEXT")
+        with pytest.raises(SqlError):
+            session.execute(
+                "SELECT * FROM image WHERE classify(content) = 'cat'")
+
+
+class TestTokenizer:
+    def test_garbage_rejected(self, session):
+        with pytest.raises(SqlError):
+            session.execute("SELECT @@@ FROM t")
+
+    def test_empty_statement(self, session):
+        with pytest.raises(SqlError):
+            session.execute("   ")
+
+    def test_unsupported_statement(self, session):
+        with pytest.raises(SqlError):
+            session.execute("DROP TABLE t")

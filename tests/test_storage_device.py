@@ -1,0 +1,145 @@
+"""Tests for the simulated NVMe device."""
+
+import pytest
+
+from repro.sim.cost import CostModel
+from repro.storage.device import DeviceFull, DeviceStats, IoRequest, SimulatedNVMe
+
+
+@pytest.fixture
+def device():
+    return SimulatedNVMe(CostModel(), capacity_pages=256, page_size=4096)
+
+
+PAGE = 4096
+
+
+class TestReadWrite:
+    def test_roundtrip_single_page(self, device):
+        payload = b"\xab" * PAGE
+        device.write(10, payload)
+        assert device.read(10, 1) == payload
+
+    def test_roundtrip_multi_page(self, device):
+        payload = bytes(range(256)) * (PAGE // 256) * 3
+        device.write(5, payload)
+        assert device.read(5, 3) == payload
+
+    def test_unwritten_pages_read_as_zero(self, device):
+        assert device.read(100, 1) == b"\x00" * PAGE
+
+    def test_partial_page_write_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.write(0, b"too short")
+
+    def test_write_beyond_capacity_raises(self, device):
+        with pytest.raises(DeviceFull):
+            device.write(255, b"\x00" * (2 * PAGE))
+
+    def test_negative_pid_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.read(-1, 1)
+
+    def test_overwrite_replaces_content(self, device):
+        device.write(3, b"\x01" * PAGE)
+        device.write(3, b"\x02" * PAGE)
+        assert device.read(3, 1) == b"\x02" * PAGE
+
+    def test_peek_does_not_charge_time(self, device):
+        device.write(1, b"\x07" * PAGE)
+        before = device.model.clock.now_ns
+        assert device.peek(1) == b"\x07" * PAGE
+        assert device.model.clock.now_ns == before
+
+
+class TestBatchSubmit:
+    def test_mixed_batch_returns_positional_results(self, device):
+        device.write(0, b"A" * PAGE)
+        results = device.submit([
+            IoRequest(pid=0, npages=1),
+            IoRequest(pid=8, npages=1, data=b"B" * PAGE),
+            IoRequest(pid=0, npages=1),
+        ])
+        assert results[0] == b"A" * PAGE
+        assert results[1] is None
+        assert results[2] == b"A" * PAGE
+        assert device.peek(8) == b"B" * PAGE
+
+    def test_empty_batch_is_noop(self, device):
+        before = device.model.clock.now_ns
+        assert device.submit([]) == []
+        assert device.model.clock.now_ns == before
+
+    def test_batch_cheaper_than_serial(self):
+        serial = SimulatedNVMe(CostModel(), capacity_pages=256)
+        for i in range(16):
+            serial.read(i, 1)
+        batched = SimulatedNVMe(CostModel(), capacity_pages=256)
+        batched.submit([IoRequest(pid=i, npages=1) for i in range(16)])
+        assert batched.model.clock.now_ns < serial.model.clock.now_ns / 4
+
+    def test_write_size_mismatch_rejected(self, device):
+        with pytest.raises(ValueError):
+            device.submit([IoRequest(pid=0, npages=2, data=b"x" * PAGE)])
+
+
+class TestAccounting:
+    def test_write_categories_tracked(self, device):
+        device.write(0, b"d" * PAGE, category="data")
+        device.write(1, b"w" * (2 * PAGE), category="wal")
+        device.write(3, b"j" * PAGE, category="journal")
+        cats = device.stats.bytes_written_by_category
+        assert cats["data"] == PAGE
+        assert cats["wal"] == 2 * PAGE
+        assert cats["journal"] == PAGE
+        assert device.stats.bytes_written == 4 * PAGE
+
+    def test_custom_category_accepted(self, device):
+        device.write(0, b"x" * PAGE, category="exotic")
+        assert device.stats.bytes_written_by_category["exotic"] == PAGE
+
+    def test_write_amplification(self, device):
+        device.write(0, b"d" * PAGE, category="data")
+        device.write(1, b"w" * PAGE, category="wal")
+        assert device.stats.write_amplification(PAGE) == 2.0
+
+    def test_write_amplification_rejects_zero_payload(self, device):
+        with pytest.raises(ValueError):
+            device.stats.write_amplification(0)
+
+    def test_read_stats(self, device):
+        device.write(0, b"r" * (4 * PAGE))
+        device.read(0, 4)
+        assert device.stats.bytes_read == 4 * PAGE
+        assert device.stats.read_requests == 1
+
+    def test_snapshot_delta(self, device):
+        device.write(0, b"1" * PAGE, category="data")
+        snap = device.stats.snapshot()
+        device.write(1, b"2" * PAGE, category="wal")
+        device.read(0, 1)
+        delta = device.stats.delta_since(snap)
+        assert delta.bytes_written_by_category["wal"] == PAGE
+        assert delta.bytes_written_by_category["data"] == 0
+        assert delta.bytes_read == PAGE
+
+    def test_resident_pages(self, device):
+        device.write(0, b"x" * (3 * PAGE))
+        assert device.resident_pages() == 3
+
+
+class TestConstruction:
+    def test_rejects_nonpositive_geometry(self):
+        with pytest.raises(ValueError):
+            SimulatedNVMe(CostModel(), capacity_pages=0)
+        with pytest.raises(ValueError):
+            SimulatedNVMe(CostModel(), capacity_pages=10, page_size=0)
+
+    def test_capacity_bytes(self):
+        dev = SimulatedNVMe(CostModel(), capacity_pages=10, page_size=512)
+        assert dev.capacity_bytes == 5120
+
+    def test_stats_default_categories(self):
+        stats = DeviceStats()
+        assert stats.bytes_written == 0
+        assert "dwb" in stats.bytes_written_by_category

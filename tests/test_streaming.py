@@ -1,0 +1,74 @@
+"""Tests for the streaming BLOB write API."""
+
+import hashlib
+
+import pytest
+
+from repro.db import BlobDB, EngineConfig
+
+
+@pytest.fixture
+def db():
+    database = BlobDB(EngineConfig(device_pages=32768, wal_pages=1024,
+                                   catalog_pages=256,
+                                   buffer_pool_pages=8192))
+    database.create_table("t")
+    return database
+
+
+class TestPutBlobStream:
+    def test_stream_equals_oneshot(self, db):
+        chunks = [b"a" * 10_000, b"b" * 50_000, b"c" * 3]
+        with db.transaction() as txn:
+            state = db.put_blob_stream(txn, "t", b"k", iter(chunks))
+        joined = b"".join(chunks)
+        assert db.read_blob("t", b"k") == joined
+        assert state.sha256 == hashlib.sha256(joined).digest()
+
+    def test_generator_input(self, db):
+        def generate():
+            for i in range(50):
+                yield bytes([i]) * 4096
+
+        with db.transaction() as txn:
+            db.put_blob_stream(txn, "t", b"g", generate())
+        content = db.read_blob("t", b"g")
+        assert len(content) == 50 * 4096
+        assert content[:4096] == b"\x00" * 4096
+        assert content[-4096:] == bytes([49]) * 4096
+
+    def test_empty_iterable_creates_empty_blob(self, db):
+        with db.transaction() as txn:
+            state = db.put_blob_stream(txn, "t", b"e", [])
+        assert state.size == 0
+        assert db.read_blob("t", b"e") == b""
+
+    def test_empty_chunks_skipped(self, db):
+        with db.transaction() as txn:
+            db.put_blob_stream(txn, "t", b"k", [b"x", b"", b"y"])
+        assert db.read_blob("t", b"k") == b"xy"
+
+    def test_atomic_under_abort(self, db):
+        txn = db.begin()
+        db.put_blob_stream(txn, "t", b"k", [b"1" * 1000, b"2" * 1000])
+        db.abort(txn)
+        assert not db.exists("t", b"k")
+
+    def test_stream_survives_crash(self, db):
+        with db.transaction() as txn:
+            db.put_blob_stream(txn, "t", b"k",
+                               (bytes([i]) * 20_000 for i in range(8)))
+        recovered = BlobDB.recover(db.crash(), db.config)
+        content = recovered.read_blob("t", b"k")
+        assert len(content) == 8 * 20_000
+        assert content[-1] == 7
+
+    def test_streaming_never_rereads(self, db):
+        """Each chunk's append must not re-read earlier chunks."""
+        with db.transaction() as txn:
+            db.put_blob(txn, "t", b"warm", b"w" * 4096)  # warm the pool
+        before = db.device.stats.bytes_read
+        with db.transaction() as txn:
+            db.put_blob_stream(txn, "t", b"k",
+                               (b"\x55" * 100_000 for _ in range(10)))
+        assert db.device.stats.bytes_read - before < 100_000

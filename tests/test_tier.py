@@ -1,0 +1,139 @@
+"""Tests for the extent-tier formula and its baselines (Section III-A)."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.tier import ExtentTier, FibonacciTier, PowerOfTwoTier
+
+
+class TestExtentTierFormula:
+    def test_paper_level0_sizes(self):
+        """Level 0 with 10 tiers/level is 1, 2, 4, ..., 512 (paper table)."""
+        tier = ExtentTier(tiers_per_level=10)
+        assert [tier.size(i) for i in range(10)] == \
+            [1, 2, 4, 8, 16, 32, 64, 128, 256, 512]
+
+    def test_paper_level1_sizes(self):
+        """Level 1 is 1k, 1.5k, 2.3k, ..., 39.4k (paper table)."""
+        tier = ExtentTier(tiers_per_level=10)
+        sizes = [tier.size(10 + i) for i in range(10)]
+        assert sizes == [1024, 1536, 2304, 3456, 5184, 7776,
+                         11664, 17496, 26244, 39366]
+        # The paper rounds with k=1000: 1k 1.5k 2.3k 3.5k 5.2k 7.8k ...
+        rounded = [round(s / 1000, 1) for s in sizes]
+        assert rounded == [1.0, 1.5, 2.3, 3.5, 5.2, 7.8, 11.7, 17.5, 26.2, 39.4]
+
+    def test_127_extents_reach_petabytes(self):
+        """With 4 KB pages and 127 extents the sequence exceeds 10 PB."""
+        tier = ExtentTier(tiers_per_level=10, max_levels=13)
+        total_bytes = tier.max_pages(127) * 4096
+        assert total_bytes > 10 * (1 << 50)  # > 10 PiB
+
+    def test_sizes_monotonically_nondecreasing(self):
+        tier = ExtentTier(tiers_per_level=8)
+        sizes = [tier.size(i) for i in range(100)]
+        assert all(a <= b for a, b in zip(sizes, sizes[1:]))
+
+    def test_tiers_cap_at_max_levels(self):
+        tier = ExtentTier(tiers_per_level=5, max_levels=2)
+        largest = tier.size(9)
+        assert tier.size(10) == largest
+        assert tier.size(500) == largest
+
+    def test_level_boundary_is_continuous(self):
+        """The first tier of level L+1 is not smaller than the last of L."""
+        tier = ExtentTier(tiers_per_level=10)
+        assert tier.size(10) >= tier.size(9)
+        assert tier.size(20) >= tier.size(19)
+
+    def test_paper_waste_example_20mb(self):
+        """Five tiers/level: waste for a 20 MB BLOB is about 25 %."""
+        tier = ExtentTier(tiers_per_level=5)
+        npages = 20 * 1024 * 1024 // 4096
+        assert tier.waste_fraction(npages) == pytest.approx(0.25, abs=0.08)
+
+    def test_waste_decreases_for_larger_blobs(self):
+        """Paper: 25 % at 20 MB dropping toward 7.3 % at 51 GB.
+
+        Point waste depends on where a size lands between tier
+        boundaries, so we assert the trend and the paper's upper bound.
+        """
+        tier = ExtentTier(tiers_per_level=5)
+        small = tier.waste_fraction(20 * 1024 * 1024 // 4096)
+        large = tier.waste_fraction(51 * 1024 * 1024 * 1024 // 4096)
+        assert large < small
+        assert large < 0.073 + 0.01
+
+    def test_30_tiers_per_level_supports_4tb_in_first_level(self):
+        """Paper: with 30 tiers/level the first level supports 4 TB BLOBs."""
+        tier = ExtentTier(tiers_per_level=30)
+        first_level_bytes = tier.cumulative(30) * 4096
+        assert first_level_bytes >= 4 * 10**12  # 4 TB (decimal, as the paper)
+
+    def test_invalid_construction(self):
+        with pytest.raises(ValueError):
+            ExtentTier(tiers_per_level=0)
+        with pytest.raises(ValueError):
+            ExtentTier(max_levels=0)
+
+    def test_negative_tier_rejected(self):
+        with pytest.raises(ValueError):
+            ExtentTier().size(-1)
+
+
+class TestBaselineTiers:
+    def test_power_of_two_sizes(self):
+        tier = PowerOfTwoTier()
+        assert [tier.size(i) for i in range(6)] == [1, 2, 4, 8, 16, 32]
+
+    def test_fibonacci_sizes(self):
+        tier = FibonacciTier()
+        assert [tier.size(i) for i in range(8)] == [1, 2, 3, 5, 8, 13, 21, 34]
+
+    def test_fibonacci_random_access(self):
+        tier = FibonacciTier()
+        assert tier.size(10) == 144  # cache fills on demand
+
+    def test_power_of_two_worst_case_waste_near_50_percent(self):
+        tier = PowerOfTwoTier()
+        # One page past a capacity boundary is the worst case.
+        waste = tier.waste_fraction(tier.cumulative(12) + 1)
+        assert waste == pytest.approx(0.5, abs=0.02)
+
+    def test_proposed_tier_wastes_less_than_baselines_at_scale(self):
+        """The paper's motivation: the new formula beats both classics."""
+        ours = ExtentTier(tiers_per_level=5)
+        pow2 = PowerOfTwoTier()
+        fib = FibonacciTier()
+        npages = 51 * 1024 * 1024 * 1024 // 4096
+        # Worst-case (capacity+1) waste comparison at the same scale.
+        assert ours.waste_fraction(npages) < 0.15
+        assert pow2.waste_fraction(pow2.cumulative(20) + 1) > 0.45
+        assert fib.waste_fraction(fib.cumulative(30) + 1) > 0.30
+
+
+class TestTierTableHelpers:
+    def test_cumulative(self):
+        tier = PowerOfTwoTier()
+        assert tier.cumulative(4) == 15
+
+    def test_tiers_for_pages_exact_fit(self):
+        tier = PowerOfTwoTier()
+        assert tier.tiers_for_pages(15) == 4
+        assert tier.tiers_for_pages(16) == 5
+
+    def test_tiers_for_pages_one_page(self):
+        assert ExtentTier().tiers_for_pages(1) == 1
+
+    def test_tiers_for_pages_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ExtentTier().tiers_for_pages(0)
+
+    @given(st.integers(min_value=1, max_value=10**7))
+    @settings(max_examples=80, deadline=None)
+    def test_capacity_always_covers_request(self, npages):
+        tier = ExtentTier(tiers_per_level=7)
+        k = tier.tiers_for_pages(npages)
+        assert tier.cumulative(k) >= npages
+        if k > 1:
+            assert tier.cumulative(k - 1) < npages

@@ -1,0 +1,189 @@
+"""Tests for WAL records, the ring writer, group commit, checkpoints."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.sim.cost import CostModel
+from repro.storage.device import SimulatedNVMe
+from repro.wal.records import (
+    BlobChunkRecord,
+    BlobDeltaRecord,
+    CheckpointRecord,
+    DeleteRecord,
+    InsertRecord,
+    TxnAbortRecord,
+    TxnBeginRecord,
+    TxnCommitRecord,
+    UpdateRecord,
+    decode_records,
+)
+from repro.wal.writer import WalFullError, WalWriter
+
+ALL_RECORDS = [
+    TxnBeginRecord(txn_id=7),
+    TxnCommitRecord(txn_id=7),
+    TxnAbortRecord(txn_id=9),
+    InsertRecord(txn_id=7, table="image", key=b"cat.jpg", value=b"\x01\x02"),
+    DeleteRecord(txn_id=7, table="image", key=b"dog.jpg", old_value=b"\x03"),
+    UpdateRecord(txn_id=7, table="t", key=b"k", old_value=b"o", new_value=b"n"),
+    BlobDeltaRecord(txn_id=7, pid=42, offset=100, data=b"patch"),
+    BlobChunkRecord(txn_id=7, table="t", key=b"k", offset=4096, data=b"seg"),
+    CheckpointRecord(checkpoint_id=3),
+]
+
+
+class TestRecordEncoding:
+    @pytest.mark.parametrize("record", ALL_RECORDS,
+                             ids=lambda r: type(r).__name__)
+    def test_roundtrip(self, record):
+        decoded = list(decode_records(record.encode(seq=1)))
+        assert decoded == [record]
+
+    def test_stream_of_records(self):
+        raw = b"".join(r.encode(seq=i + 1) for i, r in enumerate(ALL_RECORDS))
+        assert list(decode_records(raw)) == ALL_RECORDS
+
+    def test_decode_stops_at_corruption(self):
+        good = TxnBeginRecord(txn_id=1).encode(seq=1)
+        bad = bytearray(TxnCommitRecord(txn_id=2).encode(seq=2))
+        bad[-1] ^= 0xFF  # break the CRC
+        tail = TxnBeginRecord(txn_id=3).encode(seq=3)
+        decoded = list(decode_records(good + bytes(bad) + tail))
+        assert decoded == [TxnBeginRecord(txn_id=1)]
+
+    def test_decode_stops_at_stale_sequence(self):
+        """A ring seam (seq going backwards) ends the valid log."""
+        fresh = TxnBeginRecord(txn_id=10).encode(seq=50)
+        stale = TxnBeginRecord(txn_id=1).encode(seq=7)  # earlier pass
+        decoded = list(decode_records(fresh + stale))
+        assert decoded == [TxnBeginRecord(txn_id=10)]
+
+    def test_decode_stops_at_zero_padding(self):
+        raw = TxnBeginRecord(txn_id=1).encode(seq=1) + b"\x00" * 64
+        assert list(decode_records(raw)) == [TxnBeginRecord(txn_id=1)]
+
+    def test_decode_stops_at_truncated_frame(self):
+        raw = TxnBeginRecord(txn_id=1).encode(seq=1)
+        assert list(decode_records(raw[:-3])) == []
+
+    def test_empty_input(self):
+        assert list(decode_records(b"")) == []
+
+    @given(st.text(max_size=20), st.binary(max_size=100), st.binary(max_size=100))
+    @settings(max_examples=50, deadline=None)
+    def test_insert_roundtrip_property(self, table, key, value):
+        record = InsertRecord(txn_id=1, table=table, key=key, value=value)
+        assert list(decode_records(record.encode(seq=1))) == [record]
+
+
+def make_writer(region_pages=64, buffer_bytes=8192, checkpoint_cb=None):
+    model = CostModel()
+    device = SimulatedNVMe(model, capacity_pages=256)
+    return WalWriter(device, model, region_pid=0, region_pages=region_pages,
+                     buffer_bytes=buffer_bytes, checkpoint_cb=checkpoint_cb)
+
+
+class TestWalWriter:
+    def test_append_returns_monotonic_lsn(self):
+        wal = make_writer()
+        lsns = [wal.append(TxnBeginRecord(txn_id=i)) for i in range(5)]
+        assert lsns == sorted(lsns)
+        assert len(set(lsns)) == 5
+
+    def test_buffered_records_are_not_durable(self):
+        wal = make_writer()
+        wal.append(TxnBeginRecord(txn_id=1))
+        assert wal.durable_records() == []
+
+    def test_group_commit_flush_makes_records_durable(self):
+        wal = make_writer()
+        wal.append(TxnBeginRecord(txn_id=1))
+        wal.append(TxnCommitRecord(txn_id=1))
+        wal.group_commit_flush()
+        assert wal.durable_records() == [TxnBeginRecord(txn_id=1),
+                                         TxnCommitRecord(txn_id=1)]
+
+    def test_group_commit_flush_charges_no_device_time(self):
+        wal = make_writer()
+        wal.append(TxnBeginRecord(txn_id=1))
+        before = wal.model.clock.now_ns
+        wal.group_commit_flush()
+        # Background flush: bytes accounted, no foreground latency.
+        assert wal.model.clock.now_ns == before
+        assert wal.device.stats.bytes_written_by_category["wal"] > 0
+
+    def test_sync_flush_charges_time(self):
+        wal = make_writer()
+        wal.append(TxnBeginRecord(txn_id=1))
+        before = wal.model.clock.now_ns
+        wal.sync_flush()
+        assert wal.model.clock.now_ns > before
+        assert wal.stats.synchronous_flushes == 1
+
+    def test_multiple_flushes_preserve_record_stream(self):
+        """Records spanning many partial-page flushes all decode."""
+        wal = make_writer()
+        expected = []
+        for i in range(40):
+            record = InsertRecord(txn_id=i, table="t", key=b"k%d" % i,
+                                  value=b"v" * 100)
+            wal.append(record)
+            expected.append(record)
+            if i % 3 == 0:
+                wal.group_commit_flush()
+        wal.sync_flush()
+        assert wal.durable_records() == expected
+
+    def test_oversized_append_flushes_synchronously(self):
+        """A record bigger than the buffer segments through it, waiting."""
+        wal = make_writer(region_pages=64, buffer_bytes=8192)
+        big = BlobChunkRecord(txn_id=1, table="t", key=b"k",
+                              offset=0, data=b"x" * 40000)
+        wal.append(big)
+        assert wal.stats.synchronous_flushes >= 4
+
+    def test_record_larger_than_region_rejected(self):
+        wal = make_writer(region_pages=4)
+        with pytest.raises(WalFullError):
+            wal.append(BlobChunkRecord(txn_id=1, table="t", key=b"k",
+                                       offset=0, data=b"x" * 50000))
+
+    def test_checkpoint_triggered_when_region_full(self):
+        checkpoints = []
+        wal = make_writer(region_pages=8, buffer_bytes=4096,
+                          checkpoint_cb=lambda: checkpoints.append(1))
+        for i in range(20):
+            wal.append(InsertRecord(txn_id=i, table="t", key=b"k",
+                                    value=b"v" * 3000))
+            wal.group_commit_flush()
+        assert checkpoints
+        assert wal.stats.checkpoints == len(checkpoints)
+
+    def test_records_after_checkpoint_decode_from_region_start(self):
+        wal = make_writer(region_pages=8, buffer_bytes=4096)
+        for i in range(20):
+            wal.append(InsertRecord(txn_id=i, table="t", key=b"k",
+                                    value=b"v" * 3000))
+            wal.group_commit_flush()
+        durable = wal.durable_records()
+        assert durable  # only post-checkpoint tail remains
+        assert all(isinstance(r, InsertRecord) for r in durable)
+
+    def test_used_fraction_grows(self):
+        wal = make_writer()
+        assert wal.used_fraction() == 0.0
+        wal.append(TxnBeginRecord(txn_id=1))
+        assert wal.used_fraction() > 0.0
+
+    def test_tiny_region_rejected(self):
+        model = CostModel()
+        device = SimulatedNVMe(model, capacity_pages=16)
+        with pytest.raises(ValueError):
+            WalWriter(device, model, region_pid=0, region_pages=1)
+
+    def test_tiny_buffer_rejected(self):
+        model = CostModel()
+        device = SimulatedNVMe(model, capacity_pages=16)
+        with pytest.raises(ValueError):
+            WalWriter(device, model, region_pid=0, region_pages=4,
+                      buffer_bytes=100)

@@ -1,0 +1,82 @@
+"""Tests for the deterministic multi-worker simulation."""
+
+import pytest
+
+from repro.sim.cost import CostModel, CostParams
+from repro.sim.workers import WorkerSim
+
+
+def cpu_op(model: CostModel, worker: int) -> None:
+    model.cpu(1000.0)
+
+
+def memory_op(model: CostModel, worker: int) -> None:
+    model.cpu(100.0)
+    model.memcpy(1 << 20)  # 1 MiB per op
+
+
+class TestScaling:
+    def test_cpu_bound_scales_linearly(self):
+        """No shared resource: N workers give N times the throughput."""
+        one = WorkerSim(1).run(cpu_op, 50)
+        eight = WorkerSim(8).run(cpu_op, 50)
+        assert eight.throughput_ops_s == pytest.approx(
+            8 * one.throughput_ops_s, rel=0.01)
+        assert eight.contention_factor == 1.0
+
+    def test_memory_bound_hits_bandwidth_ceiling(self):
+        """Aggregate copy demand cannot exceed DRAM bandwidth."""
+        params = CostParams(memory_bandwidth_bytes_per_s=4e9,
+                            l3_bytes=1 << 30)  # no L3 spill in this test
+        sixteen = WorkerSim(16, params).run(memory_op, 20)
+        # 16 workers × 1 MiB/op: the cap is ~4 GB/s / 1 MiB = ~3815 op/s.
+        assert sixteen.throughput_ops_s <= 4e9 / (1 << 20) * 1.02
+        assert sixteen.contention_factor > 1.0
+
+    def test_l3_spill_slows_memory_ops(self):
+        params = CostParams(l3_bytes=4 << 20, l3_spill_factor=2.0)
+        fits = WorkerSim(1, params).run(memory_op, 20,
+                                        working_set_bytes=1 << 20)
+        spills = WorkerSim(8, params).run(memory_op, 20,
+                                          working_set_bytes=1 << 20)
+        assert not fits.l3_spilled
+        assert spills.l3_spilled
+        assert spills.per_op_ns > fits.per_op_ns
+
+    def test_result_bookkeeping(self):
+        result = WorkerSim(4).run(cpu_op, 25)
+        assert result.total_ops == 100
+        assert result.ops_per_worker == 25
+        assert result.n_workers == 4
+        assert result.counters.cycles > 0
+
+    def test_setup_callback_excluded_from_op_stats(self):
+        def setup(model: CostModel) -> None:
+            model.cpu(1_000_000.0)
+
+        with_setup = WorkerSim(1).run(cpu_op, 10, setup=setup)
+        plain = WorkerSim(1).run(cpu_op, 10)
+        assert with_setup.per_op_ns == pytest.approx(plain.per_op_ns,
+                                                     rel=0.01)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkerSim(0)
+        with pytest.raises(ValueError):
+            WorkerSim(1).run(cpu_op, 0)
+
+    def test_two_copy_design_saturates_before_one_copy(self):
+        """The Fig. 10 mechanism in isolation."""
+        params = CostParams(memory_bandwidth_bytes_per_s=8e9,
+                            l3_bytes=1 << 30)
+
+        def one_copy(model, worker):
+            model.memcpy(1 << 20)
+
+        def two_copies(model, worker):
+            model.memcpy(1 << 20)
+            model.memcpy(1 << 20)
+
+        single = WorkerSim(16, params).run(one_copy, 10)
+        double = WorkerSim(16, params).run(two_copies, 10)
+        assert single.throughput_ops_s > 1.8 * double.throughput_ops_s
