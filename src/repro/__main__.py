@@ -8,6 +8,9 @@ Commands:
 * ``survey``   — the measured Table I design survey;
 * ``figures``  — run the full paper-reproduction benchmark suite
   (delegates to pytest; needs the repository checkout);
+* ``faultsweep`` — seeded fault-injection sweep: hundreds of
+  crash/recover schedules under torn writes, bit flips, and transient
+  I/O errors, with a reproducibility digest;
 * ``info``     — version and default-configuration summary.
 """
 
@@ -84,6 +87,19 @@ def _cmd_figures(args: argparse.Namespace) -> int:
                             str(bench_dir), "--benchmark-only", "-s"])
 
 
+def _cmd_faultsweep(args: argparse.Namespace) -> int:
+    from repro.bench.faultsweep import run_sweep
+
+    report = run_sweep(n_schedules=args.schedules, seed=args.seed)
+    print(f"Fault sweep: {args.schedules} seeded schedules "
+          f"(base seed {args.seed})")
+    print(report.format())
+    if report.silent:
+        print("FAILED: silent corruption detected", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _cmd_info(args: argparse.Namespace) -> int:
     import repro
     from repro.db.config import EngineConfig
@@ -121,6 +137,12 @@ def main(argv: list[str] | None = None) -> int:
     figures = sub.add_parser("figures",
                              help="regenerate every paper figure/table")
     figures.set_defaults(func=_cmd_figures)
+
+    sweep = sub.add_parser("faultsweep",
+                           help="seeded fault-injection sweep")
+    sweep.add_argument("--schedules", type=int, default=200)
+    sweep.add_argument("--seed", type=int, default=0)
+    sweep.set_defaults(func=_cmd_faultsweep)
 
     info = sub.add_parser("info", help="version and configuration")
     info.set_defaults(func=_cmd_info)

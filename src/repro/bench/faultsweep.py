@@ -1,0 +1,278 @@
+"""Seeded fault-injection sweep: the engine's failure-envelope benchmark.
+
+Each *schedule* is one deterministic end-to-end experiment: a seeded
+:class:`~repro.storage.faults.FaultPlan` wraps the device, a small
+history-tracked workload runs (inserts, overwrites, deletes, reads),
+the engine crashes, recovers, and every surviving key is audited against
+the set of values that were ever *committed* for it.
+
+The audit encodes the substrate's guarantee — **zero silent
+corruption**:
+
+* a read that succeeds must return some historically committed value
+  for that key (a torn WAL tail may legally roll an acked transaction
+  back to an earlier committed value — that loss is *flagged* by the
+  truncation/failed-txn counters, never silent);
+* anything else must surface as a typed
+  :class:`~repro.db.errors.DatabaseError` (checksum mismatch,
+  quarantine, WAL corruption, retries exhausted);
+* a successful read of bytes never committed for that key is a
+  **silent corruption** — the one outcome the design forbids.
+
+Schedules are pure functions of their seed: :func:`run_sweep` digests
+every schedule's counters into one SHA-256, so "same seed, byte-identical
+stats" is a single string comparison.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.db.config import EngineConfig
+from repro.db.database import BlobDB
+from repro.db.errors import DatabaseError, KeyNotFoundError
+from repro.sim.cost import CostModel
+from repro.storage.device import SimulatedNVMe
+from repro.storage.faults import FaultPlan, FaultSpec, FaultyNVMe
+
+#: Mixed-fault rates used by the default sweep (every class enabled).
+DEFAULT_RATES = {
+    "torn_write": 0.05,
+    "bit_flip": 0.05,
+    "transient_error": 0.05,
+    "latency_spike": 0.02,
+}
+
+_PAYLOAD_SIZES = (400, 3000, 4096, 9000, 20000, 40000)
+
+
+def small_config(**overrides) -> EngineConfig:
+    """An EngineConfig sized for running hundreds of schedules quickly."""
+    defaults = dict(device_pages=1024, wal_pages=64, catalog_pages=32,
+                    buffer_pool_pages=256, wal_buffer_bytes=8192)
+    defaults.update(overrides)
+    return EngineConfig(**defaults)
+
+
+@dataclass
+class ScheduleResult:
+    """Outcome of one seeded schedule."""
+
+    seed: int
+    #: "clean" (all faults absorbed invisibly), "reported" (some damage
+    #: surfaced as typed errors), or "silent" (wrong bytes served —
+    #: must never happen).
+    outcome: str
+    silent_corruptions: int
+    #: Keys whose read raised a typed DatabaseError post-recovery.
+    reported_keys: int
+    #: Typed errors raised during the workload phase (and absorbed).
+    workload_errors: int
+    committed_txns: int
+    faults: dict[str, int] = field(default_factory=dict)
+    io_retries: int = 0
+    wal_records_truncated: int = 0
+    failed_txns: int = 0
+    keys_quarantined: int = 0
+    checksum_failures: int = 0
+    recovery_error: str = ""
+
+    def counters_line(self) -> str:
+        """Canonical one-line rendering (input to the sweep digest)."""
+        fault_bits = ",".join(f"{k}={v}" for k, v in sorted(self.faults.items()))
+        return (f"seed={self.seed} outcome={self.outcome} "
+                f"silent={self.silent_corruptions} "
+                f"reported={self.reported_keys} "
+                f"workload_errors={self.workload_errors} "
+                f"committed={self.committed_txns} faults[{fault_bits}] "
+                f"retries={self.io_retries} "
+                f"truncated={self.wal_records_truncated} "
+                f"failed={self.failed_txns} "
+                f"quarantined={self.keys_quarantined} "
+                f"crc_failures={self.checksum_failures} "
+                f"recovery_error={self.recovery_error or '-'}")
+
+
+def run_fault_schedule(seed: int, config: EngineConfig | None = None,
+                       rates: dict[str, float] | None = None,
+                       n_txns: int = 14) -> ScheduleResult:
+    """Run one seeded workload/crash/recover/audit cycle under faults."""
+    config = config or small_config()
+    model = CostModel()
+    inner = SimulatedNVMe(model, capacity_pages=config.device_pages,
+                          page_size=config.page_size)
+    plan = FaultPlan(FaultSpec(seed=seed, **(rates or DEFAULT_RATES)))
+    device = FaultyNVMe(inner, plan)
+    result = ScheduleResult(seed=seed, outcome="clean",
+                            silent_corruptions=0, reported_keys=0,
+                            workload_errors=0, committed_txns=0)
+
+    #: The audit's ground truth: every payload ever *attempted* for a
+    #: key.  An attempted-but-aborted payload can only survive recovery
+    #: if its commit record became durable — i.e. it actually committed
+    #: — so accepting any attempted value never masks garbage bytes,
+    #: while correctly tolerating the ack-uncertainty window (a crash
+    #: between commit-record durability and the client seeing the ack).
+    #: The workload RNG is independent of the fault RNG, but both derive
+    #: from the schedule seed, so the whole experiment replays from it.
+    rng = random.Random(seed * 2654435761 % (1 << 32))
+    acceptable: dict[bytes, list[bytes]] = {}
+    live: set[bytes] = set()
+    keys = [b"blob-%02d" % i for i in range(6)]
+
+    db: BlobDB | None = None
+    try:
+        db = BlobDB(config=config, model=model, device=device)
+        db.create_table("t")
+    except DatabaseError as exc:
+        # Formatting/DDL already degraded; the schedule reports and ends.
+        result.outcome = "reported"
+        result.recovery_error = type(exc).__name__
+        _fill_counters(result, plan, db)
+        return result
+
+    for _ in range(n_txns):
+        key = rng.choice(keys)
+        op = rng.random()
+        payload = rng.randbytes(rng.choice(_PAYLOAD_SIZES))
+        try:
+            if key in live and op < 0.25:
+                with db.transaction() as txn:
+                    db.delete_blob(txn, "t", key)
+                live.discard(key)
+            elif key in live:
+                acceptable.setdefault(key, []).append(payload)
+                with db.transaction() as txn:
+                    db.delete_blob(txn, "t", key)
+                    db.put_blob(txn, "t", key, payload)
+            else:
+                acceptable.setdefault(key, []).append(payload)
+                with db.transaction() as txn:
+                    db.put_blob(txn, "t", key, payload)
+                live.add(key)
+            result.committed_txns += 1
+        except DatabaseError:
+            # Typed degradation during the workload: the transaction
+            # aborted cleanly; `live` may drift, which only skews the
+            # op mix, never the audit.
+            result.workload_errors += 1
+        if rng.random() < 0.2:
+            try:
+                db.read_blob("t", key)
+            except DatabaseError:
+                result.workload_errors += 1
+
+    # Record workload-phase repair work before the crash wipes it.
+    _fill_counters(result, plan, db)
+
+    # Crash and recover on the faulted device.
+    db.crash()
+    try:
+        db = BlobDB.recover(device, config, model)
+        db.scrub()
+    except DatabaseError as exc:
+        result.outcome = "reported"
+        result.recovery_error = type(exc).__name__
+        result.faults = plan.stats.as_dict()
+        return result
+
+    # Audit: every surviving key must read as an attempted-commit value
+    # or fail with a typed error.  Anything else is silent corruption.
+    for key in keys:
+        try:
+            data = db.read_blob("t", key)
+        except KeyNotFoundError:
+            continue  # absence = an earlier history point; never silent
+        except DatabaseError:
+            result.reported_keys += 1
+            continue
+        if data not in acceptable.get(key, []):
+            result.silent_corruptions += 1
+    _fill_counters(result, plan, db)
+    if result.silent_corruptions:
+        result.outcome = "silent"
+    elif result.reported_keys or result.workload_errors or \
+            result.recovery_error or result.wal_records_truncated or \
+            result.keys_quarantined or result.failed_txns:
+        result.outcome = "reported"
+    return result
+
+
+def _fill_counters(result: ScheduleResult, plan: FaultPlan,
+                   db: BlobDB | None) -> None:
+    result.faults = plan.stats.as_dict()
+    if db is None:
+        return
+    report = db.stats_report()
+    #: Retries accumulate across the workload and recovery engines;
+    #: device-level counters (checksum failures) are cumulative already.
+    result.io_retries += report.io_retries
+    result.wal_records_truncated = report.wal_records_truncated
+    result.failed_txns = len(getattr(db, "failed_txns", []) or [])
+    result.keys_quarantined = report.keys_quarantined
+    result.checksum_failures = report.checksum_failures
+
+
+@dataclass
+class SweepReport:
+    """Aggregate of a multi-schedule sweep, with a reproducibility digest."""
+
+    n_schedules: int
+    clean: int
+    reported: int
+    silent: int
+    faults: dict[str, int]
+    io_retries: int
+    wal_records_truncated: int
+    keys_quarantined: int
+    #: SHA-256 over every schedule's canonical counter line: two sweeps
+    #: from the same seed must produce the *same digest*, byte for byte.
+    digest: str
+    schedules: list[ScheduleResult] = field(default_factory=list)
+
+    def format(self) -> str:
+        fault_bits = ", ".join(f"{k}={v}"
+                               for k, v in sorted(self.faults.items()) if v)
+        return "\n".join([
+            f"schedules:   {self.n_schedules} "
+            f"({self.clean} clean, {self.reported} reported, "
+            f"{self.silent} SILENT)",
+            f"injected:    {fault_bits or 'none'}",
+            f"handled:     {self.io_retries} I/O retries, "
+            f"{self.wal_records_truncated} WAL truncations, "
+            f"{self.keys_quarantined} keys quarantined",
+            f"digest:      {self.digest}",
+        ])
+
+
+def run_sweep(n_schedules: int = 200, seed: int = 0,
+              config: EngineConfig | None = None,
+              rates: dict[str, float] | None = None,
+              n_txns: int = 14) -> SweepReport:
+    """Run ``n_schedules`` independent seeded schedules and aggregate."""
+    digest = hashlib.sha256()
+    schedules: list[ScheduleResult] = []
+    faults: dict[str, int] = {}
+    clean = reported = silent = retries = truncated = quarantined = 0
+    for i in range(n_schedules):
+        res = run_fault_schedule(seed + i, config=config, rates=rates,
+                                 n_txns=n_txns)
+        schedules.append(res)
+        digest.update(res.counters_line().encode())
+        digest.update(b"\n")
+        for k, v in res.faults.items():
+            faults[k] = faults.get(k, 0) + v
+        clean += res.outcome == "clean"
+        reported += res.outcome == "reported"
+        silent += res.outcome == "silent"
+        retries += res.io_retries
+        truncated += res.wal_records_truncated
+        quarantined += res.keys_quarantined
+    return SweepReport(n_schedules=n_schedules, clean=clean,
+                       reported=reported, silent=silent, faults=faults,
+                       io_retries=retries,
+                       wal_records_truncated=truncated,
+                       keys_quarantined=quarantined,
+                       digest=digest.hexdigest(), schedules=schedules)

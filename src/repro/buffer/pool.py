@@ -47,6 +47,9 @@ class BufferPoolBase:
         #: page count (Section III-G); "uniform" treats every extent as
         #: equally evictable (the ablation baseline).
         self.eviction_policy = eviction_policy
+        #: Optional RetryPolicy; when set, device I/O issued by the pool
+        #: survives transient faults (set by the engine, not per-call).
+        self.retry = None
         self.stats = PoolStats()
         self._frames: dict[int, ExtentFrame] = {}
         self._used_pages = 0
@@ -73,6 +76,13 @@ class BufferPoolBase:
     def _touch(self, frame: ExtentFrame) -> None:
         self._clockhand += 1
         frame.last_use = self._clockhand
+
+    def _device_call(self, op):
+        """Issue a device operation, retrying transient faults if a
+        retry policy is attached."""
+        if self.retry is not None:
+            return self.retry.run(op)
+        return op()
 
     def _translate(self, npages: int) -> None:
         """Charge the page-translation cost; subclass-specific."""
@@ -122,7 +132,7 @@ class BufferPoolBase:
             self._make_room(sum(n for _, n in missing))
             requests = [IoRequest(pid=pid, npages=n) for pid, n in missing]
             self.model.syscall("io_submit")
-            payloads = self.device.submit(requests)
+            payloads = self._device_call(lambda: self.device.submit(requests))
             for (pid, npages), payload in zip(missing, payloads):
                 frame = ExtentFrame(head_pid=pid, npages=npages,
                                     page_size=self.device.page_size,
@@ -157,8 +167,8 @@ class BufferPoolBase:
         if not frame.is_dirty:
             return 0
         payload = frame.dirty_slice()
-        self.device.write(frame.head_pid + frame.dirty_from, payload,
-                          category=category)
+        self._device_call(lambda: self.device.write(
+            frame.head_pid + frame.dirty_from, payload, category=category))
         frame.clean()
         self.stats.writebacks += 1
         return len(payload)
@@ -185,7 +195,8 @@ class BufferPoolBase:
         if requests:
             if not background:
                 self.model.syscall("io_submit")
-            self.device.submit(requests, background=background)
+            self._device_call(
+                lambda: self.device.submit(requests, background=background))
         return total
 
     def flush_all_dirty(self, category: str = "data",

@@ -24,6 +24,7 @@ from repro.core.hashing import new_hasher
 from repro.core.tier import TierTable
 from repro.db.catalog import CatalogSnapshot, Superblock, decode_value
 from repro.db.config import EngineConfig
+from repro.db.errors import WalCorruptionError
 from repro.sim.cost import CostModel
 from repro.storage.device import SimulatedNVMe
 from repro.wal.records import (
@@ -35,7 +36,8 @@ from repro.wal.records import (
     TxnBeginRecord,
     TxnCommitRecord,
     UpdateRecord,
-    decode_records_with_seq,
+    find_frame_beyond,
+    scan_records,
 )
 
 
@@ -53,13 +55,33 @@ class RecoveredState:
     failed_txns: list[int] = field(default_factory=list)
     #: Highest valid WAL frame sequence; the new WAL continues above it.
     wal_max_seq: int = 0
+    #: WAL-region pages whose stored bytes failed their protection CRC.
+    wal_corrupt_pages: int = 0
+    #: Damaged-tail truncations: each discards the log from the first
+    #: unreadable record onward (at least that record is lost).
+    wal_records_truncated: int = 0
+    #: Keys whose durable content no longer matches its digest and could
+    #: not be repaired from the WAL — readable only as a typed error.
+    quarantined: list[tuple[str, bytes]] = field(default_factory=list)
+    extents_quarantined: int = 0
+    #: Keys whose content was restored by replaying physical WAL records.
+    repaired_keys: int = 0
+
+
+def _io(retry, op):
+    """Run a device operation, retrying transient faults when a policy
+    is attached (recovery must survive the same faults as normal I/O)."""
+    if retry is not None:
+        return retry.run(op)
+    return op()
 
 
 def recover_state(device: SimulatedNVMe, config: EngineConfig,
-                  model: CostModel, tiers: TierTable) -> RecoveredState:
+                  model: CostModel, tiers: TierTable,
+                  retry=None) -> RecoveredState:
     """Run the full recovery pipeline against a crashed device."""
     state = RecoveredState(allocator_next_pid=config.data_start_pid)
-    snapshot = _load_snapshot(device, config)
+    snapshot = _load_snapshot(device, config, retry)
     if snapshot is not None:
         state.checkpoint_id = snapshot.checkpoint_id
         state.next_txn_id = snapshot.next_txn_id
@@ -71,7 +93,7 @@ def recover_state(device: SimulatedNVMe, config: EngineConfig,
         for name, rows in snapshot.tables.items():
             state.tables[name] = {k: decode_value(v) for k, v in rows}
 
-    records, state.wal_max_seq = _read_wal(device, config)
+    records = _read_wal(device, config, state, retry)
     committed, aborted, seen_txns = _analyze_outcomes(records)
     if seen_txns:
         state.next_txn_id = max(state.next_txn_id, max(seen_txns) + 1)
@@ -90,6 +112,10 @@ def recover_state(device: SimulatedNVMe, config: EngineConfig,
     failed: set[int] = set()
     repaired: set[tuple[str, bytes, int]] = set()
     verified: set[tuple[str, bytes, int]] = set()
+    #: Snapshot-owned keys whose content is corrupt: no transaction to
+    #: fail, no WAL records to replay — the key is quarantined so reads
+    #: surface a typed error instead of wrong bytes.
+    quarantined: set[tuple[str, bytes]] = set()
     #: Successful repair overlays, held back until the fixpoint settles:
     #: writing one early would poison fallback validation if its
     #: transaction is later failed by a *different* key.
@@ -99,50 +125,62 @@ def recover_state(device: SimulatedNVMe, config: EngineConfig,
         live = _compute_live(snapshot_tables, records, valid)
         newly: set[int] = set()
         for (table, key), (txn_id, value) in live.items():
-            if txn_id is None or txn_id in failed or txn_id in newly:
+            if txn_id in failed or txn_id in newly:
                 continue
             if not isinstance(value, BlobState):
                 continue
             mark = (table, key, txn_id)
-            if mark in verified:
+            if mark in verified or (table, key) in quarantined:
                 continue
-            if _content_valid(device, model, tiers, config.page_size, value):
+            if _content_valid(device, model, tiers, config.page_size, value,
+                              retry=retry):
                 verified.add(mark)
                 continue
             if mark not in repaired:
                 repaired.add(mark)
                 overlay = _repair_key(device, records, valid, tiers,
-                                      table, key, value)
+                                      table, key, value, retry)
                 if overlay and _content_valid(device, model, tiers,
                                               config.page_size, value,
-                                              overlay=overlay):
+                                              overlay=overlay, retry=retry):
                     verified.add(mark)
                     overlays[(table, key)] = (txn_id, overlay)
                     continue
-            newly.add(txn_id)
+            if txn_id is None:
+                # Durable-before-checkpoint value rotted at rest and the
+                # WAL holds nothing to rebuild it from: quarantine.
+                quarantined.add((table, key))
+                state.extents_quarantined += value.num_extents + \
+                    (1 if value.tail_extent is not None else 0)
+            else:
+                newly.add(txn_id)
         if not newly:
             break
         failed |= newly
     state.failed_txns = sorted(failed)
+    state.quarantined = sorted(quarantined)
     valid = committed - failed
 
     # Fixpoint settled: commit the overlays of still-valid live owners.
     final_live = _compute_live(snapshot_tables, records, valid)
     for (table, key), (txn_id, overlay) in overlays.items():
         owner = final_live.get((table, key), (None, None))[0]
-        if txn_id in valid and owner == txn_id:
+        if owner == txn_id and (txn_id is None or txn_id in valid):
+            state.repaired_keys += 1
             for pid, image in overlay.items():
-                device.write(pid, bytes(image), category="data")
+                _io(retry, lambda p=pid, im=image: device.write(
+                    p, bytes(im), category="data"))
 
     # Logical redo + allocator delta replay, in log order.
     _redo_logical(state, records, valid, tiers, config)
     return state
 
 
-def _load_snapshot(device: SimulatedNVMe,
-                   config: EngineConfig) -> CatalogSnapshot | None:
+def _load_snapshot(device: SimulatedNVMe, config: EngineConfig,
+                   retry=None) -> CatalogSnapshot | None:
     try:
-        super_block = Superblock.deserialize(device.read(0, 1))
+        super_block = Superblock.deserialize(
+            _io(retry, lambda: device.read(0, 1)))
     except ValueError:
         return None
     if super_block.active_slot < 0:
@@ -151,19 +189,38 @@ def _load_snapshot(device: SimulatedNVMe,
                 else config.catalog_b_pid)
     ps = device.page_size
     npages = (super_block.catalog_len + ps - 1) // ps
-    raw = device.read(slot_pid, npages)[:super_block.catalog_len]
-    return CatalogSnapshot.deserialize(raw)
+    raw = _io(retry, lambda: device.read(slot_pid, npages))
+    return CatalogSnapshot.deserialize(raw[:super_block.catalog_len])
 
 
-def _read_wal(device: SimulatedNVMe,
-              config: EngineConfig) -> tuple[list, int]:
-    raw = device.read(config.wal_region_pid, config.wal_pages)
-    records = []
-    max_seq = 0
-    for seq, record in decode_records_with_seq(raw):
-        records.append(record)
-        max_seq = seq
-    return records, max_seq
+def _read_wal(device: SimulatedNVMe, config: EngineConfig,
+              state: RecoveredState, retry=None) -> list:
+    """Scan the WAL region, hardening against device-level damage.
+
+    The region is read unverified (recovery owns corruption handling
+    here), then audited: page-level CRC failures are counted, and the
+    frame scan decides what a damaged frame means.  Damage at the *tail*
+    is the expected shape of a torn final flush — the log is truncated at
+    the first bad record and the loss is counted.  Damage with valid
+    same-pass frames *beyond* it (found by a bounded resync probe) means
+    committed work would be silently dropped by truncation, so recovery
+    refuses with :class:`WalCorruptionError` instead.
+    """
+    raw = _io(retry, lambda: device.read(config.wal_region_pid,
+                                         config.wal_pages, verify=False))
+    state.wal_corrupt_pages = len(
+        device.verify_range(config.wal_region_pid, config.wal_pages))
+    scan = scan_records(raw)
+    state.wal_max_seq = max(scan.max_seq, 0)
+    if scan.stop_reason == "bad_frame":
+        beyond = find_frame_beyond(raw, scan.valid_bytes + 1, scan.max_seq)
+        if beyond is not None:
+            raise WalCorruptionError(
+                f"WAL damaged at byte {scan.valid_bytes} but a valid "
+                f"record (same pass) survives at byte {beyond}: "
+                f"truncation would drop committed work")
+        state.wal_records_truncated += 1
+    return [record for _, record in scan.records]
 
 
 def _compute_live(snapshot_tables: dict[str, dict[bytes, object]], records,
@@ -207,7 +264,7 @@ def _analyze_outcomes(records) -> tuple[set[int], set[int], set[int]]:
 
 def _repair_key(device: SimulatedNVMe, records, valid: set[int],
                 tiers: TierTable, table: str, key: bytes,
-                live_state: BlobState) -> dict[int, bytearray]:
+                live_state: BlobState, retry=None) -> dict[int, bytearray]:
     """Replay one key's physical WAL records into an overlay.
 
     Applies, in log order, every chunk (physlog content) and in-place
@@ -222,7 +279,8 @@ def _repair_key(device: SimulatedNVMe, records, valid: set[int],
 
     def page(pid: int) -> bytearray:
         if pid not in page_images:
-            page_images[pid] = bytearray(device.read(pid, 1))
+            page_images[pid] = bytearray(_io(
+                retry, lambda: device.read(pid, 1, verify=False)))
         return page_images[pid]
 
     live_heads = {pid for pid, _ in live_state.page_ranges(tiers)}
@@ -269,7 +327,8 @@ def _apply_logical(page, page_size: int, tiers: TierTable, state: BlobState,
 
 
 def _content_valid(device, model, tiers, page_size, state: BlobState,
-                   overlay: dict[int, bytearray] | None = None) -> bool:
+                   overlay: dict[int, bytearray] | None = None,
+                   retry=None) -> bool:
     """Digest-check a state's content, optionally through a repair
     overlay of not-yet-committed page images."""
     hasher = new_hasher("fast")
@@ -277,7 +336,8 @@ def _content_valid(device, model, tiers, page_size, state: BlobState,
     for pid, npages in state.page_ranges(tiers):
         if remaining <= 0:
             break
-        raw = device.read(pid, npages)
+        raw = _io(retry, lambda p=pid, n=npages: device.read(
+            p, n, verify=False))
         if overlay:
             patched = bytearray(raw)
             for i in range(npages):

@@ -15,12 +15,19 @@ from repro.db.config import EngineConfig
 from repro.db.database import BlobDB
 from repro.db.errors import (
     BlobTooBigError,
+    ChecksumMismatchError,
     DatabaseError,
+    DeviceIOError,
     DuplicateKeyError,
     KeyNotFoundError,
+    RemoteProtocolError,
+    RetriesExhaustedError,
     TableNotFoundError,
     TransactionConflict,
     TransactionStateError,
+    TransientError,
+    TransientNetworkError,
+    WalCorruptionError,
 )
 from repro.db.index import BlobStateIndex, PrefixIndex, SemanticIndex
 from repro.db.transaction import LockTable, Transaction
@@ -40,4 +47,11 @@ __all__ = [
     "TransactionConflict",
     "TransactionStateError",
     "BlobTooBigError",
+    "TransientError",
+    "DeviceIOError",
+    "TransientNetworkError",
+    "ChecksumMismatchError",
+    "WalCorruptionError",
+    "RetriesExhaustedError",
+    "RemoteProtocolError",
 ]

@@ -59,8 +59,17 @@ class EngineConfig:
     #: Logical address space as a multiple of the physical device when
     #: ``out_of_place`` is on.
     logical_space_multiplier: int = 8
+    #: Attempts (total tries) for transient device/network faults before
+    #: the engine degrades to a typed ``RetriesExhaustedError``.
+    io_retries: int = 4
+    #: First retry backoff in virtual nanoseconds (doubles per retry).
+    io_retry_base_ns: float = 50_000.0
 
     def __post_init__(self) -> None:
+        if self.io_retries < 1:
+            raise ValueError("io_retries must be at least 1")
+        if self.io_retry_base_ns < 0:
+            raise ValueError("io_retry_base_ns must be non-negative")
         if self.pool not in POOL_KINDS:
             raise ValueError(f"pool must be one of {POOL_KINDS}")
         if self.log_policy not in LOG_POLICIES:

@@ -15,7 +15,7 @@ every committed BLOB's SHA-256 exactly as Section III-C describes.
 from __future__ import annotations
 
 import contextlib
-from dataclasses import replace as dc_replace
+from dataclasses import dataclass, replace as dc_replace
 from typing import Iterator
 
 from repro.btree import BTree
@@ -31,6 +31,7 @@ from repro.core.tier import ExtentTier
 from repro.db.catalog import CatalogSnapshot, Superblock, encode_value
 from repro.db.config import EngineConfig
 from repro.db.errors import (
+    ChecksumMismatchError,
     DuplicateKeyError,
     KeyNotFoundError,
     TableNotFoundError,
@@ -46,6 +47,15 @@ from repro.wal.writer import WalFullError, WalWriter
 
 #: System table listing user tables (so DDL survives recovery).
 _TABLES_TABLE = "\x00tables"
+
+
+@dataclass
+class ScrubStats:
+    """Counters of the background integrity scrub (:meth:`BlobDB.scrub`)."""
+
+    blobs_scanned: int = 0
+    bytes_scanned: int = 0
+    corrupt_found: int = 0
 
 
 class BlobDB:
@@ -90,6 +100,21 @@ class BlobDB:
                              region_pages=cfg.wal_pages,
                              buffer_bytes=cfg.wal_buffer_bytes,
                              checkpoint_cb=self._forced_checkpoint)
+        # Shared bounded-retry policy for transient device faults, used
+        # by the pool, the WAL writer, formatting, and checkpoints.
+        # Imported lazily: faults.py imports repro.db.errors.
+        from repro.storage.faults import RetryPolicy
+        self.retry = RetryPolicy(self.model, attempts=cfg.io_retries,
+                                 base_delay_ns=cfg.io_retry_base_ns)
+        self.pool.retry = self.retry
+        self.wal.retry = self.retry
+        #: Keys whose durable content failed its digest and could not be
+        #: repaired; reads surface ``ChecksumMismatchError``.
+        self._quarantined: set[tuple[str, bytes]] = set()
+        self.quarantined_extents = 0
+        self.scrub_stats = ScrubStats()
+        #: RecoveredState of the recovery that built this engine, if any.
+        self.recovery_info = None
         self.blobs = BlobManager(self.pool, self.allocator, self.tiers,
                                  self.model, cfg.page_size,
                                  hasher_kind=cfg.hasher,
@@ -119,8 +144,9 @@ class BlobDB:
     def _format(self) -> None:
         super_block = Superblock(active_slot=-1, catalog_len=0,
                                  checkpoint_id=0)
-        self.device.write(0, super_block.serialize(self.config.page_size),
-                          category="meta")
+        self.retry.run(lambda: self.device.write(
+            0, super_block.serialize(self.config.page_size),
+            category="meta"))
 
     # -- DDL ------------------------------------------------------------------
 
@@ -221,6 +247,7 @@ class BlobDB:
 
     def abort(self, txn: Transaction) -> None:
         txn.ensure_active()
+        self._quarantined.update(txn.requarantine)
         # Logical undo, newest first.
         for entry in reversed(txn.undo):
             tree = self._tables.get(entry.table)
@@ -375,6 +402,10 @@ class BlobDB:
         value = self._lookup(table, key, txn)
         if not isinstance(value, BlobState):
             raise TypeError(f"{table}[{key!r}] is not a BLOB")
+        if (table, key) in self._quarantined:
+            raise ChecksumMismatchError(
+                f"{table}[{key!r}] is quarantined: its durable content "
+                f"no longer matches its recorded SHA-256")
         return value
 
     def read_blob(self, table: str, key: bytes,
@@ -486,7 +517,11 @@ class BlobDB:
         """Delete a BLOB; its extents join the free lists at commit."""
         txn.ensure_active()
         self.locks.acquire(txn.txn_id, table, key, LockMode.EXCLUSIVE)
-        old_state = self.get_state(table, key)
+        # Bypass the quarantine gate: deleting a corrupt BLOB is how an
+        # operator clears it, and the Blob State itself is intact.
+        old_state = self._lookup(table, key, None)
+        if not isinstance(old_state, BlobState):
+            raise TypeError(f"{table}[{key!r}] is not a BLOB")
         self.wal.append(DeleteRecord(txn_id=txn.txn_id, table=table, key=key,
                                      old_value=encode_value(old_state)))
         extents, tail = self.blobs.delete(old_state)
@@ -496,6 +531,10 @@ class BlobDB:
         if tail is not None:
             txn.pending_free_tails.append(tail)
         txn.remember_undo(table, key, old_state)
+        if (table, key) in self._quarantined:
+            # Restore the flag if this delete is undone by an abort.
+            txn.requarantine.append((table, key))
+            self._quarantined.discard((table, key))
         self._table(table).delete(key)
 
     def delete(self, txn: Transaction, table: str, key: bytes) -> None:
@@ -562,13 +601,55 @@ class BlobDB:
         slot = self._checkpoint_id % 2
         slot_pid = (self.config.catalog_a_pid if slot == 0
                     else self.config.catalog_b_pid)
-        self.device.write(slot_pid, raw.ljust(npages * ps, b"\x00"),
-                          category="meta", background=True)
+        self.retry.run(lambda: self.device.write(
+            slot_pid, raw.ljust(npages * ps, b"\x00"),
+            category="meta", background=True))
         super_block = Superblock(active_slot=slot, catalog_len=len(raw),
                                  checkpoint_id=self._checkpoint_id)
-        self.device.write(0, super_block.serialize(ps), category="meta",
-                          background=True)
+        self.retry.run(lambda: self.device.write(
+            0, super_block.serialize(ps), category="meta", background=True))
         self.checkpoints_taken += 1
+
+    # -- integrity scrub ---------------------------------------------------------------------
+
+    def scrub(self) -> ScrubStats:
+        """Background scrub: re-digest every live BLOB against its state.
+
+        Reads content unverified (the digest is the stronger check),
+        retries transient faults, and quarantines any BLOB whose
+        recomputed SHA no longer matches — after which reads surface
+        :class:`~repro.db.errors.ChecksumMismatchError` instead of wrong
+        bytes.  All device reads and hashing are charged to the cost
+        model: scrubbing is real, priced background work.
+        """
+        from repro.core.hashing import new_hasher
+        ps = self.config.page_size
+        for table in [_TABLES_TABLE] + self.list_tables():
+            for key, value in list(self._tables[table].scan()):
+                if not isinstance(value, BlobState):
+                    continue
+                if (table, key) in self._quarantined:
+                    continue
+                hasher = new_hasher(self.config.hasher)
+                remaining = value.size
+                for pid, npages in value.page_ranges(self.tiers):
+                    if remaining <= 0:
+                        break
+                    raw = self.retry.run(
+                        lambda p=pid, n=npages: self.device.read(
+                            p, n, verify=False))
+                    take = min(remaining, npages * ps)
+                    hasher.update(raw[:take])
+                    remaining -= take
+                self.model.hash_bytes(value.size)
+                self.scrub_stats.blobs_scanned += 1
+                self.scrub_stats.bytes_scanned += value.size
+                if hasher.digest() != value.sha256:
+                    self.scrub_stats.corrupt_found += 1
+                    self._quarantined.add((table, key))
+                    self.quarantined_extents += value.num_extents + \
+                        (1 if value.tail_extent is not None else 0)
+        return self.scrub_stats
 
     # -- crash & recovery ------------------------------------------------------------------------
 
@@ -587,7 +668,8 @@ class BlobDB:
         from repro.core.recovery import recover_state
         db = cls(config=config, device=device,
                  model=model or device.model, _skip_format=True)
-        recovered = recover_state(device, config, db.model, db.tiers)
+        recovered = recover_state(device, config, db.model, db.tiers,
+                                  retry=db.retry)
         registry = recovered.tables.get(_TABLES_TABLE, {})
         registered = {name.decode() for name in registry}
         for name in recovered.tables:
@@ -609,6 +691,9 @@ class BlobDB:
         db.wal.reset()
         db.wal.set_seq_floor(recovered.wal_max_seq)
         db.failed_txns = recovered.failed_txns
+        db._quarantined = set(recovered.quarantined)
+        db.quarantined_extents = recovered.extents_quarantined
+        db.recovery_info = recovered
         return db
 
     # -- introspection -------------------------------------------------------------------------------

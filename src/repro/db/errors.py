@@ -27,3 +27,56 @@ class TransactionStateError(DatabaseError):
 
 class BlobTooBigError(DatabaseError):
     """The BLOB exceeds a configured limit (used by DBMS baselines)."""
+
+
+# -- storage-fault hierarchy --------------------------------------------------
+#
+# Faults split into *transient* ones (a retry of the same operation may
+# succeed: a device returning EIO once, a dropped network exchange) and
+# *persistent* ones (the bytes on storage are wrong: checksum mismatches,
+# corrupted WAL regions).  Retry loops key off :class:`TransientError`;
+# everything else must be repaired or reported, never retried blindly.
+
+
+class TransientError(DatabaseError):
+    """A fault that may clear on retry (base for retry policies)."""
+
+
+class DeviceIOError(TransientError):
+    """The device returned a transient I/O error (simulated EIO)."""
+
+
+class TransientNetworkError(TransientError):
+    """One request/response exchange was lost on the wire."""
+
+
+class ChecksumMismatchError(DatabaseError):
+    """Stored bytes do not match their recorded checksum.
+
+    Raised instead of returning silently corrupt data: by a verifying
+    device read when a page fails its per-page CRC32, and by the engine
+    when a key has been quarantined because its content no longer
+    matches the SHA-256 in its Blob State.
+    """
+
+    def __init__(self, message: str, pid: int | None = None) -> None:
+        super().__init__(message)
+        #: Page id of the first failing page, when known.
+        self.pid = pid
+
+
+class WalCorruptionError(DatabaseError):
+    """The WAL ring is damaged in a way recovery cannot truncate away.
+
+    Tail damage (a torn final flush) is handled by truncating the log at
+    the first bad record; this error means valid committed records exist
+    *beyond* the damaged region, so truncation would silently drop them.
+    """
+
+
+class RetriesExhaustedError(DatabaseError):
+    """A transient fault persisted through every configured retry."""
+
+
+class RemoteProtocolError(DatabaseError):
+    """A remote request was malformed or addressed the wrong value kind."""

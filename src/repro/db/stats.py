@@ -45,6 +45,21 @@ class EngineReport:
     active_transactions: int = 0
     occ_aborts: int = 0
 
+    # Faults and repair (zero on a healthy device)
+    faults_injected: int = 0
+    fault_breakdown: dict[str, int] = field(default_factory=dict)
+    io_retries: int = 0
+    io_retries_exhausted: int = 0
+    checksum_pages_verified: int = 0
+    checksum_failures: int = 0
+    wal_corrupt_pages: int = 0
+    wal_records_truncated: int = 0
+    extents_quarantined: int = 0
+    keys_quarantined: int = 0
+    keys_repaired: int = 0
+    scrub_blobs_scanned: int = 0
+    scrub_corrupt_found: int = 0
+
     # Simulated time
     simulated_seconds: float = 0.0
 
@@ -85,6 +100,15 @@ class EngineReport:
             f"({self.extent_reuse_ratio:.0%} recycling)",
             f"transactions:   {self.active_transactions} active, "
             f"{self.occ_aborts} OCC aborts",
+            f"integrity:      {self.faults_injected} faults injected, "
+            f"{self.io_retries} I/O retries "
+            f"({self.io_retries_exhausted} exhausted), "
+            f"{self.checksum_failures} checksum failures / "
+            f"{self.checksum_pages_verified} pages verified, "
+            f"{self.wal_records_truncated} WAL truncations, "
+            f"{self.keys_repaired} keys repaired, "
+            f"{self.keys_quarantined} keys "
+            f"({self.extents_quarantined} extents) quarantined",
         ])
 
 
@@ -92,6 +116,9 @@ def build_report(db) -> EngineReport:
     """Collect an :class:`EngineReport` from a live engine."""
     pool = db.pool
     device = db.device
+    fault_stats = getattr(device, "fault_stats", None)
+    integrity = getattr(device, "integrity", None)
+    recovery = getattr(db, "recovery_info", None)
     return EngineReport(
         pool_used_pages=pool.used_pages,
         pool_capacity_pages=pool.capacity_pages,
@@ -112,5 +139,19 @@ def build_report(db) -> EngineReport:
         extents_freed=db.allocator.stats.freed_extents,
         active_transactions=len(db._active),
         occ_aborts=db.occ_aborts,
+        faults_injected=fault_stats.total if fault_stats else 0,
+        fault_breakdown=fault_stats.as_dict() if fault_stats else {},
+        io_retries=db.retry.stats.retries,
+        io_retries_exhausted=db.retry.stats.exhausted,
+        checksum_pages_verified=integrity.pages_verified if integrity else 0,
+        checksum_failures=integrity.checksum_failures if integrity else 0,
+        wal_corrupt_pages=recovery.wal_corrupt_pages if recovery else 0,
+        wal_records_truncated=(recovery.wal_records_truncated
+                               if recovery else 0),
+        extents_quarantined=db.quarantined_extents,
+        keys_quarantined=len(db._quarantined),
+        keys_repaired=recovery.repaired_keys if recovery else 0,
+        scrub_blobs_scanned=db.scrub_stats.blobs_scanned,
+        scrub_corrupt_found=db.scrub_stats.corrupt_found,
         simulated_seconds=db.model.clock.now_s,
     )

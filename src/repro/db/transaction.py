@@ -126,6 +126,8 @@ class Transaction:
         self.read_set: dict[tuple[str, bytes], int] = {}
         #: OCC: records written (their versions bump on commit).
         self.write_set: set[tuple[str, bytes]] = set()
+        #: Quarantine flags this txn cleared (restored if it aborts).
+        self.requarantine: list[tuple[str, bytes]] = []
 
     def ensure_active(self) -> None:
         if self.status is not TxnStatus.ACTIVE:

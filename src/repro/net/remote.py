@@ -5,7 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.db.database import BlobDB
-from repro.db.errors import DatabaseError, KeyNotFoundError
+from repro.db.errors import (
+    DatabaseError,
+    KeyNotFoundError,
+    RemoteProtocolError,
+    TransientNetworkError,
+)
 from repro.net.transport import TransportProfile
 
 
@@ -36,13 +41,28 @@ class BlobServer:
         self.stats = ServerStats()
 
     # Each handler returns the response payload size it ships back.
+    # Malformed requests (wrong value kinds, non-byte keys) surface as
+    # typed RemoteProtocolError, never a bare Python exception a client
+    # cannot distinguish from a server bug.
+
+    @staticmethod
+    def _guard(op):
+        try:
+            return op()
+        except DatabaseError:
+            raise
+        except (TypeError, ValueError, KeyError, AttributeError) as exc:
+            raise RemoteProtocolError(f"malformed request: {exc}") from exc
 
     def handle_put(self, key: bytes, data: bytes) -> int:
-        self._enter(len(key) + len(data))
-        with self.db.transaction() as txn:
-            if self.db.exists(self.table, key):
-                self.db.delete_blob(txn, self.table, key)
-            self.db.put_blob(txn, self.table, key, data)
+        self._enter(self._guard(lambda: len(key) + len(data)))
+
+        def run() -> None:
+            with self.db.transaction() as txn:
+                if self.db.exists(self.table, key):
+                    self.db.delete_blob(txn, self.table, key)
+                self.db.put_blob(txn, self.table, key, data)
+        self._guard(run)
         return self._exit(16)
 
     def handle_get(self, key: bytes, zero_copy: bool = False) -> bytes:
@@ -52,25 +72,31 @@ class BlobServer:
         it exposes the aliasing view's region and the *client* performs
         the single materializing copy, like the local read path.
         """
-        self._enter(len(key))
-        if zero_copy:
-            with self.db.read_blob_view(self.table, key) as view:
-                data = view.contiguous()
-        else:
-            data = self.db.read_blob(self.table, key)
+        self._enter(self._guard(lambda: len(key)))
+
+        def run() -> bytes:
+            if zero_copy:
+                with self.db.read_blob_view(self.table, key) as view:
+                    return view.contiguous()
+            return self.db.read_blob(self.table, key)
+        data = self._guard(run)
         self._exit(len(data))
         return data
 
     def handle_stat(self, key: bytes) -> int:
-        self._enter(len(key))
-        size = self.db.get_state(self.table, key).size
+        self._enter(self._guard(lambda: len(key)))
+        size = self._guard(
+            lambda: self.db.get_state(self.table, key).size)
         self._exit(16)
         return size
 
     def handle_delete(self, key: bytes) -> None:
-        self._enter(len(key))
-        with self.db.transaction() as txn:
-            self.db.delete_blob(txn, self.table, key)
+        self._enter(self._guard(lambda: len(key)))
+
+        def run() -> None:
+            with self.db.transaction() as txn:
+                self.db.delete_blob(txn, self.table, key)
+        self._guard(run)
         self._exit(16)
 
     def _enter(self, nbytes: int) -> None:
@@ -91,39 +117,68 @@ class RemoteBlobStore:
     the local engine avoids copies via aliasing.
     """
 
-    def __init__(self, server: BlobServer,
-                 transport: TransportProfile) -> None:
+    def __init__(self, server: BlobServer, transport: TransportProfile,
+                 fault_plan=None, retry=None) -> None:
         self.server = server
         self.transport = transport
         self.model = server.db.model  # shared clock: synchronous RPC
+        #: Optional FaultPlan: each exchange may lose its request in
+        #: flight (TransientNetworkError before the server sees it).
+        self.fault_plan = fault_plan
+        #: Optional RetryPolicy re-issuing lost exchanges with backoff.
+        self.retry = retry
 
     @property
     def name(self) -> str:
         return f"our.{self.transport.name}"
 
+    def _exchange(self, op):
+        """One request/response exchange, with fault drawing and retry.
+
+        A drawn network fault loses the request *in flight*: the server
+        never executes the operation, so re-issuing it is always safe.
+        """
+        def attempt():
+            if self.fault_plan is not None and \
+                    self.fault_plan.draw_network_fault():
+                raise TransientNetworkError("request lost in flight")
+            return op()
+        if self.retry is not None:
+            return self.retry.run(attempt)
+        return attempt()
+
     def put(self, key: bytes, data: bytes) -> None:
-        self.server.handle_put(key, data)
-        self.transport.charge_exchange(self.model, len(key) + len(data), 16)
+        def op() -> None:
+            self.server.handle_put(key, data)
+            self.transport.charge_exchange(self.model,
+                                           len(key) + len(data), 16)
+        self._exchange(op)
 
     def get(self, key: bytes) -> bytes:
-        zero_copy = self.transport.zero_copy_responses
-        data = self.server.handle_get(key, zero_copy=zero_copy)
-        wire_bytes = 0 if zero_copy else len(data)
-        self.transport.charge_exchange(self.model, len(key), wire_bytes)
-        if zero_copy:
-            # The client materializes its own copy from the shared
-            # region — exactly one memcpy, like the local path.
-            self.model.memcpy(len(data))
-        return data
+        def op() -> bytes:
+            zero_copy = self.transport.zero_copy_responses
+            data = self.server.handle_get(key, zero_copy=zero_copy)
+            wire_bytes = 0 if zero_copy else len(data)
+            self.transport.charge_exchange(self.model, len(key), wire_bytes)
+            if zero_copy:
+                # The client materializes its own copy from the shared
+                # region — exactly one memcpy, like the local path.
+                self.model.memcpy(len(data))
+            return data
+        return self._exchange(op)
 
     def stat(self, key: bytes) -> int:
-        size = self.server.handle_stat(key)
-        self.transport.charge_exchange(self.model, len(key), 16)
-        return size
+        def op() -> int:
+            size = self.server.handle_stat(key)
+            self.transport.charge_exchange(self.model, len(key), 16)
+            return size
+        return self._exchange(op)
 
     def delete(self, key: bytes) -> None:
-        self.server.handle_delete(key)
-        self.transport.charge_exchange(self.model, len(key), 16)
+        def op() -> None:
+            self.server.handle_delete(key)
+            self.transport.charge_exchange(self.model, len(key), 16)
+        self._exchange(op)
 
     def exists(self, key: bytes) -> bool:
         try:

@@ -78,6 +78,9 @@ class CostParams:
     #: The paper's engine hashes BLOBs without them ever dominating the
     #: write path (Fig. 6), which requires copy-level hash throughput.
     hash_ns_per_byte: float = 0.05
+    #: Hardware CRC32 (SSE4.2 ``crc32`` instruction, ~30 GB/s) charged
+    #: when per-page protection information is computed or verified.
+    crc32_ns_per_byte: float = 0.03
 
     # -- Virtual memory / exmap -------------------------------------------
     #: One exmap page-table manipulation batch (alias or unalias call).
@@ -251,6 +254,10 @@ class CostModel:
         """Charge SHA-256 over ``nbytes`` (hardware-accelerated rate)."""
         self._charge_user(nbytes * self.params.hash_ns_per_byte,
                           cache_misses=nbytes // 256)
+
+    def crc32_bytes(self, nbytes: int) -> None:
+        """Charge CRC32 protection-info computation over ``nbytes``."""
+        self._charge_user(nbytes * self.params.crc32_ns_per_byte)
 
     # -- syscalls ------------------------------------------------------------
 

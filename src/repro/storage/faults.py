@@ -1,0 +1,292 @@
+"""Deterministic fault injection for the simulated storage stack.
+
+Three pieces turn the repro from "correct on a perfect disk" into an
+engine whose failure envelope is itself measured and tested:
+
+* :class:`FaultPlan` — a seeded schedule deciding, per device operation,
+  whether to inject a torn write, a silent bit flip, a transient
+  ``DeviceIOError``, or a latency spike.  The schedule is a pure
+  function of the seed and the operation sequence, so a failing run
+  replays byte-identically from its seed.
+* :class:`FaultyNVMe` — a wrapper composing with
+  :class:`~repro.storage.device.SimulatedNVMe` (or the out-of-place
+  :class:`~repro.storage.remap.RemappedDevice`): any existing test or
+  benchmark runs under faults unchanged.  Corruption is applied *below*
+  the device's protection information — the stored bytes diverge from
+  their recorded CRCs exactly as real torn writes and bit rot diverge
+  from NVMe end-to-end protection metadata.
+* :class:`RetryPolicy` — bounded retry with exponential backoff, driven
+  by the virtual clock so retried runs remain fully deterministic.
+  Retries fire only on :class:`~repro.db.errors.TransientError`;
+  persistent corruption is never retried blindly.
+
+The Sears & van Ingen line of work ("To BLOB or Not To BLOB",
+"Fragmentation in Large Object Repositories") shows BLOB stores degrade
+precisely under such storage-level misbehaviour; this module makes that
+misbehaviour a first-class, reproducible test input.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field, fields
+
+from repro.db.errors import DeviceIOError, RetriesExhaustedError, TransientError
+from repro.storage.device import IoRequest
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """Rates and bounds of a fault schedule (all probabilities per op)."""
+
+    seed: int = 0
+    #: Probability that a write request lands only a prefix (torn at a
+    #: uniformly drawn byte, possibly mid-page).
+    torn_write: float = 0.0
+    #: Probability that one bit of one written page flips at rest.
+    bit_flip: float = 0.0
+    #: Probability that a device operation fails with ``DeviceIOError``.
+    transient_error: float = 0.0
+    #: Probability that an operation stalls for ``latency_spike_ns``.
+    latency_spike: float = 0.0
+    #: Probability that a network exchange is lost (remote store only).
+    network_error: float = 0.0
+    #: A transient burst never exceeds this many consecutive failures,
+    #: so any retry policy with more attempts is guaranteed to succeed.
+    max_consecutive_transients: int = 2
+    latency_spike_ns: float = 2_000_000.0
+
+    def describe(self) -> str:
+        parts = [f"seed={self.seed}"]
+        for f in fields(self):
+            v = getattr(self, f.name)
+            if f.name != "seed" and isinstance(v, float) and v:
+                parts.append(f"{f.name}={v:g}")
+        return " ".join(parts)
+
+
+@dataclass
+class FaultStats:
+    """What a plan actually injected (deterministic given the run)."""
+
+    torn_writes: int = 0
+    bit_flips: int = 0
+    transient_errors: int = 0
+    latency_spikes: int = 0
+    network_errors: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.torn_writes + self.bit_flips + self.transient_errors
+                + self.latency_spikes + self.network_errors)
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "torn_writes": self.torn_writes,
+            "bit_flips": self.bit_flips,
+            "transient_errors": self.transient_errors,
+            "latency_spikes": self.latency_spikes,
+            "network_errors": self.network_errors,
+        }
+
+
+class FaultPlan:
+    """Seeded, order-deterministic fault schedule.
+
+    Every decision consumes draws from one ``random.Random(seed)`` in a
+    fixed per-operation order, so two runs issuing the same operation
+    sequence against plans with the same spec inject identical faults.
+    """
+
+    def __init__(self, spec: FaultSpec | None = None, **overrides) -> None:
+        self.spec = spec or FaultSpec(**overrides)
+        if spec is not None and overrides:
+            raise ValueError("pass a FaultSpec or keyword rates, not both")
+        self._rng = random.Random(self.spec.seed)
+        self.stats = FaultStats()
+        self._consecutive_transients = 0
+        self._consecutive_network = 0
+
+    # -- per-operation draws ------------------------------------------------
+
+    def draw_transient(self) -> bool:
+        """One draw per device operation; bursts are capped."""
+        if self.spec.transient_error <= 0.0:
+            return False
+        hit = self._rng.random() < self.spec.transient_error
+        if hit and self._consecutive_transients \
+                < self.spec.max_consecutive_transients:
+            self._consecutive_transients += 1
+            self.stats.transient_errors += 1
+            return True
+        self._consecutive_transients = 0
+        return False
+
+    def draw_network_fault(self) -> bool:
+        """One draw per request/response exchange; bursts are capped."""
+        if self.spec.network_error <= 0.0:
+            return False
+        hit = self._rng.random() < self.spec.network_error
+        if hit and self._consecutive_network \
+                < self.spec.max_consecutive_transients:
+            self._consecutive_network += 1
+            self.stats.network_errors += 1
+            return True
+        self._consecutive_network = 0
+        return False
+
+    def draw_latency_spike_ns(self) -> float:
+        if self.spec.latency_spike <= 0.0:
+            return 0.0
+        if self._rng.random() < self.spec.latency_spike:
+            self.stats.latency_spikes += 1
+            return self.spec.latency_spike_ns
+        return 0.0
+
+    def draw_torn_byte(self, nbytes: int) -> int | None:
+        """Byte offset at which a write tears, or None for a clean write."""
+        if self.spec.torn_write <= 0.0:
+            return None
+        if self._rng.random() < self.spec.torn_write:
+            self.stats.torn_writes += 1
+            return self._rng.randrange(nbytes)
+        return None
+
+    def draw_bit_flip(self, npages: int, page_size: int) \
+            -> tuple[int, int] | None:
+        """(page index, bit index) to flip in a write, or None."""
+        if self.spec.bit_flip <= 0.0:
+            return None
+        if self._rng.random() < self.spec.bit_flip:
+            self.stats.bit_flips += 1
+            return (self._rng.randrange(npages),
+                    self._rng.randrange(page_size * 8))
+        return None
+
+
+class FaultyNVMe:
+    """Device wrapper injecting the plan's faults below the engine.
+
+    Composes with any device exposing the :class:`SimulatedNVMe`
+    interface plus the raw ``peek``/``_poke`` hooks.  Transient errors
+    and latency spikes fire *before* the inner operation (a retry sees a
+    fresh draw); torn writes and bit flips silently mutate the stored
+    bytes *after* it, leaving the recorded protection CRCs describing
+    the data the engine intended to write.
+    """
+
+    def __init__(self, inner, plan: FaultPlan) -> None:
+        self.inner = inner
+        self.plan = plan
+
+    @property
+    def fault_stats(self) -> FaultStats:
+        return self.plan.stats
+
+    def __getattr__(self, name: str):
+        return getattr(self.inner, name)
+
+    # -- faulted I/O ---------------------------------------------------------
+
+    def _pre_op(self) -> None:
+        if self.plan.draw_transient():
+            raise DeviceIOError("injected transient device error")
+        spike = self.plan.draw_latency_spike_ns()
+        if spike:
+            self.inner.model.clock.advance(spike)
+
+    def write(self, pid: int, data: bytes, category: str = "data",
+              background: bool = False) -> None:
+        npages = len(data) // self.inner.page_size
+        self.submit([IoRequest(pid=pid, npages=npages, data=data,
+                               category=category)], background=background)
+
+    def read(self, pid: int, npages: int, verify: bool = True) -> bytes:
+        self._pre_op()
+        return self.inner.read(pid, npages, verify=verify)
+
+    def submit(self, requests: list[IoRequest],
+               background: bool = False,
+               verify: bool = True) -> list[bytes | None]:
+        self._pre_op()
+        ps = self.inner.page_size
+        damage: list[tuple[int, bytes]] = []
+        flips: list[tuple[int, int]] = []
+        for req in requests:
+            if not req.is_write:
+                continue
+            assert req.data is not None
+            torn_at = self.plan.draw_torn_byte(len(req.data))
+            if torn_at is not None:
+                # Pages past the tear keep their old content; the page
+                # containing the tear is spliced new-prefix/old-suffix.
+                pre = self.inner.peek(req.pid, req.npages)
+                page, in_page = divmod(torn_at, ps)
+                image = req.data[page * ps:page * ps + in_page] \
+                    + pre[page * ps + in_page:]
+                damage.append((req.pid + page, image))
+            flip = self.plan.draw_bit_flip(req.npages, ps)
+            if flip is not None:
+                flips.append((req.pid + flip[0], flip[1]))
+        results = self.inner.submit(requests, background=background,
+                                    verify=verify)
+        for pid, image in damage:
+            self.inner._poke(pid, image)
+        for pid, bit in flips:
+            page = bytearray(self.inner.peek(pid, 1))
+            page[bit // 8] ^= 1 << (bit % 8)
+            self.inner._poke(pid, bytes(page))
+        return results
+
+
+# -- deterministic bounded retry ---------------------------------------------
+
+
+@dataclass
+class RetryStats:
+    operations: int = 0
+    retries: int = 0
+    exhausted: int = 0
+    backoff_ns: float = 0.0
+
+
+class RetryPolicy:
+    """Bounded retry with exponential backoff on the virtual clock.
+
+    ``attempts`` counts total tries; backoff between try *i* and *i+1*
+    is ``base_delay_ns * multiplier**i``, advanced on the shared virtual
+    clock (the worker sleeps, it does not burn CPU).  Only
+    :class:`TransientError` is retried; when the budget is exhausted the
+    last fault is wrapped in :class:`RetriesExhaustedError` — graceful
+    degradation as a typed error, never a hang or a bare exception.
+    """
+
+    def __init__(self, model, attempts: int = 4,
+                 base_delay_ns: float = 50_000.0,
+                 multiplier: float = 2.0) -> None:
+        if attempts < 1:
+            raise ValueError("retry policy needs at least one attempt")
+        self.model = model
+        self.attempts = attempts
+        self.base_delay_ns = base_delay_ns
+        self.multiplier = multiplier
+        self.stats = RetryStats()
+
+    def run(self, op):
+        """Execute ``op()`` under the policy and return its result."""
+        self.stats.operations += 1
+        delay = self.base_delay_ns
+        for attempt in range(self.attempts):
+            try:
+                return op()
+            except TransientError as fault:
+                if attempt == self.attempts - 1:
+                    self.stats.exhausted += 1
+                    raise RetriesExhaustedError(
+                        f"{fault} (after {self.attempts} attempts)"
+                    ) from fault
+                self.stats.retries += 1
+                self.stats.backoff_ns += delay
+                self.model.clock.advance(delay)
+                delay *= self.multiplier
+        raise AssertionError("unreachable")

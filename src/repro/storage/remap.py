@@ -74,6 +74,14 @@ class RemappedDevice:
         return self.physical.stats
 
     @property
+    def integrity(self):
+        return self.physical.integrity
+
+    @property
+    def protect(self) -> bool:
+        return self.physical.protect
+
+    @property
     def capacity_bytes(self) -> int:
         return self.capacity_pages * self.page_size
 
@@ -116,15 +124,16 @@ class RemappedDevice:
         self.submit([IoRequest(pid=pid, npages=npages, data=data,
                                category=category)], background=background)
 
-    def read(self, pid: int, npages: int) -> bytes:
+    def read(self, pid: int, npages: int, verify: bool = True) -> bytes:
         self._check_logical(pid, npages)
         return b"".join(
-            self.physical.read(self._map[pid + i], 1)
+            self.physical.read(self._map[pid + i], 1, verify=verify)
             if pid + i in self._map else b"\x00" * self.page_size
             for i in range(npages))
 
     def submit(self, requests: list[IoRequest],
-               background: bool = False) -> list[bytes | None]:
+               background: bool = False,
+               verify: bool = True) -> list[bytes | None]:
         """Translate each logical request into physical run requests."""
         physical_requests: list[IoRequest] = []
         plans: list[tuple[IoRequest, list[int]] | None] = []
@@ -156,6 +165,10 @@ class RemappedDevice:
                 results.append(None)
                 continue
             req, phys = plan
+            if verify:
+                for p in phys:
+                    if p >= 0:
+                        self.physical._verify_pages(p, 1)
             blank = b"\x00" * self.page_size
             results.append(b"".join(
                 self.physical.peek(p, 1) if p >= 0 else blank
@@ -169,6 +182,29 @@ class RemappedDevice:
             self.physical.peek(self._map[pid + i], 1)
             if pid + i in self._map else blank
             for i in range(npages))
+
+    def _poke(self, pid: int, data: bytes) -> None:
+        """Fault-injection hook: raw overwrite of the *current* mapping."""
+        ps = self.page_size
+        for i in range((len(data) + ps - 1) // ps):
+            phys = self._map.get(pid + i)
+            if phys is not None:
+                self.physical._poke(phys, data[i * ps:(i + 1) * ps])
+
+    def check_page(self, pid: int) -> bool:
+        phys = self._map.get(pid)
+        return True if phys is None else self.physical.check_page(phys)
+
+    def verify_range(self, pid: int, npages: int) -> list[int]:
+        """Logical pids in range whose mapped physical page fails its CRC."""
+        self._check_logical(pid, npages)
+        if not self.protect:
+            return []
+        self.model.crc32_bytes(npages * self.page_size)
+        bad = [p for p in range(pid, pid + npages) if not self.check_page(p)]
+        self.integrity.pages_verified += npages
+        self.integrity.checksum_failures += len(bad)
+        return bad
 
     # -- reclamation ----------------------------------------------------------------
 

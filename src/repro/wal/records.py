@@ -270,25 +270,91 @@ def decode_records(raw: bytes) -> Iterator[LogRecord]:
 
 def decode_records_with_seq(raw: bytes) -> Iterator[tuple[int, LogRecord]]:
     """Like :func:`decode_records` but yields ``(seq, record)``."""
+    yield from scan_records(raw).records
+
+
+@dataclass
+class WalScan:
+    """Result of structurally scanning a WAL region prefix.
+
+    ``stop_reason`` distinguishes a log that simply ended (``"end"`` —
+    the remaining bytes never held a frame of this pass) from one that
+    stopped at a damaged or stale frame (``"bad_frame"`` — a CRC
+    failure, an unknown type, a length overrun, or a sequence drop).
+    """
+
+    records: list[tuple[int, "LogRecord"]]
+    #: Bytes of validated frames; the scan stopped at this offset.
+    valid_bytes: int
+    #: Highest validated frame sequence (-1 when no frame decoded).
+    max_seq: int
+    stop_reason: str
+
+
+def scan_records(raw: bytes) -> WalScan:
+    """Validate frames from offset 0, reporting where and why the scan
+    stopped — recovery uses this to decide between tail truncation and
+    declaring unrecoverable mid-log corruption."""
+    records: list[tuple[int, LogRecord]] = []
     off = 0
     end = len(raw)
     last_seq = -1
-    while off + _FRAME.size + _CRC.size <= end:
+    while True:
+        if off + _FRAME.size + _CRC.size > end:
+            return WalScan(records, off, last_seq, "end")
         rtype, length, seq = _FRAME.unpack_from(raw, off)
+        if rtype == 0 and length == 0 and seq == 0:
+            # Zero bytes: never-written (or padded) region, a clean end.
+            return WalScan(records, off, last_seq, "end")
         cls = _RECORD_TYPES.get(rtype)
         if cls is None or seq <= last_seq:
-            return
+            return WalScan(records, off, last_seq, "bad_frame")
         frame_end = off + _FRAME.size + length
         if frame_end + _CRC.size > end:
-            return
+            return WalScan(records, off, last_seq, "bad_frame")
         frame = raw[off:frame_end]
         (crc,) = _CRC.unpack_from(raw, frame_end)
         if zlib.crc32(frame) != crc:
-            return
+            return WalScan(records, off, last_seq, "bad_frame")
         try:
             record = cls.from_payload(raw[off + _FRAME.size:frame_end])
         except (ValueError, struct.error):
-            return
-        yield seq, record
+            return WalScan(records, off, last_seq, "bad_frame")
+        records.append((seq, record))
         last_seq = seq
         off = frame_end + _CRC.size
+
+
+def find_frame_beyond(raw: bytes, start: int, min_seq: int,
+                      probe_bytes: int = 65536) -> int | None:
+    """Look past a damaged frame for a valid frame of the *same* pass.
+
+    Probes byte offsets in ``[start, start + probe_bytes)`` for a frame
+    whose CRC validates and whose sequence exceeds ``min_seq`` (a stale
+    frame from an earlier ring pass does not count).  Returns the offset
+    of such a frame, meaning committed records exist beyond the damage
+    and truncating at ``start`` would silently drop them; ``None`` means
+    the damage is confined to the tail and truncation is safe.
+    """
+    end = len(raw)
+    limit = min(end, start + probe_bytes)
+    for off in range(start, limit):
+        if off + _FRAME.size + _CRC.size > end:
+            break
+        rtype, length, seq = _FRAME.unpack_from(raw, off)
+        cls = _RECORD_TYPES.get(rtype)
+        if cls is None or seq <= min_seq:
+            continue
+        frame_end = off + _FRAME.size + length
+        if frame_end + _CRC.size > end:
+            continue
+        frame = raw[off:frame_end]
+        (crc,) = _CRC.unpack_from(raw, frame_end)
+        if zlib.crc32(frame) != crc:
+            continue
+        try:
+            cls.from_payload(raw[off + _FRAME.size:frame_end])
+        except (ValueError, struct.error):
+            continue
+        return off
+    return None

@@ -62,6 +62,9 @@ class WalWriter:
         self.buffer_bytes = buffer_bytes
         self.checkpoint_cb = checkpoint_cb
         self.category = category
+        #: Optional RetryPolicy; when set, region writes survive
+        #: transient device faults (set by the engine, not per-call).
+        self.retry = None
         self.stats = WalStats()
         self._buffer = bytearray()
         #: Bytes durably written into the region since the last rewind.
@@ -134,8 +137,14 @@ class WalWriter:
         npages = (len(chunk) + ps - 1) // ps
         padded = chunk.ljust(npages * ps, b"\x00")
         first_pid = self.region_pid + (self._write_off - len(self._page_head)) // ps
-        self.device.write(first_pid, padded, category=self.category,
-                          background=background)
+
+        def _write() -> None:
+            self.device.write(first_pid, padded, category=self.category,
+                              background=background)
+        if self.retry is not None:
+            self.retry.run(_write)
+        else:
+            _write()
         del self._buffer[:nbytes]
         self._write_off += nbytes
         in_page = self._write_off % ps

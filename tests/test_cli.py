@@ -25,6 +25,12 @@ class TestCli:
         assert "txn/s" in out
         assert "our" in out
 
+    def test_faultsweep(self, capsys):
+        assert main(["faultsweep", "--schedules", "10", "--seed", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "0 SILENT" in out
+        assert "digest:" in out
+
     def test_requires_command(self):
         with pytest.raises(SystemExit):
             main([])

@@ -3,7 +3,12 @@
 import pytest
 
 from repro.db import BlobDB, EngineConfig
-from repro.db.errors import KeyNotFoundError
+from repro.db.errors import (
+    KeyNotFoundError,
+    RemoteProtocolError,
+    RetriesExhaustedError,
+    TransientNetworkError,
+)
 from repro.net import (
     RDMA,
     SHARED_MEMORY,
@@ -12,12 +17,16 @@ from repro.net import (
     BlobServer,
     RemoteBlobStore,
 )
+from repro.storage.faults import FaultPlan, FaultSpec, RetryPolicy
 
 
-def remote(transport):
+def remote(transport, fault_plan=None, retry_attempts=0):
     db = BlobDB(EngineConfig(device_pages=16384, wal_pages=512,
                              catalog_pages=128, buffer_pool_pages=4096))
-    return RemoteBlobStore(BlobServer(db), transport)
+    retry = RetryPolicy(db.model, attempts=retry_attempts) \
+        if retry_attempts else None
+    return RemoteBlobStore(BlobServer(db), transport,
+                           fault_plan=fault_plan, retry=retry)
 
 
 class TestProtocol:
@@ -51,6 +60,56 @@ class TestProtocol:
         store.get(b"k")
         assert store.server.stats.requests == 2
         assert store.server.stats.bytes_out >= 100
+
+    def test_malformed_requests_raise_protocol_error(self):
+        """Bad request shapes surface as a typed RemoteProtocolError a
+        client can distinguish from server bugs, never a bare Python
+        exception."""
+        store = remote(UNIX_SOCKET)
+        with pytest.raises(RemoteProtocolError):
+            store.server.handle_stat(None)
+        with pytest.raises(RemoteProtocolError):
+            store.server.handle_put(b"k", 12345)
+        with pytest.raises(RemoteProtocolError):
+            store.server.handle_get(None)
+        # Engine errors keep their own type (not wrapped as protocol).
+        with pytest.raises(KeyNotFoundError):
+            store.server.handle_get(b"missing")
+
+
+class TestNetworkFaults:
+    def test_lost_exchanges_are_retried_to_success(self):
+        plan = FaultPlan(FaultSpec(seed=9, network_error=0.9))
+        store = remote(UNIX_SOCKET, fault_plan=plan, retry_attempts=4)
+        payload = b"\x5a" * 10_000
+        store.put(b"k", payload)
+        assert store.get(b"k") == payload
+        assert plan.stats.network_errors > 0
+        assert store.retry.stats.retries == plan.stats.network_errors
+
+    def test_lost_request_never_reaches_the_server(self):
+        """A drawn fault loses the request in flight — the burst-capped
+        plan drops two attempts, the third is the only one the server
+        executes, so blind re-issue is safe."""
+        plan = FaultPlan(FaultSpec(seed=0, network_error=1.0))
+        store = remote(SHARED_MEMORY, fault_plan=plan, retry_attempts=4)
+        store.put(b"k", b"v")
+        assert store.server.stats.requests == 1
+        assert plan.stats.network_errors == 2
+
+    def test_without_retry_the_typed_error_surfaces(self):
+        plan = FaultPlan(FaultSpec(seed=0, network_error=1.0))
+        store = remote(UNIX_SOCKET, fault_plan=plan)
+        with pytest.raises(TransientNetworkError):
+            store.put(b"k", b"v")
+
+    def test_exhausted_retries_degrade_to_typed_error(self):
+        plan = FaultPlan(FaultSpec(seed=0, network_error=1.0,
+                                   max_consecutive_transients=99))
+        store = remote(UNIX_SOCKET, fault_plan=plan, retry_attempts=3)
+        with pytest.raises(RetriesExhaustedError):
+            store.stat(b"k")
+        assert store.retry.stats.exhausted == 1
 
 
 class TestTransportCosts:
