@@ -11,13 +11,27 @@ Commands:
 * ``faultsweep`` — seeded fault-injection sweep: hundreds of
   crash/recover schedules under torn writes, bit flips, and transient
   I/O errors, with a reproducibility digest;
+* ``trace``    — run a pinned-seed workload with the tracer attached
+  and emit a Chrome ``trace_event`` JSON (open in about:tracing or
+  Perfetto); byte-identical across runs of the same seed;
+* ``bench``    — run the deterministic benchmark baseline suite,
+  write ``BENCH_<label>.json``, and optionally gate against a
+  committed baseline (fails on >10 % regression);
 * ``info``     — version and default-configuration summary.
+
+``demo``, ``survey``, and ``faultsweep`` accept ``--json`` for
+machine-readable output.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
+
+
+def _emit_json(doc) -> None:
+    print(json.dumps(doc, indent=2, sort_keys=True))
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -32,14 +46,25 @@ def _cmd_demo(args: argparse.Namespace) -> int:
         "our", "our.physlog", "ext4.ordered", "ext4.journal", "sqlite",
         "postgresql")
     rows = []
+    records = []
     for name in systems:
         store = make_store(name, capacity_bytes=1 << 30,
                            buffer_bytes=256 << 20)
         result = run_ycsb(store, config, n_ops=args.ops)
         written = store.device.stats.bytes_written
+        amplification = written / (config.n_records + args.ops / 2) / payload
         rows.append([name, human_throughput(result.throughput_ops_s),
-                     f"{result.per_op_us:.1f}",
-                     f"{written / (config.n_records + args.ops / 2) / payload:.2f}x"])
+                     f"{result.per_op_us:.1f}", f"{amplification:.2f}x"])
+        records.append({
+            "system": name,
+            "throughput_ops_s": round(result.throughput_ops_s, 1),
+            "per_op_us": round(result.per_op_us, 2),
+            "bytes_written_per_payload": round(amplification, 3),
+        })
+    if args.json:
+        _emit_json({"payload_kb": args.payload_kb, "ops": args.ops,
+                    "systems": records})
+        return 0
     print_table(
         f"Demo: YCSB {args.payload_kb} KB payload, 50% reads "
         f"({args.ops} ops, simulated time)",
@@ -69,6 +94,11 @@ def _cmd_survey(args: argparse.Namespace) -> int:
                      for c in ("data", "wal", "journal", "dwb",
                                "index")) / payload
         rows.append([name, f"{copies:.2f}x"])
+    if args.json:
+        _emit_json({"payload_bytes": payload,
+                    "copies_per_byte": {name: float(c[:-1])
+                                        for name, c in rows}})
+        return 0
     print_table("Design survey: content copies per BLOB byte (measured)",
                 ["system", "copies/byte"], rows)
     return 0
@@ -91,12 +121,115 @@ def _cmd_faultsweep(args: argparse.Namespace) -> int:
     from repro.bench.faultsweep import run_sweep
 
     report = run_sweep(n_schedules=args.schedules, seed=args.seed)
-    print(f"Fault sweep: {args.schedules} seeded schedules "
-          f"(base seed {args.seed})")
-    print(report.format())
+    if args.json:
+        _emit_json({
+            "n_schedules": report.n_schedules,
+            "seed": args.seed,
+            "clean": report.clean,
+            "reported": report.reported,
+            "silent": report.silent,
+            "faults": report.faults,
+            "io_retries": report.io_retries,
+            "wal_records_truncated": report.wal_records_truncated,
+            "keys_quarantined": report.keys_quarantined,
+            "digest": report.digest,
+        })
+    else:
+        print(f"Fault sweep: {args.schedules} seeded schedules "
+              f"(base seed {args.seed})")
+        print(report.format())
     if report.silent:
         print("FAILED: silent corruption detected", file=sys.stderr)
         return 1
+    return 0
+
+
+#: Workloads the ``trace`` subcommand can drive (pinned-seed, engine
+#: ``our``): 4 KB YCSB rows, 100 KB YCSB BLOBs, the Wikipedia corpus.
+TRACE_WORKLOADS = ("ycsb", "ycsb-blob", "wikipedia")
+
+
+def _drive_traced_workload(store, workload: str, seed: int,
+                           n_ops: int) -> int:
+    """Run one pinned-seed workload against ``store``; returns op count."""
+    if workload == "wikipedia":
+        from repro.workloads.wikipedia import WikipediaCorpus
+
+        corpus = WikipediaCorpus(n_articles=40, seed=seed)
+        for article in corpus.articles:
+            store.put(article.title, corpus.content(article))
+        sample = corpus.view_sampler(seed=seed + 1)
+        for i in range(n_ops):
+            article = sample()
+            if i % 10 == 9:
+                store.replace(article.title, corpus.content(article))
+            else:
+                store.get(article.title)
+        return n_ops
+    from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+
+    payload = 100 * 1024 if workload == "ycsb-blob" else 4096
+    generator = YcsbWorkload(YcsbConfig(
+        n_records=16, payload=payload, read_ratio=0.5, seed=seed))
+    for key, data in generator.load_phase():
+        store.put(key, data)
+    for op, key, data in generator.operations(n_ops):
+        if op == "read":
+            store.get(key)
+        else:
+            store.replace(key, data)
+    return n_ops
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    from repro import obs
+    from repro.bench.adapters import make_store
+
+    store = make_store("our", capacity_bytes=1 << 30,
+                       buffer_bytes=256 << 20)
+    tracer = obs.attach(store.model, max_events=args.max_events)
+    _drive_traced_workload(store, args.workload, args.seed, args.ops)
+    trace_json = obs.to_chrome_trace(
+        tracer, label=f"{args.workload}-seed{args.seed}")
+    if args.out == "-":
+        print(trace_json)
+    else:
+        with open(args.out, "w", encoding="utf-8") as fh:
+            fh.write(trace_json)
+            fh.write("\n")
+        print(f"wrote {args.out} ({len(tracer.events)} events, "
+              f"{tracer.dropped_events} dropped)", file=sys.stderr)
+    if args.flamegraph:
+        with open(args.flamegraph, "w", encoding="utf-8") as fh:
+            fh.write(obs.to_collapsed_stacks(tracer))
+        print(f"wrote {args.flamegraph}", file=sys.stderr)
+    if args.summary:
+        print(obs.format_span_summary(tracer), file=sys.stderr)
+    return 0
+
+
+def _cmd_bench(args: argparse.Namespace) -> int:
+    from repro.bench import baseline
+
+    doc = baseline.run_suite(args.label)
+    out = args.out or f"BENCH_{args.label}.json"
+    baseline.write_baseline(out, doc)
+    print(baseline.format_report(doc))
+    print(f"wrote {out}")
+    if args.compare:
+        base = baseline.load_baseline(args.compare)
+        regressions, notes = baseline.compare(base, doc,
+                                              tolerance=args.tolerance)
+        for note in notes:
+            print(f"note: {note}")
+        if regressions:
+            for line in regressions:
+                print(line, file=sys.stderr)
+            print(f"FAILED: {len(regressions)} perf regression(s) vs "
+                  f"{args.compare}", file=sys.stderr)
+            return 1
+        print(f"regression gate OK vs {args.compare} "
+              f"(tolerance {args.tolerance:.0%})")
     return 0
 
 
@@ -129,9 +262,13 @@ def main(argv: list[str] | None = None) -> int:
     demo.add_argument("--records", type=int, default=24)
     demo.add_argument("--all", action="store_true",
                       help="include every system (slower)")
+    demo.add_argument("--json", action="store_true",
+                      help="machine-readable output")
     demo.set_defaults(func=_cmd_demo)
 
     survey = sub.add_parser("survey", help="measured Table I design survey")
+    survey.add_argument("--json", action="store_true",
+                        help="machine-readable output")
     survey.set_defaults(func=_cmd_survey)
 
     figures = sub.add_parser("figures",
@@ -142,7 +279,34 @@ def main(argv: list[str] | None = None) -> int:
                            help="seeded fault-injection sweep")
     sweep.add_argument("--schedules", type=int, default=200)
     sweep.add_argument("--seed", type=int, default=0)
+    sweep.add_argument("--json", action="store_true",
+                       help="machine-readable output")
     sweep.set_defaults(func=_cmd_faultsweep)
+
+    trace = sub.add_parser(
+        "trace", help="record a deterministic Chrome trace of a workload")
+    trace.add_argument("workload", choices=TRACE_WORKLOADS)
+    trace.add_argument("--seed", type=int, default=0)
+    trace.add_argument("--ops", type=int, default=120)
+    trace.add_argument("--out", default="-",
+                       help="Chrome trace JSON path ('-' for stdout)")
+    trace.add_argument("--flamegraph", metavar="PATH",
+                       help="also write collapsed-stack flamegraph text")
+    trace.add_argument("--summary", action="store_true",
+                       help="print a span-time summary to stderr")
+    trace.add_argument("--max-events", type=int, default=500_000)
+    trace.set_defaults(func=_cmd_trace)
+
+    bench = sub.add_parser(
+        "bench", help="deterministic benchmark baseline + regression gate")
+    bench.add_argument("--label", default="local")
+    bench.add_argument("--out", default=None,
+                       help="output path (default BENCH_<label>.json)")
+    bench.add_argument("--compare", metavar="BASELINE",
+                       help="gate against this BENCH_*.json; exit 1 on "
+                            ">tolerance regression")
+    bench.add_argument("--tolerance", type=float, default=0.10)
+    bench.set_defaults(func=_cmd_bench)
 
     info = sub.add_parser("info", help="version and configuration")
     info.set_defaults(func=_cmd_info)

@@ -1,0 +1,237 @@
+"""Pinned-seed benchmark baseline suite and the perf-regression gate.
+
+``run_suite`` executes a small, fully deterministic benchmark suite —
+YCSB at two payload sizes plus the synthetic Wikipedia corpus — on the
+paper's engine and distills each workload into the numbers a perf PR is
+judged by: virtual-time throughput, per-op latency quantiles, write
+amplification by category, WAL flush/checkpoint counts, and buffer-pool
+behaviour.  Because every quantity derives from the virtual clock and
+seeded RNGs, two runs of the same code produce *identical* JSON — a perf
+change shows up as a diff, noise cannot.
+
+``compare`` is the gate: given a committed ``BENCH_<label>.json``
+baseline and a fresh run, it fails on any >10 % regression in
+throughput, p99 latency, or write amplification.  CI runs it against
+``benchmarks/BENCH_seed.json``; refresh the baseline in the same PR as
+an intentional perf change.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.metrics import Histogram
+from repro.sim.clock import Stopwatch
+
+#: Bump when the suite's workloads change incompatibly; the gate refuses
+#: to compare across versions instead of reporting phantom regressions.
+SUITE_VERSION = 1
+
+#: Relative slack of the regression gate (10 %).
+DEFAULT_TOLERANCE = 0.10
+
+#: Metrics the gate checks: (json key path, direction, human name).
+#: ``direction`` +1 means higher-is-better, -1 means lower-is-better.
+GATED_METRICS = (
+    (("throughput_ops_s",), +1, "throughput"),
+    (("latency_us", "p99"), -1, "p99 latency"),
+    (("write_amplification",), -1, "write amplification"),
+)
+
+
+def _engine_store():
+    from repro.bench.adapters import make_store
+    return make_store("our", capacity_bytes=1 << 30,
+                      buffer_bytes=256 << 20)
+
+
+def _workload_result(store, ops: int, elapsed_ns: int, latency: Histogram,
+                     payload_bytes: int) -> dict:
+    """Distill one finished workload run into the gated JSON shape."""
+    db = store.db
+    device = db.device
+    report = db.stats_report()
+    written = device.stats.bytes_written
+    lat = latency.summary()
+    return {
+        "ops": ops,
+        "elapsed_virtual_ms": round(elapsed_ns / 1e6, 3),
+        "throughput_ops_s": round(ops * 1e9 / elapsed_ns, 1)
+        if elapsed_ns else 0.0,
+        "latency_us": {
+            "mean": round(lat["mean"] / 1000, 1),
+            "p50": round(lat["p50"] / 1000, 1),
+            "p95": round(lat["p95"] / 1000, 1),
+            "p99": round(lat["p99"] / 1000, 1),
+            "max": round(lat["max"] / 1000, 1),
+        },
+        "payload_bytes": payload_bytes,
+        "write_amplification": round(written / payload_bytes, 4)
+        if payload_bytes else 0.0,
+        "bytes_written_by_category": {
+            k: v for k, v in sorted(
+                device.stats.bytes_written_by_category.items()) if v},
+        "wal": {
+            "records": report.wal_records,
+            "sync_flushes": report.wal_synchronous_flushes,
+            "checkpoints": report.checkpoints_taken,
+        },
+        "pool": {
+            "hit_ratio": round(report.pool_hit_ratio, 4),
+            "evictions": report.pool_evictions,
+        },
+    }
+
+
+def _run_ycsb(payload: int, n_records: int, n_ops: int, seed: int) -> dict:
+    from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+
+    store = _engine_store()
+    config = YcsbConfig(n_records=n_records, payload=payload,
+                        read_ratio=0.5, seed=seed)
+    workload = YcsbWorkload(config)
+    clock = store.model.clock
+    latency = Histogram("op_ns")
+    payload_bytes = 0
+    for key, data in workload.load_phase():
+        store.put(key, data)
+        payload_bytes += len(data)
+    start_ns = clock.now_ns
+    ops = 0
+    for op, key, data in workload.operations(n_ops):
+        with Stopwatch(clock) as sw:
+            if op == "read":
+                got = store.get(key)
+                assert got, "empty read"
+            else:
+                store.replace(key, data)
+                payload_bytes += len(data)
+        latency.observe(sw.elapsed_ns)
+        ops += 1
+    return _workload_result(store, ops, clock.now_ns - start_ns, latency,
+                            payload_bytes)
+
+
+def _run_wikipedia(n_articles: int, n_ops: int, seed: int) -> dict:
+    from repro.workloads.wikipedia import WikipediaCorpus
+
+    store = _engine_store()
+    corpus = WikipediaCorpus(n_articles=n_articles, seed=seed)
+    clock = store.model.clock
+    latency = Histogram("op_ns")
+    payload_bytes = 0
+    for article in corpus.articles:
+        content = corpus.content(article)
+        store.put(article.title, content)
+        payload_bytes += len(content)
+    sample = corpus.view_sampler(seed=seed + 1)
+    start_ns = clock.now_ns
+    ops = 0
+    for i in range(n_ops):
+        article = sample()
+        with Stopwatch(clock) as sw:
+            if i % 10 == 9:  # 10 % hot-article rewrites
+                content = corpus.content(article)
+                store.replace(article.title, content)
+                payload_bytes += len(content)
+            else:
+                got = store.get(article.title)
+                assert len(got) == article.size
+        latency.observe(sw.elapsed_ns)
+        ops += 1
+    return _workload_result(store, ops, clock.now_ns - start_ns, latency,
+                            payload_bytes)
+
+
+def run_suite(label: str = "local") -> dict:
+    """Run the pinned-seed suite; returns the JSON-ready document."""
+    return {
+        "label": label,
+        "suite_version": SUITE_VERSION,
+        "workloads": {
+            # 4 KB rows: the small-object regime (Fig. 5 territory).
+            "ycsb_4k": _run_ycsb(payload=4096, n_records=32, n_ops=240,
+                                 seed=0),
+            # 100 KB BLOBs: the paper's mid-size regime (Fig. 6).
+            "ycsb_100k": _run_ycsb(payload=100 * 1024, n_records=12,
+                                   n_ops=60, seed=0),
+            # Wikipedia: realistic size distribution + Zipf popularity.
+            "wikipedia": _run_wikipedia(n_articles=100, n_ops=150, seed=7),
+        },
+    }
+
+
+def render(doc: dict) -> str:
+    """Canonical byte-stable serialization of a suite document."""
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"
+
+
+def write_baseline(path: str, doc: dict) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(render(doc))
+
+
+def load_baseline(path: str) -> dict:
+    with open(path, "r", encoding="utf-8") as fh:
+        return json.load(fh)
+
+
+def _lookup(result: dict, path: tuple[str, ...]) -> float:
+    value = result
+    for part in path:
+        value = value[part]
+    return float(value)
+
+
+def compare(baseline: dict, current: dict,
+            tolerance: float = DEFAULT_TOLERANCE) \
+        -> tuple[list[str], list[str]]:
+    """Gate a fresh suite run against a committed baseline.
+
+    Returns ``(regressions, notes)``.  A non-empty ``regressions`` list
+    means the gate fails: some workload lost more than ``tolerance`` on
+    a gated metric.  ``notes`` records improvements and skipped
+    workloads (informational only).
+    """
+    regressions: list[str] = []
+    notes: list[str] = []
+    if baseline.get("suite_version") != current.get("suite_version"):
+        regressions.append(
+            f"suite version mismatch: baseline "
+            f"v{baseline.get('suite_version')} vs current "
+            f"v{current.get('suite_version')} — refresh the baseline")
+        return regressions, notes
+    base_wl = baseline.get("workloads", {})
+    cur_wl = current.get("workloads", {})
+    for name in sorted(base_wl):
+        if name not in cur_wl:
+            regressions.append(f"{name}: missing from current run")
+            continue
+        for path, direction, title in GATED_METRICS:
+            base = _lookup(base_wl[name], path)
+            cur = _lookup(cur_wl[name], path)
+            if base <= 0:
+                continue
+            change = (cur - base) / base
+            worse = -change if direction > 0 else change
+            detail = (f"{name}: {title} {base:g} -> {cur:g} "
+                      f"({change:+.1%})")
+            if worse > tolerance:
+                regressions.append("REGRESSION " + detail)
+            elif worse < -tolerance:
+                notes.append("improvement " + detail)
+    for name in sorted(set(cur_wl) - set(base_wl)):
+        notes.append(f"{name}: new workload (no baseline)")
+    return regressions, notes
+
+
+def format_report(doc: dict) -> str:
+    """Human-readable one-line-per-workload summary."""
+    lines = [f"bench suite v{doc['suite_version']} [{doc['label']}]"]
+    for name, wl in sorted(doc["workloads"].items()):
+        lines.append(
+            f"  {name:<10} {wl['ops']:>5} ops  "
+            f"{wl['throughput_ops_s']:>12.1f} op/s  "
+            f"p99 {wl['latency_us']['p99']:>10.1f} us  "
+            f"WA {wl['write_amplification']:.2f}x")
+    return "\n".join(lines)

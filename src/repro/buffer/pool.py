@@ -128,18 +128,32 @@ class BufferPoolBase:
                 missing.append((pid, npages))
             else:
                 self.stats.hits += 1
+        obs = self.model.obs
+        if obs is not None:
+            obs.count("pool.hits", len(ranges) - len(missing))
+            obs.count("pool.misses", len(missing))
         if missing:
-            self._make_room(sum(n for _, n in missing))
-            requests = [IoRequest(pid=pid, npages=n) for pid, n in missing]
-            self.model.syscall("io_submit")
-            payloads = self._device_call(lambda: self.device.submit(requests))
-            for (pid, npages), payload in zip(missing, payloads):
-                frame = ExtentFrame(head_pid=pid, npages=npages,
-                                    page_size=self.device.page_size,
-                                    data=bytearray(payload))
-                self._frames[pid] = frame
-                self._used_pages += npages
-                self._max_extent_pages = max(self._max_extent_pages, npages)
+            if obs is not None:
+                obs.begin("pool.load")
+            try:
+                self._make_room(sum(n for _, n in missing))
+                requests = [IoRequest(pid=pid, npages=n)
+                            for pid, n in missing]
+                self.model.syscall("io_submit")
+                payloads = self._device_call(
+                    lambda: self.device.submit(requests))
+                for (pid, npages), payload in zip(missing, payloads):
+                    frame = ExtentFrame(head_pid=pid, npages=npages,
+                                        page_size=self.device.page_size,
+                                        data=bytearray(payload))
+                    self._frames[pid] = frame
+                    self._used_pages += npages
+                    self._max_extent_pages = max(self._max_extent_pages,
+                                                 npages)
+            finally:
+                if obs is not None:
+                    obs.end(extents=len(missing),
+                            pages=sum(n for _, n in missing))
         frames = []
         for pid, _ in ranges:
             frame = self._frames[pid]
@@ -167,8 +181,17 @@ class BufferPoolBase:
         if not frame.is_dirty:
             return 0
         payload = frame.dirty_slice()
-        self._device_call(lambda: self.device.write(
-            frame.head_pid + frame.dirty_from, payload, category=category))
+        obs = self.model.obs
+        if obs is not None:
+            obs.begin("pool.writeback")
+        try:
+            self._device_call(lambda: self.device.write(
+                frame.head_pid + frame.dirty_from, payload,
+                category=category))
+        finally:
+            if obs is not None:
+                obs.end(pid=frame.head_pid, bytes=len(payload))
+                obs.count("pool.writebacks")
         frame.clean()
         self.stats.writebacks += 1
         return len(payload)
@@ -193,10 +216,20 @@ class BufferPoolBase:
             frame.clean()
             self.stats.writebacks += 1
         if requests:
-            if not background:
-                self.model.syscall("io_submit")
-            self._device_call(
-                lambda: self.device.submit(requests, background=background))
+            obs = self.model.obs
+            if obs is not None:
+                obs.begin("pool.flush_batch")
+            try:
+                if not background:
+                    self.model.syscall("io_submit")
+                self._device_call(
+                    lambda: self.device.submit(requests,
+                                               background=background))
+            finally:
+                if obs is not None:
+                    obs.end(extents=len(requests), bytes=total,
+                            background=background)
+                    obs.count("pool.writebacks", len(requests))
         return total
 
     def flush_all_dirty(self, category: str = "data",
@@ -248,6 +281,11 @@ class BufferPoolBase:
                 accept = True
             if not accept:
                 continue
+            obs = self.model.obs
+            if obs is not None:
+                obs.instant("pool.evict", pid=frame.head_pid,
+                            npages=frame.npages, dirty=frame.is_dirty)
+                obs.count("pool.evictions")
             if frame.is_dirty:
                 self.write_back(frame)
             del self._frames[frame.head_pid]

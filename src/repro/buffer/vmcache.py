@@ -61,7 +61,10 @@ class VmcachePool(BufferPoolBase):
         pool picks by ``alias_threshold_bytes``.
         """
         frames = self.fetch_extents(ranges, pin=True)
+        obs = self.model.obs
         if len(frames) > 1 and size < self.alias_threshold_bytes:
+            if obs is not None:
+                obs.count("pool.materialize", mode="copy")
             self.model.malloc(size)
             self.model.memcpy(size)
             data = b"".join(bytes(f.data) for f in frames)[:size]
@@ -70,6 +73,8 @@ class VmcachePool(BufferPoolBase):
                             materialized=data)
         handle = None
         if len(frames) > 1:
+            if obs is not None:
+                obs.count("pool.materialize", mode="alias")
             total_pages = sum(f.npages for f in frames)
             handle = self.aliasing.acquire(worker_id, total_pages)
 

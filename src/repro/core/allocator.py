@@ -42,12 +42,15 @@ class ExtentAllocator:
     """Bump allocator over a page range plus per-tier free lists."""
 
     def __init__(self, tiers: TierTable, first_pid: int,
-                 capacity_pages: int) -> None:
+                 capacity_pages: int, model=None) -> None:
         if capacity_pages <= 0:
             raise ValueError("capacity must be positive")
         self.tiers = tiers
         self.first_pid = first_pid
         self.capacity_pages = capacity_pages
+        #: Optional CostModel; only its ``obs`` tracer is consulted, so
+        #: allocation decisions can be traced (extent reuse vs fresh).
+        self.model = model
         self._next_pid = first_pid
         self._free: dict[int, list[int]] = defaultdict(list)       # tier -> pids
         self._free_tails: dict[int, list[int]] = defaultdict(list)  # npages -> pids
@@ -66,6 +69,8 @@ class ExtentAllocator:
         return (self._next_pid - self.first_pid) - self._free_pages
 
     def utilization(self) -> float:
+        if not self.capacity_pages:
+            return 0.0
         return self.allocated_pages / self.capacity_pages
 
     def _bump(self, npages: int) -> int:
@@ -86,9 +91,16 @@ class ExtentAllocator:
             pid = free.pop()
             self._free_pages -= npages
             self.stats.reused_extents += 1
+            reused = True
         else:
             pid = self._bump(npages)
             self.stats.fresh_extents += 1
+            reused = False
+        obs = self.model.obs if self.model is not None else None
+        if obs is not None:
+            obs.instant("alloc.extent", tier=tier_index, pid=pid,
+                        npages=npages, reused=reused)
+            obs.count("alloc.extents", kind="reused" if reused else "fresh")
         return Extent(pid=pid, npages=npages, tier_index=tier_index)
 
     def allocate_tail(self, npages: int) -> TailExtent:
@@ -100,9 +112,15 @@ class ExtentAllocator:
             pid = free.pop()
             self._free_pages -= npages
             self.stats.reused_extents += 1
+            reused = True
         else:
             pid = self._bump(npages)
             self.stats.fresh_extents += 1
+            reused = False
+        obs = self.model.obs if self.model is not None else None
+        if obs is not None:
+            obs.instant("alloc.tail", pid=pid, npages=npages, reused=reused)
+            obs.count("alloc.extents", kind="reused" if reused else "fresh")
         return TailExtent(pid=pid, npages=npages)
 
     def allocate_plan(self, plan: AllocationPlan) \
@@ -124,6 +142,8 @@ class ExtentAllocator:
             self._free[extent.tier_index].append(extent.pid)
             self._free_pages += extent.npages
             self.stats.freed_extents += 1
+        if extents and self.model is not None and self.model.obs is not None:
+            self.model.obs.count("alloc.freed", len(extents))
 
     def free_tail(self, tail: TailExtent) -> None:
         self._free_tails[tail.npages].append(tail.pid)

@@ -80,8 +80,29 @@ def recover_state(device: SimulatedNVMe, config: EngineConfig,
                   model: CostModel, tiers: TierTable,
                   retry=None) -> RecoveredState:
     """Run the full recovery pipeline against a crashed device."""
+    obs = model.obs
+    if obs is None:
+        return _recover_state_body(device, config, model, tiers, retry)
+    obs.begin("recovery")
+    try:
+        return _recover_state_body(device, config, model, tiers, retry)
+    finally:
+        obs.end()
+
+
+def _recover_state_body(device: SimulatedNVMe, config: EngineConfig,
+                        model: CostModel, tiers: TierTable,
+                        retry=None) -> RecoveredState:
+    obs = model.obs
     state = RecoveredState(allocator_next_pid=config.data_start_pid)
-    snapshot = _load_snapshot(device, config, retry)
+    snapshot = None
+    if obs is not None:
+        obs.begin("recovery.snapshot")
+    try:
+        snapshot = _load_snapshot(device, config, retry)
+    finally:
+        if obs is not None:
+            obs.end(found=snapshot is not None)
     if snapshot is not None:
         state.checkpoint_id = snapshot.checkpoint_id
         state.next_txn_id = snapshot.next_txn_id
@@ -93,7 +114,14 @@ def recover_state(device: SimulatedNVMe, config: EngineConfig,
         for name, rows in snapshot.tables.items():
             state.tables[name] = {k: decode_value(v) for k, v in rows}
 
-    records = _read_wal(device, config, state, retry)
+    if obs is not None:
+        obs.begin("recovery.wal_scan")
+    try:
+        records = _read_wal(device, config, state, retry)
+    finally:
+        if obs is not None:
+            obs.end(corrupt_pages=state.wal_corrupt_pages,
+                    truncated=state.wal_records_truncated)
     committed, aborted, seen_txns = _analyze_outcomes(records)
     if seen_txns:
         state.next_txn_id = max(state.next_txn_id, max(seen_txns) + 1)
@@ -120,6 +148,45 @@ def recover_state(device: SimulatedNVMe, config: EngineConfig,
     #: writing one early would poison fallback validation if its
     #: transaction is later failed by a *different* key.
     overlays: dict[tuple[str, bytes], tuple[int, dict]] = {}
+    if obs is not None:
+        obs.begin("recovery.analysis")
+    try:
+        _analysis_fixpoint(device, model, tiers, config, records, committed,
+                           failed, repaired, verified, quarantined, overlays,
+                           snapshot_tables, state, retry)
+    finally:
+        if obs is not None:
+            obs.end(failed_txns=len(failed), quarantined=len(quarantined),
+                    repaired=len(overlays))
+    state.failed_txns = sorted(failed)
+    state.quarantined = sorted(quarantined)
+    valid = committed - failed
+
+    # Fixpoint settled: commit the overlays of still-valid live owners.
+    final_live = _compute_live(snapshot_tables, records, valid)
+    for (table, key), (txn_id, overlay) in overlays.items():
+        owner = final_live.get((table, key), (None, None))[0]
+        if owner == txn_id and (txn_id is None or txn_id in valid):
+            state.repaired_keys += 1
+            for pid, image in overlay.items():
+                _io(retry, lambda p=pid, im=image: device.write(
+                    p, bytes(im), category="data"))
+
+    # Logical redo + allocator delta replay, in log order.
+    if obs is not None:
+        obs.begin("recovery.redo")
+    try:
+        _redo_logical(state, records, valid, tiers, config)
+    finally:
+        if obs is not None:
+            obs.end(records=len(records))
+    return state
+
+
+def _analysis_fixpoint(device, model, tiers, config, records, committed,
+                       failed, repaired, verified, quarantined, overlays,
+                       snapshot_tables, state, retry) -> None:
+    """The validate/repair/fail fixpoint of the Analysis phase."""
     while True:
         valid = committed - failed
         live = _compute_live(snapshot_tables, records, valid)
@@ -157,23 +224,6 @@ def recover_state(device: SimulatedNVMe, config: EngineConfig,
         if not newly:
             break
         failed |= newly
-    state.failed_txns = sorted(failed)
-    state.quarantined = sorted(quarantined)
-    valid = committed - failed
-
-    # Fixpoint settled: commit the overlays of still-valid live owners.
-    final_live = _compute_live(snapshot_tables, records, valid)
-    for (table, key), (txn_id, overlay) in overlays.items():
-        owner = final_live.get((table, key), (None, None))[0]
-        if owner == txn_id and (txn_id is None or txn_id in valid):
-            state.repaired_keys += 1
-            for pid, image in overlay.items():
-                _io(retry, lambda p=pid, im=image: device.write(
-                    p, bytes(im), category="data"))
-
-    # Logical redo + allocator delta replay, in log order.
-    _redo_logical(state, records, valid, tiers, config)
-    return state
 
 
 def _load_snapshot(device: SimulatedNVMe, config: EngineConfig,

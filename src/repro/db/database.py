@@ -94,7 +94,8 @@ class BlobDB:
         # The data area spans the device's (possibly logical) page space.
         self.allocator = ExtentAllocator(
             self.tiers, cfg.data_start_pid,
-            self.device.capacity_pages - cfg.data_start_pid)
+            self.device.capacity_pages - cfg.data_start_pid,
+            model=self.model)
         self.wal = WalWriter(self.device, self.model,
                              region_pid=cfg.wal_region_pid,
                              region_pages=cfg.wal_pages,
@@ -205,6 +206,18 @@ class BlobDB:
 
     def commit(self, txn: Transaction) -> None:
         txn.ensure_active()
+        obs = self.model.obs
+        if obs is None:
+            self._commit_body(txn)
+            return
+        obs.begin("txn.commit")
+        try:
+            self._commit_body(txn)
+        finally:
+            obs.end(txn=txn.txn_id)
+            obs.count("txn.commits")
+
+    def _commit_body(self, txn: Transaction) -> None:
         if self._occ:
             self._occ_validate(txn)
         self.policy.on_commit(txn, self.pool)
@@ -247,6 +260,18 @@ class BlobDB:
 
     def abort(self, txn: Transaction) -> None:
         txn.ensure_active()
+        obs = self.model.obs
+        if obs is None:
+            self._abort_body(txn)
+            return
+        obs.begin("txn.abort")
+        try:
+            self._abort_body(txn)
+        finally:
+            obs.end(txn=txn.txn_id)
+            obs.count("txn.aborts")
+
+    def _abort_body(self, txn: Transaction) -> None:
         self._quarantined.update(txn.requarantine)
         # Logical undo, newest first.
         for entry in reversed(txn.undo):
@@ -360,6 +385,17 @@ class BlobDB:
                  data: bytes, use_tail: bool | None = None) -> BlobState:
         """Store ``data`` as a BLOB under ``key`` (Figure 2(b) write path)."""
         txn.ensure_active()
+        obs = self.model.obs
+        if obs is None:
+            return self._put_blob_body(txn, table, key, data, use_tail)
+        obs.begin("db.put_blob")
+        try:
+            return self._put_blob_body(txn, table, key, data, use_tail)
+        finally:
+            obs.end(bytes=len(data))
+
+    def _put_blob_body(self, txn: Transaction, table: str, key: bytes,
+                       data: bytes, use_tail: bool | None) -> BlobState:
         self.locks.acquire(txn.txn_id, table, key, LockMode.EXCLUSIVE)
         tree = self._table(table)
         if tree.lookup(key) is not None:
@@ -411,8 +447,18 @@ class BlobDB:
     def read_blob(self, table: str, key: bytes,
                   txn: Transaction | None = None, worker_id: int = 0) -> bytes:
         """Full content as bytes (one relation lookup + one client copy)."""
-        state = self.get_state(table, key, txn)
-        return self.blobs.read_bytes(state, worker_id=worker_id)
+        obs = self.model.obs
+        if obs is None:
+            state = self.get_state(table, key, txn)
+            return self.blobs.read_bytes(state, worker_id=worker_id)
+        obs.begin("db.read_blob")
+        nbytes = 0
+        try:
+            state = self.get_state(table, key, txn)
+            nbytes = state.size
+            return self.blobs.read_bytes(state, worker_id=worker_id)
+        finally:
+            obs.end(bytes=nbytes)
 
     def read_blob_view(self, table: str, key: bytes,
                        txn: Transaction | None = None,
@@ -433,6 +479,17 @@ class BlobDB:
                     extra: bytes) -> BlobState:
         """Grow a BLOB (Figure 3): resume the hash, touch only new pages."""
         txn.ensure_active()
+        obs = self.model.obs
+        if obs is None:
+            return self._append_blob_body(txn, table, key, extra)
+        obs.begin("db.append_blob")
+        try:
+            return self._append_blob_body(txn, table, key, extra)
+        finally:
+            obs.end(bytes=len(extra))
+
+    def _append_blob_body(self, txn: Transaction, table: str, key: bytes,
+                          extra: bytes) -> BlobState:
         self.locks.acquire(txn.txn_id, table, key, LockMode.EXCLUSIVE)
         old_state = self.get_state(table, key)
         result = self.blobs.grow(old_state, extra)
@@ -461,6 +518,20 @@ class BlobDB:
                           scheme: str = "auto") -> BlobState:
         """Overwrite part of a BLOB via the delta or clone scheme (III-D)."""
         txn.ensure_active()
+        obs = self.model.obs
+        if obs is None:
+            return self._update_blob_range_body(txn, table, key, offset,
+                                                data, scheme)
+        obs.begin("db.update_blob")
+        try:
+            return self._update_blob_range_body(txn, table, key, offset,
+                                                data, scheme)
+        finally:
+            obs.end(offset=offset, bytes=len(data), scheme=scheme)
+
+    def _update_blob_range_body(self, txn: Transaction, table: str,
+                                key: bytes, offset: int, data: bytes,
+                                scheme: str) -> BlobState:
         self.locks.acquire(txn.txn_id, table, key, LockMode.EXCLUSIVE)
         old_state = self.get_state(table, key)
         if scheme in ("auto", "delta"):
@@ -516,6 +587,18 @@ class BlobDB:
     def delete_blob(self, txn: Transaction, table: str, key: bytes) -> None:
         """Delete a BLOB; its extents join the free lists at commit."""
         txn.ensure_active()
+        obs = self.model.obs
+        if obs is None:
+            self._delete_blob_body(txn, table, key)
+            return
+        obs.begin("db.delete_blob")
+        try:
+            self._delete_blob_body(txn, table, key)
+        finally:
+            obs.end()
+
+    def _delete_blob_body(self, txn: Transaction, table: str,
+                          key: bytes) -> None:
         self.locks.acquire(txn.txn_id, table, key, LockMode.EXCLUSIVE)
         # Bypass the quarantine gate: deleting a corrupt BLOB is how an
         # operator clears it, and the Blob State itself is intact.
@@ -576,6 +659,18 @@ class BlobDB:
         self.wal.reset()
 
     def _write_snapshot(self) -> None:
+        obs = self.model.obs
+        if obs is None:
+            self._write_snapshot_body()
+            return
+        obs.begin("db.checkpoint")
+        try:
+            self._write_snapshot_body()
+        finally:
+            obs.end(checkpoint_id=self._checkpoint_id)
+            obs.count("db.checkpoints")
+
+    def _write_snapshot_body(self) -> None:
         # Physlog leaves committed BLOB content dirty in the pool; a
         # checkpoint must push it out (the second write) before the WAL
         # chunks that could redo it are discarded.
@@ -622,6 +717,17 @@ class BlobDB:
         bytes.  All device reads and hashing are charged to the cost
         model: scrubbing is real, priced background work.
         """
+        obs = self.model.obs
+        if obs is None:
+            return self._scrub_body()
+        obs.begin("db.scrub")
+        try:
+            return self._scrub_body()
+        finally:
+            obs.end(blobs=self.scrub_stats.blobs_scanned,
+                    corrupt=self.scrub_stats.corrupt_found)
+
+    def _scrub_body(self) -> ScrubStats:
         from repro.core.hashing import new_hasher
         ps = self.config.page_size
         for table in [_TABLES_TABLE] + self.list_tables():

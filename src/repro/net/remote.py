@@ -132,27 +132,40 @@ class RemoteBlobStore:
     def name(self) -> str:
         return f"our.{self.transport.name}"
 
-    def _exchange(self, op):
+    def _exchange(self, op, name: str = "rpc"):
         """One request/response exchange, with fault drawing and retry.
 
         A drawn network fault loses the request *in flight*: the server
         never executes the operation, so re-issuing it is always safe.
+        Each attempt (including lost/retried ones) is one traced
+        ``net.rpc`` round trip.
         """
         def attempt():
-            if self.fault_plan is not None and \
-                    self.fault_plan.draw_network_fault():
-                raise TransientNetworkError("request lost in flight")
-            return op()
+            obs = self.model.obs
+            if obs is None:
+                return self._attempt_body(op)
+            obs.begin("net.rpc")
+            try:
+                return self._attempt_body(op)
+            finally:
+                obs.end(op=name, transport=self.transport.name)
+                obs.count("net.roundtrips", op=name)
         if self.retry is not None:
             return self.retry.run(attempt)
         return attempt()
+
+    def _attempt_body(self, op):
+        if self.fault_plan is not None and \
+                self.fault_plan.draw_network_fault():
+            raise TransientNetworkError("request lost in flight")
+        return op()
 
     def put(self, key: bytes, data: bytes) -> None:
         def op() -> None:
             self.server.handle_put(key, data)
             self.transport.charge_exchange(self.model,
                                            len(key) + len(data), 16)
-        self._exchange(op)
+        self._exchange(op, "put")
 
     def get(self, key: bytes) -> bytes:
         def op() -> bytes:
@@ -165,20 +178,20 @@ class RemoteBlobStore:
                 # region — exactly one memcpy, like the local path.
                 self.model.memcpy(len(data))
             return data
-        return self._exchange(op)
+        return self._exchange(op, "get")
 
     def stat(self, key: bytes) -> int:
         def op() -> int:
             size = self.server.handle_stat(key)
             self.transport.charge_exchange(self.model, len(key), 16)
             return size
-        return self._exchange(op)
+        return self._exchange(op, "stat")
 
     def delete(self, key: bytes) -> None:
         def op() -> None:
             self.server.handle_delete(key)
             self.transport.charge_exchange(self.model, len(key), 16)
-        self._exchange(op)
+        self._exchange(op, "delete")
 
     def exists(self, key: bytes) -> bool:
         try:

@@ -1,0 +1,42 @@
+"""Deterministic observability: tracing, metrics, and exporters.
+
+The subsystem is opt-in and zero-cost when unused: a
+:class:`~repro.obs.trace.Tracer` attached to a cost model's ``obs``
+attribute activates span/event/metric recording in every instrumented
+layer (transactions, WAL, buffer pool, allocator, device, network,
+recovery); when ``model.obs`` is ``None`` — the default — the hot paths
+skip instrumentation without allocating anything.
+
+See ``docs/observability.md`` for the span taxonomy and trace-reading
+guide, and ``python -m repro trace`` for the CLI entry point.
+"""
+
+from repro.obs.export import (
+    format_span_summary,
+    to_chrome_trace,
+    to_collapsed_stacks,
+)
+from repro.obs.metrics import Counter, Histogram, MetricsRegistry
+from repro.obs.trace import TraceEvent, Tracer
+
+__all__ = [
+    "Counter",
+    "Histogram",
+    "MetricsRegistry",
+    "TraceEvent",
+    "Tracer",
+    "format_span_summary",
+    "to_chrome_trace",
+    "to_collapsed_stacks",
+]
+
+
+def attach(model, *, capture: bool = True,
+           max_events: int = 500_000) -> Tracer:
+    """Create a :class:`Tracer` on ``model``'s clock and attach it.
+
+    Returns the tracer; detach by setting ``model.obs = None``.
+    """
+    tracer = Tracer(model.clock, capture=capture, max_events=max_events)
+    model.obs = tracer
+    return tracer

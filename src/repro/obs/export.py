@@ -1,0 +1,95 @@
+"""Trace exporters: Chrome ``trace_event`` JSON and collapsed stacks.
+
+Both formats are emitted deterministically — sorted keys, stable event
+order, integer-nanosecond timestamps scaled to microseconds — so two
+runs of the same seeded workload export *byte-identical* artifacts.
+
+* :func:`to_chrome_trace` produces the Trace Event Format consumed by
+  ``about:tracing``, Perfetto (https://ui.perfetto.dev), and
+  ``chrome://tracing``: complete ("X") events for spans, instant ("i")
+  events for point records, all on one pid/tid since the engine's
+  virtual clock is single-threaded.
+* :func:`to_collapsed_stacks` produces Brendan Gregg's collapsed-stack
+  text format (``a;b;c <value>``), aggregating each span path's
+  *exclusive* virtual nanoseconds — pipe it into ``flamegraph.pl`` or
+  paste into https://www.speedscope.app.
+"""
+
+from __future__ import annotations
+
+import json
+
+from repro.obs.trace import Tracer
+
+
+def chrome_trace_events(tracer: Tracer) -> list[dict]:
+    """The ``traceEvents`` list, in recording order."""
+    events = []
+    for ev in tracer.events:
+        cat = ev.name.split(".", 1)[0]
+        entry: dict = {
+            "name": ev.name,
+            "cat": cat,
+            "pid": 1,
+            "tid": 1,
+            "ts": ev.ts_ns / 1000.0,
+        }
+        if ev.dur_ns is None:
+            entry["ph"] = "i"
+            entry["s"] = "t"
+        else:
+            entry["ph"] = "X"
+            entry["dur"] = ev.dur_ns / 1000.0
+        if ev.args:
+            entry["args"] = {k: ev.args[k] for k in sorted(ev.args)}
+        events.append(entry)
+    return events
+
+
+def to_chrome_trace(tracer: Tracer, label: str = "repro") -> str:
+    """Serialize the trace as Chrome Trace Event Format JSON."""
+    doc = {
+        "displayTimeUnit": "ms",
+        "otherData": {
+            "clock": "virtual-ns",
+            "dropped_events": tracer.dropped_events,
+            "label": label,
+        },
+        "metrics": tracer.metrics.as_dict(),
+        "traceEvents": chrome_trace_events(tracer),
+    }
+    return json.dumps(doc, sort_keys=True, separators=(",", ":"))
+
+
+def to_collapsed_stacks(tracer: Tracer) -> str:
+    """Aggregate exclusive span time by stack path (flamegraph input).
+
+    Instant events carry no duration and are skipped.  Lines are sorted
+    lexicographically for byte-stable output; values are integer virtual
+    nanoseconds.
+    """
+    weights: dict[str, int] = {}
+    for ev in tracer.events:
+        if ev.dur_ns is None:
+            continue
+        weights[ev.path] = weights.get(ev.path, 0) + ev.self_ns
+    lines = [f"{path} {weights[path]}" for path in sorted(weights)]
+    return "\n".join(lines) + ("\n" if lines else "")
+
+
+def format_span_summary(tracer: Tracer, top: int = 20) -> str:
+    """Human-readable table of where virtual time went, by span name."""
+    totals = tracer.span_totals()
+    if not totals:
+        return "(no spans recorded)"
+    rows = sorted(totals.items(),
+                  key=lambda kv: (-kv[1]["self_ns"], kv[0]))[:top]
+    name_w = max(len(name) for name, _ in rows)
+    lines = [f"{'span':<{name_w}}  {'calls':>8}  {'total_us':>12}  "
+             f"{'self_us':>12}"]
+    for name, agg in rows:
+        lines.append(
+            f"{name:<{name_w}}  {agg['calls']:>8}  "
+            f"{agg['total_ns'] / 1000:>12.1f}  "
+            f"{agg['self_ns'] / 1000:>12.1f}")
+    return "\n".join(lines)

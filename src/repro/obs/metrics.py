@@ -1,0 +1,170 @@
+"""Deterministic metrics: labelled counters and fixed-bucket histograms.
+
+Everything here is driven by *virtual* quantities (simulated nanoseconds,
+byte counts), so two runs of the same seeded workload produce identical
+registries — metric output is part of the reproducibility surface, like
+the fault-sweep digest.
+
+Histograms use fixed geometric bucket boundaries shared by every
+instance, so summaries (p50/p95/p99) are stable across runs and across
+code that merely *reads* them: percentile estimation never depends on
+insertion order or float accumulation quirks.
+"""
+
+from __future__ import annotations
+
+#: Default histogram boundaries: powers of two from 128 ns to ~17.6 s.
+#: Wide enough for a single vmcache translation (25 ns rounds into the
+#: first bucket) and for multi-second recovery phases.
+DEFAULT_BUCKET_BOUNDS: tuple[int, ...] = tuple(
+    1 << e for e in range(7, 35))
+
+
+def _label_key(labels: dict[str, object]) -> tuple:
+    """Canonical hashable form of a label set (sorted by label name)."""
+    return tuple(sorted(labels.items()))
+
+
+class Counter:
+    """A monotonically increasing counter with optional labels.
+
+    ``add(n, category="wal")`` and ``add(n, category="data")`` accumulate
+    under distinct label sets; ``total()`` sums across all of them.
+    """
+
+    __slots__ = ("name", "values")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.values: dict[tuple, int] = {}
+
+    def add(self, value: int = 1, **labels: object) -> None:
+        key = _label_key(labels)
+        self.values[key] = self.values.get(key, 0) + value
+
+    def total(self) -> int:
+        return sum(self.values.values())
+
+    def get(self, **labels: object) -> int:
+        return self.values.get(_label_key(labels), 0)
+
+    def as_dict(self) -> dict[str, int]:
+        """Stable rendering: ``{"k=v,k2=v2": value}`` sorted by label."""
+        out = {}
+        for key in sorted(self.values):
+            label = ",".join(f"{k}={v}" for k, v in key) or "_"
+            out[label] = self.values[key]
+        return out
+
+
+class Histogram:
+    """Fixed-bucket latency/size histogram with deterministic quantiles.
+
+    Values land in the first bucket whose upper bound is >= the value;
+    anything beyond the last bound goes to the overflow bucket.  The
+    quantile estimate is the upper bound of the bucket holding the
+    target rank, clamped to the observed min/max — coarse, but exactly
+    reproducible and monotone in the data.
+    """
+
+    __slots__ = ("name", "bounds", "counts", "overflow", "count", "sum",
+                 "min", "max")
+
+    def __init__(self, name: str,
+                 bounds: tuple[int, ...] = DEFAULT_BUCKET_BOUNDS) -> None:
+        self.name = name
+        self.bounds = bounds
+        self.counts = [0] * len(bounds)
+        self.overflow = 0
+        self.count = 0
+        self.sum = 0
+        self.min = 0
+        self.max = 0
+
+    def observe(self, value: float) -> None:
+        value = int(value)
+        if self.count == 0:
+            self.min = self.max = value
+        else:
+            if value < self.min:
+                self.min = value
+            if value > self.max:
+                self.max = value
+        self.count += 1
+        self.sum += value
+        lo, hi = 0, len(self.bounds)
+        while lo < hi:  # first bucket with bound >= value
+            mid = (lo + hi) // 2
+            if self.bounds[mid] >= value:
+                hi = mid
+            else:
+                lo = mid + 1
+        if lo < len(self.bounds):
+            self.counts[lo] += 1
+        else:
+            self.overflow += 1
+
+    @property
+    def mean(self) -> float:
+        return self.sum / self.count if self.count else 0.0
+
+    def percentile(self, q: float) -> int:
+        """Deterministic quantile estimate; ``q`` in [0, 1]."""
+        if not 0.0 <= q <= 1.0:
+            raise ValueError("q must be in [0, 1]")
+        if self.count == 0:
+            return 0
+        if q == 0.0:
+            return self.min
+        target = q * self.count
+        cum = 0
+        for bound, n in zip(self.bounds, self.counts):
+            cum += n
+            if cum >= target and n:
+                return max(self.min, min(bound, self.max))
+        return self.max
+
+    def summary(self) -> dict[str, float]:
+        return {
+            "count": self.count,
+            "sum": self.sum,
+            "min": self.min,
+            "max": self.max,
+            "mean": round(self.mean, 3),
+            "p50": self.percentile(0.50),
+            "p95": self.percentile(0.95),
+            "p99": self.percentile(0.99),
+        }
+
+
+class MetricsRegistry:
+    """Owns every counter and histogram of one observability session."""
+
+    __slots__ = ("counters", "histograms")
+
+    def __init__(self) -> None:
+        self.counters: dict[str, Counter] = {}
+        self.histograms: dict[str, Histogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        c = self.counters.get(name)
+        if c is None:
+            c = self.counters[name] = Counter(name)
+        return c
+
+    def histogram(self, name: str,
+                  bounds: tuple[int, ...] = DEFAULT_BUCKET_BOUNDS) \
+            -> Histogram:
+        h = self.histograms.get(name)
+        if h is None:
+            h = self.histograms[name] = Histogram(name, bounds)
+        return h
+
+    def as_dict(self) -> dict:
+        """Plain-data snapshot with stable key order (JSON-ready)."""
+        return {
+            "counters": {name: self.counters[name].as_dict()
+                         for name in sorted(self.counters)},
+            "histograms": {name: self.histograms[name].summary()
+                           for name in sorted(self.histograms)},
+        }

@@ -1,0 +1,166 @@
+"""Zero-wall-clock tracer: nested spans and point events in virtual time.
+
+A :class:`Tracer` timestamps everything from the engine's
+:class:`~repro.sim.clock.VirtualClock`, so a trace is a pure function of
+the workload and seed — two runs produce byte-identical exports.  It is
+attached to a :class:`~repro.sim.cost.CostModel` via ``model.obs``; every
+instrumented layer reads that attribute and does nothing when it is
+``None``, so the uninstrumented fast path stays allocation-free:
+
+    obs = self.model.obs
+    if obs is not None:
+        obs.begin("wal.flush")
+    try:
+        ...  # priced work
+    finally:
+        if obs is not None:
+            obs.end(bytes=nbytes)
+
+Span durations feed ``span.<name>`` histograms in the attached
+:class:`~repro.obs.metrics.MetricsRegistry` even when event capture is
+off (``capture=False``), which is how the bench harness collects p99
+latencies without paying trace memory.
+"""
+
+from __future__ import annotations
+
+from repro.obs.metrics import MetricsRegistry
+
+#: Shared empty-args singleton so argless spans allocate no dict.
+_NO_ARGS: dict = {}
+
+
+class TraceEvent:
+    """One recorded span or instant, in virtual nanoseconds.
+
+    ``dur_ns`` is ``None`` for instant events.  ``path`` is the
+    semicolon-joined span stack (ending with ``name``) captured at
+    recording time — the unit of flamegraph aggregation.  ``self_ns`` is
+    the span's exclusive time (duration minus traced children).
+    """
+
+    __slots__ = ("ts_ns", "dur_ns", "name", "path", "args", "self_ns")
+
+    def __init__(self, ts_ns: int, dur_ns: int | None, name: str,
+                 path: str, args: dict, self_ns: int = 0) -> None:
+        self.ts_ns = ts_ns
+        self.dur_ns = dur_ns
+        self.name = name
+        self.path = path
+        self.args = args
+        self.self_ns = self_ns
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"TraceEvent({self.name!r}, ts={self.ts_ns}, "
+                f"dur={self.dur_ns})")
+
+
+class _SpanContext:
+    """``with obs.span("name"):`` sugar over :meth:`begin`/:meth:`end`."""
+
+    __slots__ = ("_tracer", "_name", "_args")
+
+    def __init__(self, tracer: "Tracer", name: str, args: dict) -> None:
+        self._tracer = tracer
+        self._name = name
+        self._args = args
+
+    def __enter__(self) -> "_SpanContext":
+        self._tracer.begin(self._name)
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self._tracer.end(**self._args)
+
+
+class Tracer:
+    """Records spans, instants, and metrics against a virtual clock."""
+
+    __slots__ = ("clock", "metrics", "capture", "max_events", "events",
+                 "dropped_events", "_stack")
+
+    def __init__(self, clock, *, capture: bool = True,
+                 max_events: int = 500_000,
+                 metrics: MetricsRegistry | None = None) -> None:
+        self.clock = clock
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
+        #: When False, spans still time work and feed histograms, but no
+        #: events are stored (metrics-only mode for long benchmarks).
+        self.capture = capture
+        #: Hard cap on stored events; beyond it events are counted as
+        #: dropped instead of stored, bounding trace memory.
+        self.max_events = max_events
+        self.events: list[TraceEvent] = []
+        self.dropped_events = 0
+        #: Open-span stack: [name, start_ns, child_ns, path] frames.
+        self._stack: list[list] = []
+
+    # -- spans -------------------------------------------------------------
+
+    def begin(self, name: str) -> None:
+        """Open a span; must be closed by exactly one :meth:`end`."""
+        stack = self._stack
+        path = f"{stack[-1][3]};{name}" if stack else name
+        stack.append([name, self.clock.now_ns, 0, path])
+
+    def end(self, **args: object) -> None:
+        """Close the innermost open span, recording its duration."""
+        if not self._stack:
+            raise RuntimeError("Tracer.end() with no open span")
+        name, start_ns, child_ns, path = self._stack.pop()
+        now = self.clock.now_ns
+        dur = now - start_ns
+        if self._stack:
+            self._stack[-1][2] += dur
+        self.metrics.histogram(f"span.{name}").observe(dur)
+        if self.capture:
+            self._record(TraceEvent(start_ns, dur, name, path,
+                                    args if args else _NO_ARGS,
+                                    self_ns=dur - child_ns))
+
+    def span(self, name: str, **args: object) -> _SpanContext:
+        """Context-manager form; ``args`` are attached at span end."""
+        return _SpanContext(self, name, args if args else _NO_ARGS)
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    # -- instants ----------------------------------------------------------
+
+    def instant(self, name: str, **args: object) -> None:
+        """Record a typed point event at the current virtual time."""
+        if self.capture:
+            stack = self._stack
+            path = f"{stack[-1][3]};{name}" if stack else name
+            self._record(TraceEvent(self.clock.now_ns, None, name, path,
+                                    args if args else _NO_ARGS))
+
+    def _record(self, event: TraceEvent) -> None:
+        if len(self.events) < self.max_events:
+            self.events.append(event)
+        else:
+            self.dropped_events += 1
+
+    # -- metrics shortcuts -------------------------------------------------
+
+    def count(self, name: str, value: int = 1, **labels: object) -> None:
+        self.metrics.counter(name).add(value, **labels)
+
+    def observe(self, name: str, value: float) -> None:
+        self.metrics.histogram(name).observe(value)
+
+    # -- summaries ----------------------------------------------------------
+
+    def span_totals(self) -> dict[str, dict[str, int]]:
+        """Aggregate inclusive/exclusive time and call counts per name."""
+        totals: dict[str, dict[str, int]] = {}
+        for ev in self.events:
+            if ev.dur_ns is None:
+                continue
+            agg = totals.setdefault(
+                ev.name, {"calls": 0, "total_ns": 0, "self_ns": 0})
+            agg["calls"] += 1
+            agg["total_ns"] += ev.dur_ns
+            agg["self_ns"] += ev.self_ns
+        return totals

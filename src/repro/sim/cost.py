@@ -196,6 +196,11 @@ class CostModel:
         self.params = params or CostParams()
         self.clock = clock or VirtualClock()
         self.counters = PerfCounters()
+        #: Optional :class:`~repro.obs.trace.Tracer`.  Instrumented
+        #: layers read this attribute and skip all tracing work when it
+        #: is ``None`` (the default), keeping the fast path
+        #: allocation-free.  Attach with :func:`repro.obs.attach`.
+        self.obs = None
         #: Multiplier applied to memory-bandwidth-bound work; a worker
         #: simulation sets this to model DRAM/L3 contention (Fig. 10).
         self.memory_contention = 1.0

@@ -148,9 +148,18 @@ class SimulatedNVMe:
         self.stats.read_requests += 1
         nbytes = npages * self.page_size
         self.stats.bytes_read += nbytes
-        self.model.ssd_read(nbytes, requests=1)
-        if verify:
-            self._verify_pages(pid, npages)
+        obs = self.model.obs
+        if obs is not None:
+            obs.begin("device.read")
+        try:
+            self.model.ssd_read(nbytes, requests=1)
+            if verify:
+                self._verify_pages(pid, npages)
+        finally:
+            if obs is not None:
+                obs.end(pid=pid, bytes=nbytes)
+                obs.count("device.read_bytes", nbytes)
+                obs.count("device.read_requests")
         return self._gather(pid, npages)
 
     # -- asynchronous batch API ---------------------------------------------
@@ -202,13 +211,33 @@ class SimulatedNVMe:
         self.stats.read_requests += n_reads
         self.stats.write_requests += n_writes
         self.stats.bytes_read += read_bytes
-        if not background:
-            if n_reads:
-                self.model.ssd_read(read_bytes, requests=n_reads)
+        obs = self.model.obs
+        if obs is not None:
+            for req in requests:
+                if req.is_write:
+                    obs.count("device.write_bytes",
+                              req.npages * self.page_size,
+                              category=req.category)
             if n_writes:
-                self.model.ssd_write(write_bytes, requests=n_writes)
-                if self.protect:
-                    self.model.crc32_bytes(write_bytes)
+                obs.count("device.write_requests", n_writes,
+                          background=background)
+            if n_reads:
+                obs.count("device.read_bytes", read_bytes)
+                obs.count("device.read_requests", n_reads)
+            obs.begin("device.submit")
+        try:
+            if not background:
+                if n_reads:
+                    self.model.ssd_read(read_bytes, requests=n_reads)
+                if n_writes:
+                    self.model.ssd_write(write_bytes, requests=n_writes)
+                    if self.protect:
+                        self.model.crc32_bytes(write_bytes)
+        finally:
+            if obs is not None:
+                obs.end(reads=n_reads, writes=n_writes,
+                        read_bytes=read_bytes, write_bytes=write_bytes,
+                        background=background)
         return results
 
     # -- page store ------------------------------------------------------------

@@ -87,6 +87,8 @@ class WalWriter:
         return self._lsn
 
     def used_fraction(self) -> float:
+        if not self.region_bytes:
+            return 0.0
         return (self._write_off + len(self._buffer)) / self.region_bytes
 
     # -- appending ---------------------------------------------------------
@@ -105,13 +107,22 @@ class WalWriter:
             raise WalFullError(
                 f"record of {len(encoded)} bytes exceeds WAL region")
         lsn = self._lsn
-        self.model.memcpy(len(encoded))
-        self._buffer += encoded
-        self._lsn += len(encoded)
-        self.stats.records += 1
-        self.stats.bytes_appended += len(encoded)
-        while len(self._buffer) > self.buffer_bytes:
-            self._flush_prefix(self.buffer_bytes, background=False)
+        obs = self.model.obs
+        if obs is not None:
+            obs.begin("wal.append")
+        try:
+            self.model.memcpy(len(encoded))
+            self._buffer += encoded
+            self._lsn += len(encoded)
+            self.stats.records += 1
+            self.stats.bytes_appended += len(encoded)
+            while len(self._buffer) > self.buffer_bytes:
+                self._flush_prefix(self.buffer_bytes, background=False)
+        finally:
+            if obs is not None:
+                obs.end(bytes=len(encoded))
+                obs.count("wal.records")
+                obs.count("wal.bytes_appended", len(encoded))
         return lsn
 
     # -- flushing -----------------------------------------------------------
@@ -129,29 +140,38 @@ class WalWriter:
         if nbytes <= 0 or not self._buffer:
             return
         nbytes = min(nbytes, len(self._buffer))
-        ps = self.device.page_size
-        self._ensure_space(nbytes)
-        # The write starts at the page holding the current offset and must
-        # re-include that page's already-durable prefix.
-        chunk = self._page_head + bytes(self._buffer[:nbytes])
-        npages = (len(chunk) + ps - 1) // ps
-        padded = chunk.ljust(npages * ps, b"\x00")
-        first_pid = self.region_pid + (self._write_off - len(self._page_head)) // ps
+        obs = self.model.obs
+        if obs is not None:
+            obs.begin("wal.flush")
+        try:
+            ps = self.device.page_size
+            self._ensure_space(nbytes)
+            # The write starts at the page holding the current offset and
+            # must re-include that page's already-durable prefix.
+            chunk = self._page_head + bytes(self._buffer[:nbytes])
+            npages = (len(chunk) + ps - 1) // ps
+            padded = chunk.ljust(npages * ps, b"\x00")
+            first_pid = self.region_pid \
+                + (self._write_off - len(self._page_head)) // ps
 
-        def _write() -> None:
-            self.device.write(first_pid, padded, category=self.category,
-                              background=background)
-        if self.retry is not None:
-            self.retry.run(_write)
-        else:
-            _write()
-        del self._buffer[:nbytes]
-        self._write_off += nbytes
-        in_page = self._write_off % ps
-        self._page_head = chunk[-in_page:] if in_page else b""
-        self.stats.flushes += 1
-        if not background:
-            self.stats.synchronous_flushes += 1
+            def _write() -> None:
+                self.device.write(first_pid, padded, category=self.category,
+                                  background=background)
+            if self.retry is not None:
+                self.retry.run(_write)
+            else:
+                _write()
+            del self._buffer[:nbytes]
+            self._write_off += nbytes
+            in_page = self._write_off % ps
+            self._page_head = chunk[-in_page:] if in_page else b""
+            self.stats.flushes += 1
+            if not background:
+                self.stats.synchronous_flushes += 1
+        finally:
+            if obs is not None:
+                obs.end(bytes=nbytes, background=background)
+                obs.count("wal.flushes", background=background)
 
     def _ensure_space(self, nbytes: int) -> None:
         # Leave one page of slack for the final page's zero padding.
@@ -163,10 +183,18 @@ class WalWriter:
     def checkpoint(self) -> None:
         """Run the engine checkpoint and rewind the ring."""
         self.stats.checkpoints += 1
-        if self.checkpoint_cb is not None:
-            self.checkpoint_cb()
-        self._write_off = 0
-        self._page_head = b""
+        obs = self.model.obs
+        if obs is not None:
+            obs.begin("wal.checkpoint")
+        try:
+            if self.checkpoint_cb is not None:
+                self.checkpoint_cb()
+            self._write_off = 0
+            self._page_head = b""
+        finally:
+            if obs is not None:
+                obs.end()
+                obs.count("wal.checkpoints")
 
     def reset(self) -> None:
         """Rewind without invoking the callback (post-checkpoint reset)."""

@@ -1,0 +1,111 @@
+"""Tests for the deterministic bench baseline suite and regression gate."""
+
+import copy
+import json
+
+import pytest
+
+from repro.bench import baseline
+
+
+@pytest.fixture(scope="module")
+def suite_doc():
+    return baseline.run_suite("test")
+
+
+class TestSuite:
+    def test_runs_all_workloads(self, suite_doc):
+        assert set(suite_doc["workloads"]) == \
+            {"ycsb_4k", "ycsb_100k", "wikipedia"}
+        assert suite_doc["suite_version"] == baseline.SUITE_VERSION
+
+    def test_workload_shape(self, suite_doc):
+        for name, wl in suite_doc["workloads"].items():
+            assert wl["ops"] > 0, name
+            assert wl["throughput_ops_s"] > 0, name
+            assert wl["latency_us"]["p50"] <= wl["latency_us"]["p99"] \
+                <= wl["latency_us"]["max"], name
+            assert wl["write_amplification"] > 0, name
+            assert wl["payload_bytes"] > 0, name
+            # Category accounting must include the data and WAL streams.
+            cats = wl["bytes_written_by_category"]
+            assert cats.get("data", 0) > 0 and cats.get("wal", 0) > 0, name
+
+    def test_byte_identical_rendering(self, suite_doc):
+        again = baseline.run_suite("test")
+        assert baseline.render(suite_doc) == baseline.render(again)
+
+    def test_render_round_trips(self, suite_doc, tmp_path):
+        path = tmp_path / "BENCH_x.json"
+        baseline.write_baseline(str(path), suite_doc)
+        assert baseline.load_baseline(str(path)) == suite_doc
+        json.loads(path.read_text())  # valid JSON on disk
+
+    def test_format_report_mentions_workloads(self, suite_doc):
+        text = baseline.format_report(suite_doc)
+        assert "ycsb_4k" in text and "wikipedia" in text
+
+
+class TestGate:
+    def test_identical_run_passes(self, suite_doc):
+        regressions, notes = baseline.compare(suite_doc, suite_doc)
+        assert regressions == []
+        assert notes == []
+
+    def test_throughput_regression_detected(self, suite_doc):
+        worse = copy.deepcopy(suite_doc)
+        wl = worse["workloads"]["ycsb_4k"]
+        wl["throughput_ops_s"] *= 0.8  # 20 % slower
+        regressions, _ = baseline.compare(suite_doc, worse)
+        assert len(regressions) == 1
+        assert "throughput" in regressions[0]
+        assert "ycsb_4k" in regressions[0]
+
+    def test_p99_and_wa_regressions_detected(self, suite_doc):
+        worse = copy.deepcopy(suite_doc)
+        worse["workloads"]["wikipedia"]["latency_us"]["p99"] *= 1.5
+        worse["workloads"]["ycsb_100k"]["write_amplification"] *= 1.2
+        regressions, _ = baseline.compare(suite_doc, worse)
+        assert any("p99" in r for r in regressions)
+        assert any("write amplification" in r for r in regressions)
+
+    def test_within_tolerance_passes(self, suite_doc):
+        slightly = copy.deepcopy(suite_doc)
+        slightly["workloads"]["ycsb_4k"]["throughput_ops_s"] *= 0.95
+        regressions, _ = baseline.compare(suite_doc, slightly)
+        assert regressions == []
+
+    def test_improvement_is_a_note_not_a_failure(self, suite_doc):
+        better = copy.deepcopy(suite_doc)
+        better["workloads"]["ycsb_4k"]["throughput_ops_s"] *= 1.5
+        regressions, notes = baseline.compare(suite_doc, better)
+        assert regressions == []
+        assert any("improvement" in n for n in notes)
+
+    def test_missing_workload_fails(self, suite_doc):
+        partial = copy.deepcopy(suite_doc)
+        del partial["workloads"]["wikipedia"]
+        regressions, _ = baseline.compare(suite_doc, partial)
+        assert any("missing" in r for r in regressions)
+
+    def test_suite_version_mismatch_fails(self, suite_doc):
+        old = copy.deepcopy(suite_doc)
+        old["suite_version"] = baseline.SUITE_VERSION + 1
+        regressions, _ = baseline.compare(old, suite_doc)
+        assert any("version mismatch" in r for r in regressions)
+
+    def test_committed_baseline_matches_current_code(self):
+        """The repo's BENCH_seed.json must gate-pass a fresh run.
+
+        This is the CI contract: a perf-affecting change must refresh
+        benchmarks/BENCH_seed.json in the same PR.
+        """
+        import pathlib
+        path = (pathlib.Path(__file__).resolve().parent.parent
+                / "benchmarks" / "BENCH_seed.json")
+        committed = baseline.load_baseline(str(path))
+        current = baseline.run_suite("seed")
+        regressions, _ = baseline.compare(committed, current)
+        assert regressions == []
+        # Stronger than the gate: the workload numbers are bit-identical.
+        assert committed["workloads"] == current["workloads"]

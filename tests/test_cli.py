@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -38,3 +40,90 @@ class TestCli:
     def test_unknown_command(self):
         with pytest.raises(SystemExit):
             main(["frobnicate"])
+
+
+class TestJsonOutput:
+    def test_demo_json(self, capsys):
+        assert main(["demo", "--json", "--payload-kb", "4", "--ops", "20",
+                     "--records", "4"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        systems = {row["system"] for row in doc["systems"]}
+        assert "our" in systems
+        for row in doc["systems"]:
+            assert row["throughput_ops_s"] > 0
+
+    def test_survey_json(self, capsys):
+        assert main(["survey", "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["copies_per_byte"]["our"] <= \
+            doc["copies_per_byte"]["postgresql"]
+
+    def test_faultsweep_json(self, capsys):
+        assert main(["faultsweep", "--schedules", "5", "--seed", "3",
+                     "--json"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["silent"] == 0
+        assert doc["n_schedules"] == 5
+        assert len(doc["digest"]) == 64
+
+
+class TestTraceCommand:
+    def test_stdout_trace_is_valid_chrome_json(self, capsys):
+        assert main(["trace", "ycsb", "--seed", "1", "--ops", "30"]) == 0
+        doc = json.loads(capsys.readouterr().out)
+        assert doc["otherData"]["clock"] == "virtual-ns"
+        assert any(e["ph"] == "X" for e in doc["traceEvents"])
+
+    def test_trace_byte_identical_across_runs(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["trace", "ycsb", "--seed", "0", "--ops", "40",
+                     "--out", str(a)]) == 0
+        assert main(["trace", "ycsb", "--seed", "0", "--ops", "40",
+                     "--out", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() == b.read_bytes()
+
+    def test_trace_seed_changes_trace(self, tmp_path, capsys):
+        a, b = tmp_path / "a.json", tmp_path / "b.json"
+        assert main(["trace", "ycsb", "--seed", "0", "--ops", "40",
+                     "--out", str(a)]) == 0
+        assert main(["trace", "ycsb", "--seed", "7", "--ops", "40",
+                     "--out", str(b)]) == 0
+        capsys.readouterr()
+        assert a.read_bytes() != b.read_bytes()
+
+    def test_flamegraph_and_summary(self, tmp_path, capsys):
+        out = tmp_path / "t.json"
+        flame = tmp_path / "t.folded"
+        assert main(["trace", "wikipedia", "--ops", "20",
+                     "--out", str(out), "--flamegraph", str(flame),
+                     "--summary"]) == 0
+        err = capsys.readouterr().err
+        assert "span" in err  # summary table went to stderr
+        lines = flame.read_text().splitlines()
+        assert lines and all(" " in line for line in lines)
+
+
+class TestBenchCommand:
+    def test_bench_writes_and_gates_against_itself(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_a.json"
+        assert main(["bench", "--label", "a", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        assert doc["label"] == "a"
+        assert main(["bench", "--label", "b",
+                     "--out", str(tmp_path / "BENCH_b.json"),
+                     "--compare", str(out)]) == 0
+        assert "regression gate OK" in capsys.readouterr().out
+
+    def test_bench_gate_fails_on_regression(self, tmp_path, capsys):
+        out = tmp_path / "BENCH_a.json"
+        assert main(["bench", "--label", "a", "--out", str(out)]) == 0
+        doc = json.loads(out.read_text())
+        for wl in doc["workloads"].values():
+            wl["throughput_ops_s"] *= 2  # baseline far faster than now
+        out.write_text(json.dumps(doc))
+        assert main(["bench", "--label", "c",
+                     "--out", str(tmp_path / "BENCH_c.json"),
+                     "--compare", str(out)]) == 1
+        captured = capsys.readouterr()
+        assert "REGRESSION" in captured.err

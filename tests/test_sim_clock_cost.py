@@ -153,3 +153,34 @@ class TestPerfCounters:
         a.add(b)
         assert (a.instructions, a.cycles, a.kernel_cycles, a.cache_misses) == \
             (11, 22, 33, 44)
+
+    def test_interleaved_snapshots_partition_charges(self):
+        """Back-to-back deltas must tile the total with nothing counted
+        twice or lost, however charging interleaves with snapshots."""
+        model = CostModel()
+        base = model.counters.snapshot()
+        model.memcpy(1 << 16)
+        mid = model.counters.snapshot()
+        model.syscall("fsync")
+        model.crc32_bytes(4096)
+        end = model.counters.snapshot()
+        first = mid.delta_since(base)
+        second = end.delta_since(mid)
+        total = end.delta_since(base)
+        for name in ("instructions", "cycles", "kernel_cycles",
+                     "cache_misses"):
+            assert getattr(first, name) + getattr(second, name) == \
+                getattr(total, name), name
+        assert first.kernel_cycles == 0   # memcpy never enters the kernel
+        assert second.kernel_cycles > 0   # fsync does
+
+    def test_snapshot_is_isolated_from_later_charging(self):
+        model = CostModel()
+        model.cpu(500.0)
+        snap = model.counters.snapshot()
+        before = snap.cycles
+        model.syscall("open")
+        model.ssd_write(8 * 4096)
+        assert snap.cycles == before  # old snapshots never mutate
+        delta = model.counters.delta_since(snap)
+        assert delta.cycles == model.counters.cycles - before

@@ -53,6 +53,33 @@ class TestStatsReport:
         assert "wal:" in text
         assert "allocator" in text
 
+    def test_fresh_engine_report_has_no_zero_division(self):
+        """A never-used engine must report clean zeros, not crash.
+
+        Regression test for the ratio fields (``pool_hit_ratio``,
+        ``wal_used_fraction``, ``allocator_utilization``): all of their
+        denominators are zero or may be zero on a freshly opened engine.
+        """
+        db = BlobDB(small_config())
+        report = db.stats_report()
+        assert report.pool_hit_ratio == 0.0
+        assert report.allocator_utilization == 0.0
+        assert 0.0 <= report.wal_used_fraction <= 1.0
+        assert report.pool_fill_fraction == 0.0
+        assert report.extent_reuse_ratio == 0.0
+        assert isinstance(report.format(), str)  # formats without error
+
+    def test_degenerate_ratio_sources_guarded(self):
+        """The ratio providers themselves tolerate zero denominators."""
+        from repro.buffer.pool import PoolStats
+        from repro.core.allocator import ExtentAllocator
+        from repro.core.tier import TierTable
+
+        assert PoolStats().hit_ratio == 0.0
+        alloc = ExtentAllocator(TierTable(), first_pid=0, capacity_pages=8)
+        alloc.capacity_pages = 0  # simulate a zero-sized data area
+        assert alloc.utilization() == 0.0
+
     def test_occ_aborts_counted(self):
         from repro.db.errors import TransactionConflict
         db = BlobDB(small_config(concurrency="occ"))
