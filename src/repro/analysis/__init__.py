@@ -1,0 +1,43 @@
+"""Static analysis and runtime invariant checking for the reproduction.
+
+Every number this repository reports — write-amplification ratios,
+crossover points, byte-identical traces — rests on two properties that
+nothing else enforces mechanically:
+
+* **Determinism** — simulated results must depend only on seeds and
+  code, never on wall-clock time, unseeded randomness, hash/set
+  iteration order, or real host I/O sneaking into a simulated path.
+* **Engine invariants** — LeanStore-style latching (no page access
+  without the frame latch) and write-ahead logging (no data-page
+  write-back before its covering WAL record is durable).
+
+Two prongs enforce them:
+
+* :mod:`repro.analysis.lint` — an AST pass over the source tree with
+  pluggable rules (``RPR001``…), run as ``python -m repro lint``;
+* :mod:`repro.analysis.sanitizer` — an opt-in TSan-style runtime
+  checker attached to a :class:`~repro.sim.cost.CostModel` via the
+  nullable ``model.san`` hook (mirroring ``model.obs``), run as
+  ``python -m repro sanitize``.
+
+See ``docs/static-analysis.md`` for the rule catalogue and the
+sanitizer's invariant classes.
+"""
+
+from repro.analysis.sanitizer import (
+    LatchCycleViolation,
+    LatchViolation,
+    Sanitizer,
+    SanitizerViolation,
+    WalOrderViolation,
+    attach_sanitizer,
+)
+
+__all__ = [
+    "LatchCycleViolation",
+    "LatchViolation",
+    "Sanitizer",
+    "SanitizerViolation",
+    "WalOrderViolation",
+    "attach_sanitizer",
+]

@@ -1,0 +1,169 @@
+"""AST determinism linter: engine, rule base class, and reports.
+
+The linter parses each source file once and runs every registered rule
+(:mod:`repro.analysis.rules`) over the tree.  A rule is a
+:class:`Rule` subclass — an ``ast.NodeVisitor`` with a stable ID
+(``RPR001``…), a one-line title, and an optional tuple of path
+fragments where the rule does not apply (e.g. the wall-clock rule is
+structurally exempt in ``sim/clock.py``, the substrate-bypass rule in
+``repro/storage/`` which *is* the substrate).
+
+Intentional violations are suppressed inline::
+
+    handle = open(path)  # repro: allow[RPR004] host artifact, not simulated I/O
+
+The annotation must name the rule ID and should say why; it covers
+exactly the source lines of the flagged statement.  Findings render as
+``file:line:col: RPRxxx message`` diagnostics and as a machine-readable
+JSON report (``--json``) for CI artifacts.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import os
+import re
+from dataclasses import dataclass
+
+#: Inline suppression: ``# repro: allow[RPR001]`` or ``allow[RPR001,RPR004]``.
+SUPPRESS_RE = re.compile(r"#\s*repro:\s*allow\[([A-Z0-9,\s]+)\]")
+
+#: Schema version of the JSON report.
+REPORT_VERSION = 1
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One diagnostic: a rule fired at a source location."""
+
+    rule: str
+    title: str
+    path: str
+    line: int
+    col: int
+    message: str
+
+    def format(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+    def to_dict(self) -> dict:
+        return {
+            "rule": self.rule,
+            "title": self.title,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def dotted_name(node: ast.AST) -> str | None:
+    """``a.b.c`` for a Name/Attribute chain, else ``None``."""
+    parts: list[str] = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if isinstance(node, ast.Name):
+        parts.append(node.id)
+        return ".".join(reversed(parts))
+    return None
+
+
+class Rule(ast.NodeVisitor):
+    """Base class for linter rules; subclasses set the class attributes
+    and call :meth:`report` from their ``visit_*`` methods."""
+
+    rule_id = "RPR000"
+    title = "abstract rule"
+    #: Path fragments (``/``-normalized) where this rule never applies.
+    allowed_paths: tuple[str, ...] = ()
+
+    def __init__(self, path: str, suppressed: dict[int, set[str]]) -> None:
+        self.path = path
+        self._suppressed = suppressed
+        self.findings: list[Finding] = []
+
+    @classmethod
+    def applies_to(cls, path: str) -> bool:
+        norm = path.replace(os.sep, "/")
+        return not any(frag in norm for frag in cls.allowed_paths)
+
+    def report(self, node: ast.AST, message: str) -> None:
+        first = getattr(node, "lineno", 0)
+        last = getattr(node, "end_lineno", None) or first
+        for line in range(first, last + 1):
+            if self.rule_id in self._suppressed.get(line, ()):
+                return
+        self.findings.append(Finding(
+            rule=self.rule_id, title=self.title, path=self.path,
+            line=first, col=getattr(node, "col_offset", 0) + 1,
+            message=message))
+
+
+def parse_suppressions(source: str) -> dict[int, set[str]]:
+    """Map 1-based line number -> rule IDs allowed on that line."""
+    out: dict[int, set[str]] = {}
+    for lineno, text in enumerate(source.splitlines(), start=1):
+        match = SUPPRESS_RE.search(text)
+        if match:
+            ids = {part.strip() for part in match.group(1).split(",")}
+            out[lineno] = {i for i in ids if i}
+    return out
+
+
+def lint_source(path: str, source: str) -> list[Finding]:
+    """Run every applicable rule over one file's source text."""
+    from repro.analysis.rules import ALL_RULES
+
+    tree = ast.parse(source, filename=path)
+    suppressed = parse_suppressions(source)
+    findings: list[Finding] = []
+    for rule_cls in ALL_RULES:
+        if not rule_cls.applies_to(path):
+            continue
+        rule = rule_cls(path, suppressed)
+        rule.visit(tree)
+        findings.extend(rule.findings)
+    findings.sort(key=lambda f: (f.line, f.col, f.rule))
+    return findings
+
+
+def iter_python_files(paths: list[str]) -> list[str]:
+    """Expand files/directories into a sorted list of ``.py`` files."""
+    out: list[str] = []
+    for path in paths:
+        if os.path.isdir(path):
+            for root, dirs, files in os.walk(path):
+                dirs[:] = sorted(d for d in dirs
+                                 if d not in ("__pycache__", ".git"))
+                out.extend(os.path.join(root, f) for f in sorted(files)
+                           if f.endswith(".py"))
+        else:
+            out.append(path)
+    return sorted(set(out))
+
+
+def lint_paths(paths: list[str]) -> list[Finding]:
+    """Lint every ``.py`` file under ``paths``; returns all findings."""
+    findings: list[Finding] = []
+    for filename in iter_python_files(paths):
+        # The linter is host-side tooling: it reads source text from the
+        # real filesystem by design.
+        with open(filename, "r", encoding="utf-8") as fh:  # repro: allow[RPR004] linter reads host source files
+            source = fh.read()
+        findings.extend(lint_source(filename, source))
+    return findings
+
+
+def render_json(findings: list[Finding], files_scanned: int) -> str:
+    """Machine-readable report (stable key order) for CI artifacts."""
+    from repro.analysis.rules import ALL_RULES
+
+    doc = {
+        "version": REPORT_VERSION,
+        "files_scanned": files_scanned,
+        "rules": {cls.rule_id: cls.title for cls in ALL_RULES},
+        "findings": [f.to_dict() for f in findings],
+    }
+    return json.dumps(doc, indent=2, sort_keys=True) + "\n"

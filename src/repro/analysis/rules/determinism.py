@@ -1,0 +1,147 @@
+"""Determinism rules: wall clocks, unseeded randomness, set ordering.
+
+These rules guard the property the whole reproduction is built on: a
+run is a pure function of (code, seeds).  Time comes from
+:class:`~repro.sim.clock.VirtualClock`, randomness from explicitly
+seeded ``random.Random`` instances, and anything that reaches output
+must have a defined order.
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint import Rule, dotted_name
+
+#: ``time`` module entry points that read (or pace by) the host clock.
+_WALL_CLOCK_CALLS = frozenset({
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "time.sleep",
+})
+
+#: ``(penultimate, last)`` dotted-name suffixes of datetime factories,
+#: matching both ``datetime.now()`` and ``datetime.datetime.now()``.
+_WALL_CLOCK_SUFFIXES = frozenset({
+    ("datetime", "now"), ("datetime", "utcnow"), ("datetime", "today"),
+    ("date", "today"),
+})
+
+#: Module-level functions of ``random`` that draw from the hidden
+#: process-global generator.
+_GLOBAL_RANDOM_FNS = frozenset({
+    "random", "randrange", "randint", "randbytes", "getrandbits",
+    "uniform", "gauss", "normalvariate", "expovariate", "triangular",
+    "choice", "choices", "sample", "shuffle", "betavariate", "seed",
+})
+
+#: Entropy sources that can never be seeded.
+_ENTROPY_CALLS = frozenset({
+    "os.urandom", "uuid.uuid1", "uuid.uuid4",
+})
+
+
+class WallClockRule(Rule):
+    """RPR001 — wall-clock reads outside the virtual clock.
+
+    Simulated time only moves when a priced operation charges the
+    :class:`~repro.sim.clock.VirtualClock`; reading the host clock (or
+    sleeping on it) makes results depend on machine speed.  Host-side
+    tooling that stamps *finished* results may suppress with a reason.
+    """
+
+    rule_id = "RPR001"
+    title = "wall-clock call outside sim/clock.py"
+    allowed_paths = ("repro/sim/clock.py",)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            parts = tuple(name.split("."))
+            if name in _WALL_CLOCK_CALLS or parts[-2:] in _WALL_CLOCK_SUFFIXES:
+                self.report(node, f"wall-clock call {name}() — simulated "
+                                  f"code must use the VirtualClock")
+        self.generic_visit(node)
+
+
+class UnseededRandomRule(Rule):
+    """RPR002 — randomness that does not flow from an explicit seed.
+
+    Module-level ``random.*`` functions share one hidden global
+    generator (any import-order change reshuffles every consumer);
+    ``random.Random()`` without a seed, ``os.urandom``, ``secrets`` and
+    ``uuid.uuid1/uuid4`` are nondeterministic by construction.
+    """
+
+    rule_id = "RPR002"
+    title = "unseeded or global-state randomness"
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        if name is not None:
+            parts = name.split(".")
+            if (len(parts) == 2 and parts[0] == "random"
+                    and parts[1] in _GLOBAL_RANDOM_FNS):
+                self.report(node, f"{name}() uses the hidden global "
+                                  f"generator — use a seeded random.Random")
+            elif name == "random.Random" and not node.args and not node.keywords:
+                self.report(node, "random.Random() without a seed draws "
+                                  "entropy from the host")
+            elif name in _ENTROPY_CALLS or parts[0] == "secrets":
+                self.report(node, f"{name}() is a host entropy source")
+        self.generic_visit(node)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return dotted_name(node.func) in ("set", "frozenset")
+    return False
+
+
+class SetOrderRule(Rule):
+    """RPR003 — iteration order of a bare set escaping into output.
+
+    Sets have no defined iteration order across processes (string
+    hashing is randomized unless ``PYTHONHASHSEED`` is pinned).
+    Membership tests are fine; iterating a set expression — in a
+    ``for``, a comprehension, or an ordering-sensitive sink such as
+    ``list()``/``join()`` — leaks that order.  Route through
+    ``sorted(...)`` instead.
+    """
+
+    rule_id = "RPR003"
+    title = "iteration over an unordered set expression"
+
+    _SINKS = frozenset({"list", "tuple", "enumerate", "iter", "next"})
+
+    def _check_iter(self, node: ast.AST) -> None:
+        if _is_set_expr(node):
+            self.report(node, "iterating a bare set leaks hash order — "
+                              "wrap in sorted(...)")
+
+    def visit_For(self, node: ast.For) -> None:
+        self._check_iter(node.iter)
+        self.generic_visit(node)
+
+    def _check_comprehension(self, node) -> None:
+        for gen in node.generators:
+            self._check_iter(gen.iter)
+        self.generic_visit(node)
+
+    visit_ListComp = _check_comprehension
+    visit_SetComp = _check_comprehension
+    visit_DictComp = _check_comprehension
+    visit_GeneratorExp = _check_comprehension
+
+    def visit_Call(self, node: ast.Call) -> None:
+        name = dotted_name(node.func)
+        is_join = isinstance(node.func, ast.Attribute) and \
+            node.func.attr == "join"
+        if name in self._SINKS or is_join:
+            for arg in node.args:
+                self._check_iter(arg)
+        self.generic_visit(node)

@@ -1,0 +1,256 @@
+"""Runtime invariant sanitizer for the buffer pool and WAL.
+
+An opt-in, TSan-style checker attached to a
+:class:`~repro.sim.cost.CostModel` through the nullable ``model.san``
+hook (the same pattern as ``model.obs``): when it is ``None`` — the
+default — the instrumented layers pay one attribute check and nothing
+else, so benchmarks are unaffected.
+
+Three invariant classes are enforced:
+
+* **(a) Latch discipline** (:class:`LatchViolation`) — every page read
+  or write must happen while the covering frame is latched, i.e. pinned
+  (``pins > 0``) or allocation-protected (``prevent_evict``).  An
+  unlatched access races with eviction: the frame could be written back
+  and dropped mid-operation, silently losing the write or reading freed
+  memory in the system being modeled.
+* **(b) WAL-before-data** (:class:`WalOrderViolation`) — a dirty data
+  page may only be written back once every WAL record covering its
+  changes is durable.  Violating this breaks crash recovery: the data
+  page on "disk" would reflect changes the log cannot redo or undo.
+* **(c) Latch-order acyclicity** (:class:`LatchCycleViolation`) — the
+  observed latch acquisition order must stay acyclic across the run.
+  A cycle in the order graph is a deadlock waiting for the right
+  interleaving.  Pages latched together in one batch are unordered
+  (the pool acquires a batch atomically), so no intra-batch edges are
+  recorded.
+
+Usage::
+
+    san = attach_sanitizer(store.model)   # mode="raise" by default
+    ... run workload ...
+    print(san.format_summary())
+
+In ``mode="collect"`` violations are recorded instead of raised, which
+is what ``python -m repro sanitize`` uses so one run reports every
+problem at once.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+
+class SanitizerViolation(Exception):
+    """Base class for invariant violations found at runtime."""
+
+
+class LatchViolation(SanitizerViolation):
+    """Page access without holding the covering frame latch."""
+
+
+class WalOrderViolation(SanitizerViolation):
+    """Data-page write-back before its covering WAL record is durable."""
+
+
+class LatchCycleViolation(SanitizerViolation):
+    """Latch acquisition order contains a cycle (potential deadlock)."""
+
+
+@dataclass
+class SanitizerStats:
+    """Event counters — nonzero counts prove the hooks actually fired."""
+
+    frame_reads: int = 0
+    frame_writes: int = 0
+    latch_acquires: int = 0
+    latch_releases: int = 0
+    writebacks_checked: int = 0
+    wal_flushes: int = 0
+    violations: int = 0
+
+    def to_dict(self) -> dict:
+        return {
+            "frame_reads": self.frame_reads,
+            "frame_writes": self.frame_writes,
+            "latch_acquires": self.latch_acquires,
+            "latch_releases": self.latch_releases,
+            "writebacks_checked": self.writebacks_checked,
+            "wal_flushes": self.wal_flushes,
+            "violations": self.violations,
+        }
+
+
+@dataclass
+class Sanitizer:
+    """Records latch/WAL events and checks the three invariant classes.
+
+    ``mode="raise"`` throws on the first violation (tests, debugging);
+    ``mode="collect"`` records them all in :attr:`violations` (CI gate).
+    """
+
+    mode: str = "raise"
+    stats: SanitizerStats = field(default_factory=SanitizerStats)
+    #: Collected ``(kind, message)`` pairs in ``collect`` mode.
+    violations: list = field(default_factory=list)
+    current_worker: int = 0
+
+    #: worker -> {head_pid: hold count} of latches currently held.
+    _held: dict = field(default_factory=dict, repr=False)
+    #: Latch-order graph: edges ``earlier -> later`` ever observed.
+    _order: dict = field(default_factory=dict, repr=False)
+    #: head_pid -> highest WAL LSN that must be durable before the
+    #: frame may be written back.
+    _coverage: dict = field(default_factory=dict, repr=False)
+    _durable_lsn: int = 0
+    #: worker -> set of head_pids it ever accessed (page-frame access
+    #: sets, reported in the summary).
+    _access_sets: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # plumbing
+
+    def set_worker(self, worker: int) -> None:
+        """Attribute subsequent events to a simulated worker."""
+        self.current_worker = worker
+
+    def _violate(self, exc_cls, message: str) -> None:
+        self.stats.violations += 1
+        if self.mode == "raise":
+            raise exc_cls(message)
+        self.violations.append((exc_cls.__name__, message))
+
+    @staticmethod
+    def _latched(frame) -> bool:
+        return frame.pins > 0 or frame.prevent_evict
+
+    def _note_access(self, pid: int) -> None:
+        self._access_sets.setdefault(self.current_worker, set()).add(pid)
+
+    # ------------------------------------------------------------------
+    # class (a): latch discipline
+
+    def on_frame_read(self, frame) -> None:
+        self.stats.frame_reads += 1
+        self._note_access(frame.head_pid)
+        if not self._latched(frame):
+            self._violate(LatchViolation,
+                          f"read of page {frame.head_pid} by worker "
+                          f"{self.current_worker} without frame latch "
+                          f"(pins=0, prevent_evict=False)")
+
+    def on_frame_write(self, frame) -> None:
+        self.stats.frame_writes += 1
+        self._note_access(frame.head_pid)
+        if not self._latched(frame):
+            self._violate(LatchViolation,
+                          f"write to page {frame.head_pid} by worker "
+                          f"{self.current_worker} without frame latch "
+                          f"(pins=0, prevent_evict=False)")
+
+    # ------------------------------------------------------------------
+    # class (c): latch-order acyclicity
+
+    def _has_path(self, src: int, dst: int) -> bool:
+        """Depth-first reachability in the order graph."""
+        stack, seen = [src], set()
+        while stack:
+            node = stack.pop()
+            if node == dst:
+                return True
+            if node in seen:
+                continue
+            seen.add(node)
+            stack.extend(self._order.get(node, ()))
+        return False
+
+    def on_latch_acquire(self, pids, worker: int | None = None) -> None:
+        """Record a batch acquisition; pages inside one batch are
+        unordered with respect to each other."""
+        who = self.current_worker if worker is None else worker
+        held = self._held.setdefault(who, {})
+        batch = set(pids)
+        for new in pids:
+            self.stats.latch_acquires += 1
+            for old in held:
+                if old in batch or old == new:
+                    continue
+                if self._has_path(new, old):
+                    self._violate(
+                        LatchCycleViolation,
+                        f"worker {who} latches page {new} while holding "
+                        f"{old}, but {new} -> {old} order was already "
+                        f"observed — acquisition cycle")
+                self._order.setdefault(old, set()).add(new)
+            held[new] = held.get(new, 0) + 1
+
+    def on_latch_release(self, pid: int, worker: int | None = None) -> None:
+        who = self.current_worker if worker is None else worker
+        self.stats.latch_releases += 1
+        held = self._held.get(who, {})
+        count = held.get(pid, 0)
+        if count <= 1:
+            held.pop(pid, None)
+        else:
+            held[pid] = count - 1
+
+    # ------------------------------------------------------------------
+    # class (b): WAL-before-data
+
+    def note_page_coverage(self, pids, lsn: int) -> None:
+        """Changes to ``pids`` are covered by WAL bytes up to ``lsn``."""
+        for pid in pids:
+            if lsn > self._coverage.get(pid, 0):
+                self._coverage[pid] = lsn
+
+    def on_wal_durable(self, lsn: int) -> None:
+        self.stats.wal_flushes += 1
+        if lsn > self._durable_lsn:
+            self._durable_lsn = lsn
+
+    def on_data_writeback(self, head_pid: int) -> None:
+        self.stats.writebacks_checked += 1
+        required = self._coverage.get(head_pid, 0)
+        if required > self._durable_lsn:
+            self._violate(
+                WalOrderViolation,
+                f"data page {head_pid} written back but its covering WAL "
+                f"record (lsn {required}) is not durable "
+                f"(durable lsn {self._durable_lsn})")
+
+    def on_frame_drop(self, head_pid: int) -> None:
+        """The extent was freed; its coverage obligation dies with it."""
+        self._coverage.pop(head_pid, None)
+
+    # ------------------------------------------------------------------
+    # reporting
+
+    def format_summary(self) -> str:
+        stats = self.stats
+        lines = [
+            "sanitizer summary",
+            f"  frame accesses   {stats.frame_reads} reads, "
+            f"{stats.frame_writes} writes",
+            f"  latches          {stats.latch_acquires} acquired, "
+            f"{stats.latch_releases} released",
+            f"  writebacks       {stats.writebacks_checked} checked "
+            f"against {stats.wal_flushes} WAL flushes",
+            f"  access sets      " + ", ".join(
+                f"worker {w}: {len(pids)} pages"
+                for w, pids in sorted(self._access_sets.items())),
+            f"  violations       {stats.violations}",
+        ]
+        for kind, message in self.violations:
+            lines.append(f"    {kind}: {message}")
+        return "\n".join(lines)
+
+
+def attach_sanitizer(model, mode: str = "raise") -> Sanitizer:
+    """Create a :class:`Sanitizer` and attach it to ``model.san``.
+
+    Frames obtained *before* attaching carry ``san=None`` and are not
+    checked; attach before creating the store for full coverage.
+    """
+    san = Sanitizer(mode=mode)
+    model.san = san
+    return san

@@ -161,18 +161,33 @@ def run_suite(label: str = "local") -> dict:
     }
 
 
+def host_stamp() -> dict:
+    """Provenance of a *finished* run: host wall-clock time.
+
+    Deliberately outside :func:`run_suite` — the suite itself must stay
+    byte-identical across runs, and :func:`compare` ignores unknown
+    top-level keys, so callers (the CLI) attach this after the fact.
+    """
+    import time
+
+    return {
+        "unix_time": int(time.time()),  # repro: allow[RPR001] host-side provenance stamp, not simulated time
+    }
+
+
 def render(doc: dict) -> str:
     """Canonical byte-stable serialization of a suite document."""
     return json.dumps(doc, indent=2, sort_keys=True) + "\n"
 
 
 def write_baseline(path: str, doc: dict) -> None:
-    with open(path, "w", encoding="utf-8") as fh:
+    # Baseline JSONs are host artifacts the gate diffs across commits.
+    with open(path, "w", encoding="utf-8") as fh:  # repro: allow[RPR004] host baseline artifact
         fh.write(render(doc))
 
 
 def load_baseline(path: str) -> dict:
-    with open(path, "r", encoding="utf-8") as fh:
+    with open(path, "r", encoding="utf-8") as fh:  # repro: allow[RPR004] host baseline artifact
         return json.load(fh)
 
 

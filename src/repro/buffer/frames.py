@@ -30,6 +30,10 @@ class ExtentFrame:
     pins: int = 0
     #: Monotonic use stamp for eviction candidate ordering.
     last_use: int = 0
+    #: Runtime sanitizer hook (``model.san``); ``None`` — the default —
+    #: costs one attribute check per access.  Excluded from equality:
+    #: frame identity is its content and state, not its instrumentation.
+    san: "object | None" = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.data:
@@ -67,6 +71,8 @@ class ExtentFrame:
 
     def write_at(self, offset: int, payload: bytes) -> None:
         """Copy ``payload`` into the extent and dirty the touched pages."""
+        if self.san is not None:
+            self.san.on_frame_write(self)
         end = offset + len(payload)
         if end > len(self.data):
             raise ValueError("write beyond extent capacity")
@@ -101,6 +107,9 @@ class BlobView:
             raise RuntimeError("view used after release")
         if self._materialized is not None:
             return self._materialized
+        for frame in self._frames:
+            if frame.san is not None:
+                frame.san.on_frame_read(frame)
         joined = b"".join(bytes(f.data) for f in self._frames)
         return joined[:self.size]
 

@@ -31,6 +31,9 @@ class HashTablePool(BufferPoolBase):
     def read_blob(self, ranges: list[tuple[int, int]], size: int,
                   worker_id: int = 0) -> BlobView:
         """Materialize the BLOB into a fresh contiguous buffer (copy)."""
+        san = self.model.san
+        if san is not None:
+            san.set_worker(worker_id)
         frames = self.fetch_extents(ranges, pin=True)
         if len(frames) == 1:
             # A single extent is contiguous in the frame already.
@@ -40,6 +43,9 @@ class HashTablePool(BufferPoolBase):
         # first touch, small ones recycle warm arena memory.
         self.model.malloc(size)
         self.model.memcpy(size, faults=size > MMAP_THRESHOLD)
+        if san is not None:
+            for frame in frames:
+                san.on_frame_read(frame)
         data = b"".join(bytes(f.data) for f in frames)[:size]
         view = BlobView(frames, size, release=lambda: self.unpin(frames),
                         materialized=data)

@@ -102,7 +102,8 @@ class BufferPoolBase:
         self._make_room(npages)
         frame = ExtentFrame(head_pid=head_pid, npages=npages,
                             page_size=self.device.page_size,
-                            prevent_evict=prevent_evict)
+                            prevent_evict=prevent_evict,
+                            san=self.model.san)
         self._frames[head_pid] = frame
         self._used_pages += npages
         self._max_extent_pages = max(self._max_extent_pages, npages)
@@ -145,7 +146,8 @@ class BufferPoolBase:
                 for (pid, npages), payload in zip(missing, payloads):
                     frame = ExtentFrame(head_pid=pid, npages=npages,
                                         page_size=self.device.page_size,
-                                        data=bytearray(payload))
+                                        data=bytearray(payload),
+                                        san=self.model.san)
                     self._frames[pid] = frame
                     self._used_pages += npages
                     self._max_extent_pages = max(self._max_extent_pages,
@@ -154,9 +156,16 @@ class BufferPoolBase:
                 if obs is not None:
                     obs.end(extents=len(missing),
                             pages=sum(n for _, n in missing))
+        san = self.model.san
+        if san is not None and pin:
+            # One batch acquisition: pages latched together are unordered
+            # with respect to each other (the pool pins them atomically).
+            san.on_latch_acquire([pid for pid, _ in ranges])
         frames = []
         for pid, _ in ranges:
             frame = self._frames[pid]
+            if san is not None:
+                frame.san = san
             self._touch(frame)
             if pin:
                 frame.pins += 1
@@ -168,6 +177,8 @@ class BufferPoolBase:
             if frame.pins <= 0:
                 raise RuntimeError(f"frame {frame.head_pid} is not pinned")
             frame.pins -= 1
+            if frame.san is not None:
+                frame.san.on_latch_release(frame.head_pid)
 
     def read_blob(self, ranges: list[tuple[int, int]], size: int,
                   worker_id: int = 0) -> BlobView:
@@ -180,6 +191,9 @@ class BufferPoolBase:
         """Flush the frame's dirty page range; returns bytes written."""
         if not frame.is_dirty:
             return 0
+        san = self.model.san
+        if san is not None and category == "data":
+            san.on_data_writeback(frame.head_pid)
         payload = frame.dirty_slice()
         obs = self.model.obs
         if obs is not None:
@@ -205,9 +219,12 @@ class BufferPoolBase:
         """
         requests = []
         total = 0
+        san = self.model.san
         for frame in frames:
             if not frame.is_dirty:
                 continue
+            if san is not None and category == "data":
+                san.on_data_writeback(frame.head_pid)
             payload = frame.dirty_slice()
             requests.append(IoRequest(
                 pid=frame.head_pid + frame.dirty_from,
@@ -246,6 +263,8 @@ class BufferPoolBase:
         frame = self._frames.pop(head_pid, None)
         if frame is not None:
             self._used_pages -= frame.npages
+            if frame.san is not None:
+                frame.san.on_frame_drop(head_pid)
 
     def _make_room(self, npages: int) -> None:
         if npages > self.capacity_pages:

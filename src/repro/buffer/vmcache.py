@@ -60,6 +60,9 @@ class VmcachePool(BufferPoolBase):
         BLOBs are cheaper to copy than to alias (TLB shootdown), so the
         pool picks by ``alias_threshold_bytes``.
         """
+        san = self.model.san
+        if san is not None:
+            san.set_worker(worker_id)
         frames = self.fetch_extents(ranges, pin=True)
         obs = self.model.obs
         if len(frames) > 1 and size < self.alias_threshold_bytes:
@@ -67,6 +70,9 @@ class VmcachePool(BufferPoolBase):
                 obs.count("pool.materialize", mode="copy")
             self.model.malloc(size)
             self.model.memcpy(size)
+            if san is not None:
+                for frame in frames:
+                    san.on_frame_read(frame)
             data = b"".join(bytes(f.data) for f in frames)[:size]
             return BlobView(frames, size,
                             release=lambda: self.unpin(frames),

@@ -190,9 +190,10 @@ class BlobManager:
 
         dirty: list[ExtentFrame] = list(new_frames)
         all_pids = list(state.extent_pids) + [e.pid for e in grown]
-        # The write begins inside the current last extent when it has room.
-        layout = self._layout(all_pids)
-        touched = self._write_layout(layout, old_size, extra)
+        # The write begins inside the current last extent when it has
+        # room; only extents overlapping the appended range are fetched,
+        # and they stay pinned for the duration of the write.
+        touched = self._write_pinned(all_pids, old_size, extra)
         for frame in touched:
             if frame not in dirty:
                 dirty.append(frame)
@@ -387,19 +388,36 @@ class BlobManager:
 
     # -- layout helpers ----------------------------------------------------------------
 
-    def _layout(self, pids: list[int]) -> list[tuple[ExtentFrame, int, int]]:
-        """Resident frames of ``pids`` with their logical byte windows."""
-        offset = 0
-        out = []
+    def _write_pinned(self, pids: list[int], offset: int,
+                      data: bytes) -> list[ExtentFrame]:
+        """Write ``data`` at logical ``offset``, fetching and pinning
+        only the extents that overlap the write window.
+
+        The frames are unpinned before returning; callers that need them
+        to survive until commit protect them via the transaction's flush
+        list.  Extents outside the window are never materialized — a
+        4 KB append to a multi-gigabyte BLOB touches one extent.
+        """
+        end_off = offset + len(data)
+        ranges: list[tuple[int, int]] = []
+        windows: list[tuple[int, int, int]] = []
+        logical = 0
         for i, pid in enumerate(pids):
             npages = self.tiers.size(i)
-            frame = self.pool.get_frame(pid)
-            if frame is None:
-                frame = self.pool.fetch_extents([(pid, npages)], pin=False)[0]
             nbytes = npages * self.page_size
-            out.append((frame, offset, offset + nbytes))
-            offset += nbytes
-        return out
+            lo = max(logical, offset)
+            hi = min(logical + nbytes, end_off)
+            if lo < hi:
+                ranges.append((pid, npages))
+                windows.append((logical, lo, hi))
+            logical += nbytes
+        frames = self.pool.fetch_extents(ranges, pin=True)
+        try:
+            for frame, (base, lo, hi) in zip(frames, windows):
+                frame.write_at(lo - base, data[lo - offset:hi - offset])
+        finally:
+            self.pool.unpin(frames)
+        return frames
 
     def _layout_ranges(self, ranges: list[tuple[int, int]]) \
             -> list[tuple[int, int]]:

@@ -51,6 +51,9 @@ class LogPolicyBase:
         """In-place update scheme: physical deltas always go to the WAL."""
         for delta in deltas:
             self.wal.append(replace(delta, txn_id=txn.txn_id))
+        san = self.wal.model.san
+        if san is not None and deltas:
+            san.note_page_coverage([d.pid for d in deltas], self.wal.lsn)
 
     def on_commit(self, txn: Transaction, pool: BufferPoolBase) -> None:
         """Make the transaction durable and settle its dirty extents."""
@@ -74,6 +77,11 @@ class AsyncBlobLogging(LogPolicyBase):
 
     def on_commit(self, txn: Transaction, pool: BufferPoolBase) -> None:
         self.wal.append(TxnCommitRecord(txn_id=txn.txn_id))
+        san = self.wal.model.san
+        if san is not None:
+            # The extents may not hit the device before the commit record.
+            san.note_page_coverage(
+                [f.head_pid for f in txn.pending_flush], self.wal.lsn)
         # Durability order (Section III-C): the WAL buffer — which holds
         # the Blob States — is persisted *before* the extents.
         self.wal.group_commit_flush()
@@ -101,6 +109,10 @@ class PhysicalLogging(LogPolicyBase):
             self.wal.append(BlobChunkRecord(
                 txn_id=txn.txn_id, table=table, key=key,
                 offset=offset + start, data=piece))
+        san = self.wal.model.san
+        if san is not None and frames:
+            san.note_page_coverage([f.head_pid for f in frames],
+                                   self.wal.lsn)
         # Frames are NOT scheduled for a commit flush: like conventional
         # engines, the dirty pages are written later by eviction or the
         # checkpointer — the second write of every BLOB.
@@ -108,6 +120,11 @@ class PhysicalLogging(LogPolicyBase):
 
     def on_commit(self, txn: Transaction, pool: BufferPoolBase) -> None:
         self.wal.append(TxnCommitRecord(txn_id=txn.txn_id))
+        san = self.wal.model.san
+        if san is not None:
+            pids = [f.head_pid for f in txn.pending_flush] \
+                + [f.head_pid for f in txn.physlog_frames]
+            san.note_page_coverage(pids, self.wal.lsn)
         self.wal.group_commit_flush()
         # Commit-time flush applies only to frames other code explicitly
         # queued (e.g. clone-updated extents); content-bearing frames stay

@@ -201,6 +201,11 @@ class CostModel:
         #: is ``None`` (the default), keeping the fast path
         #: allocation-free.  Attach with :func:`repro.obs.attach`.
         self.obs = None
+        #: Optional :class:`~repro.analysis.sanitizer.Sanitizer` (same
+        #: nullable-hook pattern as ``obs``): the buffer pool and WAL
+        #: writer report latch/write-back/flush events through it when
+        #: set.  Attach with :func:`repro.analysis.attach_sanitizer`.
+        self.san = None
         #: Multiplier applied to memory-bandwidth-bound work; a worker
         #: simulation sets this to model DRAM/L3 contention (Fig. 10).
         self.memory_contention = 1.0

@@ -68,6 +68,10 @@ class WorkerSim:
         model = CostModel(self.params)
         if setup is not None:
             setup(model)
+        if model.san is not None:
+            # The scaling model replays one worker's trace; attribute
+            # its latch events to worker 0.
+            model.san.set_worker(0)
         start_ns = model.clock.now_ns
         start_mem = model.memory_time_ns
         start_bytes = model.memcpy_bytes

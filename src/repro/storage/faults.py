@@ -29,7 +29,7 @@ misbehaviour a first-class, reproducible test input.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, fields
+from dataclasses import dataclass, fields
 
 from repro.db.errors import DeviceIOError, RetriesExhaustedError, TransientError
 from repro.storage.device import IoRequest

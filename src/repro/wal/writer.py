@@ -165,6 +165,10 @@ class WalWriter:
             self._write_off += nbytes
             in_page = self._write_off % ps
             self._page_head = chunk[-in_page:] if in_page else b""
+            san = self.model.san
+            if san is not None:
+                # Everything up to (appended - still buffered) is durable.
+                san.on_wal_durable(self._lsn - len(self._buffer))
             self.stats.flushes += 1
             if not background:
                 self.stats.synchronous_flushes += 1
@@ -218,5 +222,7 @@ class WalWriter:
         npages = (self._write_off + ps - 1) // ps
         if npages == 0:
             return []
-        raw = self.device.peek(self.region_pid, npages)
+        # Recovery pays for its log scan like any other read; skip the
+        # checksum verify because torn final pages are expected here.
+        raw = self.device.read(self.region_pid, npages, verify=False)
         return list(decode_records(raw[:self._write_off]))

@@ -1,0 +1,253 @@
+"""Tests for the AST determinism linter (``repro.analysis.lint``)."""
+
+import json
+import os
+import textwrap
+
+from repro.analysis.lint import (
+    Finding,
+    iter_python_files,
+    lint_paths,
+    lint_source,
+    parse_suppressions,
+    render_json,
+)
+from repro.analysis.rules import ALL_RULES
+
+REPO_SRC = os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro")
+REPO_EXAMPLES = os.path.join(os.path.dirname(__file__), os.pardir, "examples")
+
+
+def run(source: str, path: str = "src/repro/fake.py") -> list[Finding]:
+    return lint_source(path, textwrap.dedent(source))
+
+
+def rules_of(findings: list[Finding]) -> set[str]:
+    return {f.rule for f in findings}
+
+
+class TestWallClockRule:
+    def test_flags_time_time(self):
+        findings = run("""
+            import time
+            def stamp():
+                return time.time()
+        """)
+        assert rules_of(findings) == {"RPR001"}
+        assert findings[0].line == 4
+
+    def test_flags_datetime_now_and_sleep(self):
+        findings = run("""
+            import datetime, time
+            a = datetime.datetime.now()
+            b = datetime.date.today()
+            time.sleep(1)
+        """)
+        assert [f.rule for f in findings] == ["RPR001"] * 3
+
+    def test_clean_virtual_clock_use(self):
+        findings = run("""
+            def stamp(model):
+                return model.clock.now_ns
+        """)
+        assert findings == []
+
+    def test_exempt_in_clock_module(self):
+        source = "import time\nnow = time.monotonic_ns()\n"
+        assert lint_source("src/repro/sim/clock.py", source) == []
+        assert rules_of(lint_source("src/repro/sim/other.py", source)) \
+            == {"RPR001"}
+
+
+class TestUnseededRandomRule:
+    def test_flags_global_random_functions(self):
+        findings = run("""
+            import random
+            x = random.random()
+            random.shuffle([1, 2])
+        """)
+        assert [f.rule for f in findings] == ["RPR002", "RPR002"]
+
+    def test_flags_unseeded_random_and_entropy(self):
+        findings = run("""
+            import os, random, uuid
+            rng = random.Random()
+            key = os.urandom(16)
+            tag = uuid.uuid4()
+        """)
+        assert [f.rule for f in findings] == ["RPR002"] * 3
+
+    def test_clean_seeded_random(self):
+        findings = run("""
+            import random
+            rng = random.Random(42)
+            rng2 = random.Random(seed)
+            x = rng.random()
+        """)
+        assert findings == []
+
+
+class TestSetOrderRule:
+    def test_flags_for_over_set_literal(self):
+        findings = run("""
+            for x in {3, 1, 2}:
+                print(x)
+        """)
+        assert rules_of(findings) == {"RPR003"}
+
+    def test_flags_comprehension_and_sinks(self):
+        findings = run("""
+            out = [x for x in set(items)]
+            pairs = list({1, 2})
+            text = ",".join({a for a in names})
+        """)
+        assert [f.rule for f in findings] == ["RPR003"] * 3
+
+    def test_clean_sorted_and_membership(self):
+        findings = run("""
+            for x in sorted(set(items)):
+                print(x)
+            ok = value in {1, 2, 3}
+            keys = sorted({k for k in table})
+        """)
+        assert findings == []
+
+
+class TestHostFileIoRule:
+    def test_flags_open_and_os_calls(self):
+        findings = run("""
+            import os
+            fh = open("x.txt")
+            os.remove("x.txt")
+        """)
+        assert [f.rule for f in findings] == ["RPR004", "RPR004"]
+
+    def test_flags_tempfile_import_and_pathlib_write(self):
+        findings = run("""
+            import tempfile
+            path.write_text("data")
+        """)
+        assert [f.rule for f in findings] == ["RPR004", "RPR004"]
+
+    def test_clean_blob_api_read_bytes(self):
+        # The engine's own BlobManager.read_bytes must not trip the
+        # pathlib heuristic.
+        findings = run("""
+            data = self.blobs.read_bytes(state)
+        """)
+        assert findings == []
+
+    def test_clean_device_io(self):
+        findings = run("""
+            payload = self.device.read(pid, npages)
+            self.device.write(pid, payload)
+        """)
+        assert findings == []
+
+
+class TestHostNetExecRule:
+    def test_flags_socket_and_subprocess(self):
+        findings = run("""
+            import socket
+            import subprocess
+            subprocess.call(["ls"])
+        """)
+        assert [f.rule for f in findings] == ["RPR005"] * 3
+
+    def test_flags_os_system(self):
+        findings = run("""
+            import os
+            os.system("true")
+        """)
+        assert rules_of(findings) == {"RPR005"}
+
+    def test_clean_simulated_transport(self):
+        findings = run("""
+            from repro.net.transport import Link
+            link.send(b"payload")
+        """)
+        assert findings == []
+
+
+class TestSubstrateBypassRule:
+    def test_flags_peek_and_private_state(self):
+        findings = run("""
+            raw = self.device.peek(pid, 1)
+            pages = self.device._pages
+            inner._poke(pid, 0, b"x")
+        """)
+        assert [f.rule for f in findings] == ["RPR006"] * 3
+
+    def test_exempt_inside_storage_layer(self):
+        source = "raw = self.device.peek(pid, 1)\n"
+        assert lint_source("src/repro/storage/faults.py", source) == []
+
+    def test_clean_unrelated_peek(self):
+        # A token cursor's .peek() is not device access.
+        findings = run("""
+            token = self.cursor.peek()
+            rows = self._pages()
+        """)
+        assert findings == []
+
+
+class TestSuppressions:
+    def test_parse(self):
+        sup = parse_suppressions(
+            "a = 1\n"
+            "b = open('x')  # repro: allow[RPR004]\n"
+            "c = 2  # repro: allow[RPR001, RPR004]\n")
+        assert sup == {2: {"RPR004"}, 3: {"RPR001", "RPR004"}}
+
+    def test_matching_id_suppresses(self):
+        findings = run("""
+            fh = open("x.txt")  # repro: allow[RPR004] host artifact
+        """)
+        assert findings == []
+
+    def test_wrong_id_does_not_suppress(self):
+        findings = run("""
+            fh = open("x.txt")  # repro: allow[RPR001] mislabeled
+        """)
+        assert rules_of(findings) == {"RPR004"}
+
+    def test_multiline_statement_covered_by_last_line(self):
+        findings = run("""
+            fh = open(
+                "x.txt")  # repro: allow[RPR004] host artifact
+        """)
+        assert findings == []
+
+
+class TestEngineAndReport:
+    def test_rule_ids_unique_and_documented(self):
+        ids = [cls.rule_id for cls in ALL_RULES]
+        assert len(ids) == len(set(ids))
+        assert len(ids) >= 6
+        for cls in ALL_RULES:
+            assert cls.__doc__ and cls.rule_id in cls.__doc__
+
+    def test_repo_source_tree_is_clean(self):
+        assert lint_paths([REPO_SRC]) == []
+
+    def test_repo_examples_are_clean(self):
+        assert lint_paths([REPO_EXAMPLES]) == []
+
+    def test_iter_python_files_sorted_and_filtered(self):
+        files = iter_python_files([REPO_SRC])
+        assert files == sorted(files)
+        assert all(f.endswith(".py") for f in files)
+        assert not any("__pycache__" in f for f in files)
+
+    def test_json_report_shape(self):
+        findings = run("import time\nx = time.time()\n")
+        doc = json.loads(render_json(findings, files_scanned=1))
+        assert doc["version"] == 1
+        assert doc["files_scanned"] == 1
+        assert doc["rules"]["RPR001"]
+        assert doc["findings"][0]["rule"] == "RPR001"
+        assert doc["findings"][0]["line"] == 2
+
+    def test_finding_format(self):
+        finding = run("x = time.time()")[0]
+        assert finding.format().startswith("src/repro/fake.py:1:5: RPR001")

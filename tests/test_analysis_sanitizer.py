@@ -1,0 +1,267 @@
+"""Tests for the runtime latch/WAL-order sanitizer."""
+
+import pytest
+
+from repro.analysis import (
+    LatchCycleViolation,
+    LatchViolation,
+    Sanitizer,
+    WalOrderViolation,
+    attach_sanitizer,
+)
+from repro.buffer.frames import ExtentFrame
+from repro.buffer.vmcache import VmcachePool
+from repro.sim.cost import CostModel
+from repro.storage.device import SimulatedNVMe
+from repro.wal.records import TxnCommitRecord
+from repro.wal.writer import WalWriter
+
+PAGE = 4096
+
+
+def make_pool(capacity_pages=64, device_pages=4096):
+    model = CostModel()
+    device = SimulatedNVMe(model, capacity_pages=device_pages)
+    return VmcachePool(device, model, capacity_pages)
+
+
+class TestLatchDiscipline:
+    def test_write_without_latch_raises(self):
+        san = Sanitizer()
+        frame = ExtentFrame(head_pid=8, npages=1, page_size=PAGE, san=san)
+        with pytest.raises(LatchViolation):
+            frame.write_at(0, b"x")
+
+    def test_read_without_latch_raises(self):
+        san = Sanitizer()
+        frame = ExtentFrame(head_pid=8, npages=1, page_size=PAGE, san=san)
+        with pytest.raises(LatchViolation):
+            san.on_frame_read(frame)
+
+    def test_pinned_write_is_clean(self):
+        san = Sanitizer()
+        frame = ExtentFrame(head_pid=8, npages=1, page_size=PAGE,
+                            pins=1, san=san)
+        frame.write_at(0, b"x")
+        assert san.stats.frame_writes == 1
+        assert san.stats.violations == 0
+
+    def test_protected_write_is_clean(self):
+        san = Sanitizer()
+        frame = ExtentFrame(head_pid=8, npages=1, page_size=PAGE,
+                            prevent_evict=True, san=san)
+        frame.write_at(0, b"x")
+        assert san.stats.violations == 0
+
+    def test_pool_fetch_pins_then_unpin_exposes(self):
+        pool = make_pool()
+        pool.allocate_frame(0, 2, prevent_evict=False)
+        san = attach_sanitizer(pool.model)
+        frames = pool.fetch_extents([(0, 2)], pin=True)
+        frames[0].write_at(0, b"ok")          # latched: clean
+        pool.unpin(frames)
+        with pytest.raises(LatchViolation):
+            frames[0].write_at(0, b"racy")    # latch dropped: violation
+        assert san.stats.latch_acquires == 1
+        assert san.stats.latch_releases == 1
+
+    def test_collect_mode_records_instead_of_raising(self):
+        san = Sanitizer(mode="collect")
+        frame = ExtentFrame(head_pid=8, npages=1, page_size=PAGE, san=san)
+        frame.write_at(0, b"x")
+        frame.write_at(1, b"y")
+        assert san.stats.violations == 2
+        assert all(kind == "LatchViolation" for kind, _ in san.violations)
+        assert "violations       2" in san.format_summary()
+
+
+class TestWalOrdering:
+    def test_writeback_before_flush_violates(self):
+        san = Sanitizer()
+        san.note_page_coverage([40], lsn=100)
+        with pytest.raises(WalOrderViolation):
+            san.on_data_writeback(40)
+
+    def test_writeback_after_flush_is_clean(self):
+        san = Sanitizer()
+        san.note_page_coverage([40], lsn=100)
+        san.on_wal_durable(100)
+        san.on_data_writeback(40)
+        assert san.stats.violations == 0
+
+    def test_uncovered_page_is_clean(self):
+        san = Sanitizer()
+        san.on_data_writeback(7)
+        assert san.stats.violations == 0
+
+    def test_dropped_frame_clears_coverage(self):
+        san = Sanitizer()
+        san.note_page_coverage([40], lsn=100)
+        san.on_frame_drop(40)
+        san.on_data_writeback(40)
+        assert san.stats.violations == 0
+
+    def test_real_wal_and_pool_reorder(self):
+        """Deliberately reorder write-back before the WAL flush."""
+        pool = make_pool()
+        san = attach_sanitizer(pool.model)
+        wal = WalWriter(pool.device, pool.model, region_pid=1024,
+                        region_pages=64)
+        frame = pool.allocate_frame(0, 1)
+        frame.write_at(0, b"payload")
+        wal.append(TxnCommitRecord(txn_id=1))
+        san.note_page_coverage([frame.head_pid], wal.lsn)
+        # Wrong order: data before log.
+        with pytest.raises(WalOrderViolation):
+            pool.write_back(frame)
+
+    def test_real_wal_and_pool_correct_order(self):
+        pool = make_pool()
+        san = attach_sanitizer(pool.model)
+        wal = WalWriter(pool.device, pool.model, region_pid=1024,
+                        region_pages=64)
+        frame = pool.allocate_frame(0, 1)
+        frame.write_at(0, b"payload")
+        wal.append(TxnCommitRecord(txn_id=1))
+        san.note_page_coverage([frame.head_pid], wal.lsn)
+        wal.group_commit_flush()              # log first...
+        pool.write_back(frame)                # ...then data
+        assert san.stats.violations == 0
+        assert san.stats.wal_flushes >= 1
+        assert san.stats.writebacks_checked == 1
+
+    def test_non_data_writeback_not_checked(self):
+        pool = make_pool()
+        san = attach_sanitizer(pool.model)
+        frame = pool.allocate_frame(0, 1)
+        frame.write_at(0, b"log bytes")
+        san.note_page_coverage([0], lsn=999)
+        pool.write_back(frame, category="wal")  # WAL region, not data
+        assert san.stats.violations == 0
+
+
+class TestLatchOrder:
+    def test_inverted_acquisition_order_cycles(self):
+        san = Sanitizer()
+        san.on_latch_acquire([1])
+        san.on_latch_acquire([2])             # order 1 -> 2
+        san.on_latch_release(2)
+        san.on_latch_release(1)
+        san.on_latch_acquire([2])
+        with pytest.raises(LatchCycleViolation):
+            san.on_latch_acquire([1])         # order 2 -> 1: cycle
+
+    def test_consistent_order_is_clean(self):
+        san = Sanitizer()
+        for _ in range(3):
+            san.on_latch_acquire([1])
+            san.on_latch_acquire([2])
+            san.on_latch_release(2)
+            san.on_latch_release(1)
+        assert san.stats.violations == 0
+
+    def test_same_batch_is_unordered(self):
+        san = Sanitizer()
+        san.on_latch_acquire([1, 2])
+        san.on_latch_release(1)
+        san.on_latch_release(2)
+        san.on_latch_acquire([2, 1])          # reversed, same batch: fine
+        assert san.stats.violations == 0
+
+    def test_cross_worker_inversion_detected(self):
+        san = Sanitizer()
+        san.set_worker(0)
+        san.on_latch_acquire([1])
+        san.on_latch_acquire([2])             # worker 0: order 1 -> 2
+        san.set_worker(1)
+        san.on_latch_acquire([2])
+        with pytest.raises(LatchCycleViolation):
+            san.on_latch_acquire([1])         # worker 1: order 2 -> 1
+
+
+class TestEngineIntegration:
+    @pytest.mark.parametrize("system", ["our", "our.physlog"])
+    def test_ycsb_run_is_violation_free(self, system):
+        from repro.bench.adapters import make_store
+        from repro.workloads.ycsb import YcsbConfig, YcsbWorkload
+
+        store = make_store(system, capacity_bytes=1 << 30,
+                           buffer_bytes=64 << 20)
+        san = attach_sanitizer(store.model)   # raise mode: first hit fails
+        workload = YcsbWorkload(YcsbConfig(
+            n_records=8, payload=32 * 1024, read_ratio=0.5, seed=3))
+        for key, data in workload.load_phase():
+            store.put(key, data)
+        for op, key, data in workload.operations(80):
+            if op == "read":
+                store.get(key)
+            else:
+                store.replace(key, data)
+        store.db.checkpoint()
+        assert san.stats.violations == 0
+        assert san.stats.frame_writes > 0
+        assert san.stats.latch_acquires > 0
+        assert san.stats.writebacks_checked > 0
+
+    def test_grow_path_is_latch_clean(self):
+        from repro.db import BlobDB
+
+        db = BlobDB()
+        san = attach_sanitizer(db.model)
+        db.create_table("t")
+        with db.transaction() as txn:
+            db.put_blob(txn, "t", b"k", b"\x01" * 100_000)
+        with db.transaction() as txn:
+            db.append_blob(txn, "t", b"k", b"\x02" * 50_000)
+        assert db.read_blob("t", b"k")[:1] == b"\x01"
+        assert san.stats.violations == 0
+
+    def test_abort_path_is_latch_clean(self):
+        from repro.db import BlobDB
+
+        db = BlobDB()
+        san = attach_sanitizer(db.model)
+        db.create_table("t")
+        with db.transaction() as txn:
+            db.put_blob(txn, "t", b"k", b"\x05" * 40_000)
+        txn = db.begin()
+        db.update_blob_range(txn, "t", b"k", 10, b"\xff" * 64,
+                             scheme="delta")
+        db.abort(txn)
+        assert db.read_blob("t", b"k")[10:12] == b"\x05\x05"
+        assert san.stats.violations == 0
+
+
+class TestCli:
+    def test_sanitize_command_passes(self, capsys):
+        from repro.__main__ import main
+
+        assert main(["sanitize", "ycsb", "--ops", "40",
+                     "--checkpoint"]) == 0
+        out = capsys.readouterr().out
+        assert "sanitizer OK" in out
+        assert "violations       0" in out
+
+    def test_lint_command_on_repo_passes(self, capsys, tmp_path):
+        import json
+        import os
+
+        from repro.__main__ import main
+
+        src = os.path.join(os.path.dirname(__file__), os.pardir,
+                           "src", "repro")
+        report = tmp_path / "lint.json"
+        assert main(["lint", src, "--json", str(report)]) == 0
+        assert "lint OK" in capsys.readouterr().out
+        doc = json.loads(report.read_text())
+        assert doc["findings"] == []
+        assert doc["files_scanned"] > 50
+
+    def test_lint_command_flags_bad_file(self, capsys, tmp_path):
+        from repro.__main__ import main
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import time\nx = time.time()\n")
+        assert main(["lint", str(bad)]) == 1
+        out = capsys.readouterr().out
+        assert "RPR001" in out
