@@ -214,9 +214,52 @@ def _cmd_trace(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_iodepth(args: argparse.Namespace) -> int:
+    """Queue-depth sweep: print the table, then self-check that the
+    sweep is deterministic (two runs, byte-identical) and that
+    throughput rises monotonically with diminishing returns."""
+    from repro.bench import baseline
+
+    first = baseline.run_iodepth_sweep()
+    second = baseline.run_iodepth_sweep()
+    rows = first["sweep"]
+    print("iodepth sweep (pinned seed, simulated time)")
+    print(f"  {'qd':>4} {'ops':>6} {'op/s':>14} {'p99 us':>10} "
+          f"{'WA':>6} {'coalesce':>9}")
+    for wl in rows:
+        print(f"  {wl['queue_depth']:>4} {wl['ops']:>6} "
+              f"{wl['throughput_ops_s']:>14.1f} "
+              f"{wl['latency_us']['p99']:>10.1f} "
+              f"{wl['write_amplification']:>6.2f} "
+              f"{wl['io']['coalesce_ratio']:>9.4f}")
+    failures = []
+    if baseline.render(first) != baseline.render(second):
+        failures.append("sweep not deterministic: two runs differ")
+    tp = [wl["throughput_ops_s"] for wl in rows]
+    for a, b in zip(tp, tp[1:]):
+        if b < a:
+            failures.append(
+                f"throughput not monotone in queue depth: {a} -> {b}")
+    if len(tp) >= 3 and (tp[-1] - tp[-2]) > (tp[-2] - tp[-3]):
+        failures.append(
+            "no diminishing returns at the deepest queue: gain "
+            f"{tp[-2] - tp[-3]:.1f} then {tp[-1] - tp[-2]:.1f}")
+    if args.out:
+        baseline.write_baseline(args.out, first)
+        print(f"wrote {args.out}")
+    if failures:
+        for line in failures:
+            print("FAILED: " + line, file=sys.stderr)
+        return 1
+    print("iodepth sweep OK: deterministic, monotone, diminishing returns")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import baseline
 
+    if args.mode == "iodepth":
+        return _cmd_bench_iodepth(args)
     doc = baseline.run_suite(args.label)
     # Provenance stamp attached *outside* the deterministic suite; the
     # regression gate ignores unknown top-level keys.
@@ -268,7 +311,8 @@ def _cmd_sanitize(args: argparse.Namespace) -> int:
     from repro.bench.adapters import make_store
 
     store = make_store(args.system, capacity_bytes=1 << 30,
-                       buffer_bytes=256 << 20)
+                       buffer_bytes=256 << 20,
+                       group_commit_window_ns=args.window_ns)
     san = attach_sanitizer(store.model, mode="collect")
     _drive_traced_workload(store, args.workload, args.seed, args.ops)
     if args.checkpoint and hasattr(store, "db"):
@@ -348,6 +392,10 @@ def main(argv: list[str] | None = None) -> int:
 
     bench = sub.add_parser(
         "bench", help="deterministic benchmark baseline + regression gate")
+    bench.add_argument("mode", nargs="?", choices=("suite", "iodepth"),
+                       default="suite",
+                       help="'suite' (default) or 'iodepth' for the "
+                            "queue-depth sweep with self-checks")
     bench.add_argument("--label", default="local")
     bench.add_argument("--out", default=None,
                        help="output path (default BENCH_<label>.json)")
@@ -376,6 +424,10 @@ def main(argv: list[str] | None = None) -> int:
     sanitize.add_argument("--checkpoint", action="store_true",
                           help="force a checkpoint at the end (exercises "
                                "the write-back path)")
+    sanitize.add_argument("--window-ns", type=float, default=200_000.0,
+                          help="group-commit window in simulated ns "
+                               "(0 disables; default 200us so the async "
+                               "cross-worker commit path is sanitized)")
     sanitize.set_defaults(func=_cmd_sanitize)
 
     info = sub.add_parser("info", help="version and configuration")

@@ -36,10 +36,11 @@ _NET_EXEC_MODULES = frozenset({
     "socket", "subprocess", "urllib", "requests", "http",
 })
 
-#: Raw device internals: touching these outside ``repro/storage/``
-#: bypasses cost charging and protection-information updates.
+#: Raw device internals: touching these outside the storage substrate
+#: and the I/O scheduler bypasses cost charging and
+#: protection-information updates.
 _RAW_DEVICE_ATTRS = frozenset({"_pages", "_page_crc"})
-_RAW_DEVICE_CALLS = frozenset({"_poke", "peek"})
+_RAW_DEVICE_CALLS = frozenset({"_poke", "peek", "_scatter", "_gather"})
 _DEVICE_RECEIVER = re.compile(r"\b(device|inner|physical|nvme)\b")
 
 
@@ -131,10 +132,13 @@ class SubstrateBypassRule(Rule):
     """RPR006 — raw device-state access that bypasses the cost model.
 
     ``SimulatedNVMe._pages`` / ``_page_crc`` / ``_poke()`` / ``peek()``
-    move bytes without charging I/O time or maintaining protection
-    information.  Only the storage substrate itself (``repro/storage/``,
-    which implements faults and remapping on top of them) may use them;
-    everything else goes through ``read``/``write``/``submit``.
+    / ``_scatter()`` / ``_gather()`` move bytes without charging I/O
+    time or maintaining protection information.  Only the storage
+    substrate itself (``repro/storage/``, which implements faults and
+    remapping on top of them) and the I/O scheduler (``repro/io/``, the
+    submission/completion-queue front end that prices whole batches)
+    may use them; everything else goes through ``read``/``write``/
+    ``submit`` or an :class:`~repro.io.IoScheduler`.
 
     Heuristic: flagged only when the receiver expression names a device
     (``device``/``inner``/``physical``/``nvme``), so unrelated
@@ -143,7 +147,7 @@ class SubstrateBypassRule(Rule):
 
     rule_id = "RPR006"
     title = "raw device access bypassing the cost model"
-    allowed_paths = ("repro/storage/",)
+    allowed_paths = ("repro/storage/", "repro/io/")
 
     def _receiver_is_device(self, node: ast.AST) -> bool:
         try:

@@ -118,7 +118,9 @@ class OurStoreAdapter(StoreAdapter):
         return self.db.get_state(self.TABLE, key).size
 
     def drop_caches(self) -> None:
-        # Push dirty state out, then empty the buffer pool.
+        # Settle any open group-commit window, push dirty state out,
+        # then empty the buffer pool.
+        self.db.drain_commit_window()
         self.db.pool.flush_all_dirty(background=True)
         self.db.pool.drop_all_volatile()
 

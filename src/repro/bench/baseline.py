@@ -41,14 +41,21 @@ GATED_METRICS = (
 
 def _engine_store():
     from repro.bench.adapters import make_store
+    # A 200 us group-commit window: commits inside it share one WAL
+    # flush and one sorted extent batch (the paper's group commit,
+    # Section V-A, extended across the whole commit window).
     return make_store("our", capacity_bytes=1 << 30,
-                      buffer_bytes=256 << 20)
+                      buffer_bytes=256 << 20,
+                      group_commit_window_ns=200_000.0)
 
 
 def _workload_result(store, ops: int, elapsed_ns: int, latency: Histogram,
                      payload_bytes: int) -> dict:
     """Distill one finished workload run into the gated JSON shape."""
     db = store.db
+    # Settle any open group-commit window so deferred writes are
+    # accounted — write amplification must not hide queued work.
+    db.drain_commit_window()
     device = db.device
     report = db.stats_report()
     written = device.stats.bytes_written
@@ -143,21 +150,115 @@ def _run_wikipedia(n_articles: int, n_ops: int, seed: int) -> dict:
                             payload_bytes)
 
 
+#: Queue depths of the iodepth sweep (powers of four up to past the
+#: simulated device's submission-queue limit).
+IODEPTH_SWEEP = (1, 4, 16, 64)
+
+
+def _run_iodepth(queue_depth: int) -> dict:
+    """One point of the queue-depth sweep.
+
+    Scattered 4-page extent reads (plus periodic write batches) are
+    pushed through an :class:`~repro.io.IoScheduler` pinned to
+    ``queue_depth``; everything else — request sequence, extent
+    placement, payload bytes — is identical across depths, so the sweep
+    isolates how submission-queue depth shapes latency overlap.
+    """
+    import random
+
+    from repro.io import IoScheduler
+    from repro.sim.cost import CostModel
+    from repro.storage.device import SimulatedNVMe
+
+    model = CostModel()
+    device = SimulatedNVMe(model, capacity_pages=4096)
+    sched = IoScheduler(device, model, queue_depth=queue_depth,
+                        max_merge_pages=64)
+    ps = device.page_size
+    n_extents, ext_pages = 256, 4
+    rng = random.Random(11)
+    # Preload every extent off the timed path.
+    for idx in range(n_extents):
+        device.write(idx * ext_pages, rng.randbytes(ext_pages * ps),
+                     background=True)
+    written_before = device.stats.bytes_written
+    clock = model.clock
+    latency = Histogram("batch_ns")
+    start_ns = clock.now_ns
+    ops = 0
+    payload_bytes = 0
+    for round_no in range(24):
+        read_idx = rng.sample(range(n_extents), 44)
+        write_idx = rng.sample(range(n_extents), 16) \
+            if round_no % 3 == 2 else []
+        write_data = [rng.randbytes(ext_pages * ps) for _ in write_idx]
+        with Stopwatch(clock) as sw:
+            for idx in read_idx:
+                sched.submit_read(idx * ext_pages, ext_pages)
+            sched.drain()
+            for idx, data in zip(write_idx, write_data):
+                sched.submit_write(idx * ext_pages, data)
+            if write_idx:
+                sched.drain()
+        latency.observe(sw.elapsed_ns)
+        ops += len(read_idx) + len(write_idx)
+        payload_bytes += sum(len(d) for d in write_data)
+    elapsed_ns = clock.now_ns - start_ns
+    written = device.stats.bytes_written - written_before
+    lat = latency.summary()
+    return {
+        "ops": ops,
+        "elapsed_virtual_ms": round(elapsed_ns / 1e6, 3),
+        "throughput_ops_s": round(ops * 1e9 / elapsed_ns, 1)
+        if elapsed_ns else 0.0,
+        "latency_us": {
+            "mean": round(lat["mean"] / 1000, 1),
+            "p50": round(lat["p50"] / 1000, 1),
+            "p95": round(lat["p95"] / 1000, 1),
+            "p99": round(lat["p99"] / 1000, 1),
+            "max": round(lat["max"] / 1000, 1),
+        },
+        "payload_bytes": payload_bytes,
+        "write_amplification": round(written / payload_bytes, 4)
+        if payload_bytes else 0.0,
+        "queue_depth": queue_depth,
+        "io": {
+            "requests_in": sched.stats.requests_in,
+            "requests_out": sched.stats.requests_out,
+            "coalesce_ratio": round(sched.stats.coalesce_ratio, 4),
+            "drains": sched.stats.drains,
+        },
+    }
+
+
+def run_iodepth_sweep(depths: tuple[int, ...] = IODEPTH_SWEEP) -> dict:
+    """The full queue-depth sweep as one JSON-ready document."""
+    return {
+        "suite_version": SUITE_VERSION,
+        "sweep": [_run_iodepth(qd) for qd in depths],
+    }
+
+
 def run_suite(label: str = "local") -> dict:
     """Run the pinned-seed suite; returns the JSON-ready document."""
+    workloads = {
+        # 4 KB rows: the small-object regime (Fig. 5 territory).
+        "ycsb_4k": _run_ycsb(payload=4096, n_records=32, n_ops=240,
+                             seed=0),
+        # 100 KB BLOBs: the paper's mid-size regime (Fig. 6).
+        "ycsb_100k": _run_ycsb(payload=100 * 1024, n_records=12,
+                               n_ops=60, seed=0),
+        # Wikipedia: realistic size distribution + Zipf popularity.
+        "wikipedia": _run_wikipedia(n_articles=100, n_ops=150, seed=7),
+    }
+    # The queue-depth sweep rides in the gated suite so a perf change
+    # that hurts deep-queue pipelining fails the same gate.
+    for point in run_iodepth_sweep()["sweep"]:
+        workloads[f"iodepth_qd{point['queue_depth']}"] = point
     return {
         "label": label,
         "suite_version": SUITE_VERSION,
-        "workloads": {
-            # 4 KB rows: the small-object regime (Fig. 5 territory).
-            "ycsb_4k": _run_ycsb(payload=4096, n_records=32, n_ops=240,
-                                 seed=0),
-            # 100 KB BLOBs: the paper's mid-size regime (Fig. 6).
-            "ycsb_100k": _run_ycsb(payload=100 * 1024, n_records=12,
-                                   n_ops=60, seed=0),
-            # Wikipedia: realistic size distribution + Zipf popularity.
-            "wikipedia": _run_wikipedia(n_articles=100, n_ops=150, seed=7),
-        },
+        "workloads": workloads,
     }
 
 

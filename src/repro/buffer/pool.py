@@ -6,8 +6,9 @@ import random
 from dataclasses import dataclass
 
 from repro.buffer.frames import BlobView, ExtentFrame
+from repro.io import IoScheduler
 from repro.sim.cost import CostModel
-from repro.storage.device import IoRequest, SimulatedNVMe
+from repro.storage.device import SimulatedNVMe
 
 
 @dataclass
@@ -35,7 +36,9 @@ class BufferPoolBase:
 
     def __init__(self, device: SimulatedNVMe, model: CostModel,
                  capacity_pages: int, eviction_seed: int = 0,
-                 eviction_policy: str = "fair") -> None:
+                 eviction_policy: str = "fair", *,
+                 io_queue_depth: int = 32,
+                 io_max_merge_pages: int = 64) -> None:
         if capacity_pages <= 0:
             raise ValueError("capacity must be positive")
         if eviction_policy not in ("fair", "uniform"):
@@ -43,6 +46,11 @@ class BufferPoolBase:
         self.device = device
         self.model = model
         self.capacity_pages = capacity_pages
+        #: SQ/CQ front end: every batched pool I/O (miss loads, flush
+        #: batches) goes through one scheduler so adjacent extents
+        #: coalesce and batches are priced at its queue depth.
+        self.io = IoScheduler(device, model, queue_depth=io_queue_depth,
+                              max_merge_pages=io_max_merge_pages)
         #: "fair" accepts a victim with probability proportional to its
         #: page count (Section III-G); "uniform" treats every extent as
         #: equally evictable (the ablation baseline).
@@ -65,6 +73,15 @@ class BufferPoolBase:
 
     def is_resident(self, head_pid: int) -> bool:
         return head_pid in self._frames
+
+    def frame_is_current(self, frame: ExtentFrame) -> bool:
+        """True while ``frame`` still owns its pages in this pool.
+
+        A deferred group-commit flush uses this to skip frames whose
+        blob was dropped or replaced after the commit that queued them:
+        their pages may have been reallocated to someone else.
+        """
+        return self._frames.get(frame.head_pid) is frame
 
     def get_frame(self, head_pid: int) -> ExtentFrame | None:
         frame = self._frames.get(head_pid)
@@ -138,15 +155,14 @@ class BufferPoolBase:
                 obs.begin("pool.load")
             try:
                 self._make_room(sum(n for _, n in missing))
-                requests = [IoRequest(pid=pid, npages=n)
-                            for pid, n in missing]
-                self.model.syscall("io_submit")
-                payloads = self._device_call(
-                    lambda: self.device.submit(requests))
-                for (pid, npages), payload in zip(missing, payloads):
+                tickets = [self.io.submit_read(pid, n)
+                           for pid, n in missing]
+                self._device_call(self.io.drain)
+                for (pid, npages), ticket in zip(missing, tickets):
+                    assert ticket.result is not None
                     frame = ExtentFrame(head_pid=pid, npages=npages,
                                         page_size=self.device.page_size,
-                                        data=bytearray(payload),
+                                        data=bytearray(ticket.result),
                                         san=self.model.san)
                     self._frames[pid] = frame
                     self._used_pages += npages
@@ -215,38 +231,37 @@ class BufferPoolBase:
         """Flush many frames' dirty ranges as one async batch.
 
         ``background=True`` models work a group committer / checkpointer
-        performs off the critical path.
+        performs off the critical path.  Frames are sorted by head pid
+        before submission so the scheduler sees pid-adjacent extents
+        next to each other and can coalesce them into larger transfers.
         """
-        requests = []
         total = 0
+        flushed = 0
         san = self.model.san
-        for frame in frames:
+        for frame in sorted(frames, key=lambda f: f.head_pid):
             if not frame.is_dirty:
                 continue
             if san is not None and category == "data":
                 san.on_data_writeback(frame.head_pid)
             payload = frame.dirty_slice()
-            requests.append(IoRequest(
-                pid=frame.head_pid + frame.dirty_from,
-                npages=frame.dirty_pages, data=payload, category=category))
+            self.io.submit_write(frame.head_pid + frame.dirty_from,
+                                 payload, category=category)
             total += len(payload)
+            flushed += 1
             frame.clean()
             self.stats.writebacks += 1
-        if requests:
+        if flushed:
             obs = self.model.obs
             if obs is not None:
                 obs.begin("pool.flush_batch")
             try:
-                if not background:
-                    self.model.syscall("io_submit")
                 self._device_call(
-                    lambda: self.device.submit(requests,
-                                               background=background))
+                    lambda: self.io.drain(background=background))
             finally:
                 if obs is not None:
-                    obs.end(extents=len(requests), bytes=total,
+                    obs.end(extents=flushed, bytes=total,
                             background=background)
-                    obs.count("pool.writebacks", len(requests))
+                    obs.count("pool.writebacks", flushed)
         return total
 
     def flush_all_dirty(self, category: str = "data",

@@ -33,12 +33,102 @@ from repro.wal.writer import WalWriter
 
 
 class LogPolicyBase:
-    """Strategy interface: how BLOB content reaches durability."""
+    """Strategy interface: how BLOB content reaches durability.
+
+    All policies share the cross-worker group-commit window: with
+    ``commit_window_ns > 0`` a committing transaction does not flush —
+    it queues its WAL bytes and dirty extents into the open window, and
+    the commit whose virtual time passes the window deadline drains
+    everything with *one* WAL flush and *one* sorted, coalesced extent
+    batch.  WAL-before-data ordering is preserved because deferred
+    extents are flushed only after the window's WAL flush, and deferred
+    frames stay ``prevent_evict`` until then.
+    """
 
     name = "abstract"
 
     def __init__(self, wal: WalWriter) -> None:
         self.wal = wal
+        #: Group-commit window length in simulated ns; 0 (the default)
+        #: flushes at every commit, which crash tests rely on.
+        self.commit_window_ns = 0.0
+        self._window_deadline: float | None = None
+        #: Deferred dirty extents to flush (and then unprotect) at drain.
+        self._window_frames: list[ExtentFrame] = []
+        #: Deferred frames to unprotect only (physlog content frames:
+        #: their bytes are in the WAL, they stay dirty past the drain).
+        self._window_protected: list[ExtentFrame] = []
+        self._window_commits = 0
+
+    def _commit_durability(self, txn: Transaction, pool: BufferPoolBase,
+                           protected: tuple[ExtentFrame, ...] | list[
+                               ExtentFrame] = ()) -> None:
+        """Flush now, or defer this commit into the group-commit window."""
+        if self.commit_window_ns <= 0.0:
+            self.wal.group_commit_flush()
+            pool.flush_batch(txn.pending_flush, category="data",
+                             background=True)
+            for frame in txn.pending_flush:
+                frame.prevent_evict = False
+            for frame in protected:
+                frame.prevent_evict = False
+            return
+        self._window_frames.extend(txn.pending_flush)
+        self._window_protected.extend(protected)
+        self._window_commits += 1
+        now = self.wal.model.clock.now_ns
+        if self._window_deadline is None:
+            # This commit opens the window; later commits ride along
+            # until one lands past the deadline and drains for the group.
+            self._window_deadline = now + self.commit_window_ns
+        elif now >= self._window_deadline:
+            self.drain_commit_window(pool)
+
+    def drain_commit_window(self, pool: BufferPoolBase) -> None:
+        """Settle every deferred commit: one WAL flush, one extent batch.
+
+        Also the synchronization point for checkpoints, snapshots, and
+        cache drops: anything that needs the pool's durable state to
+        match the committed state must drain the window first.
+        """
+        if self._window_deadline is None and not self._window_frames \
+                and not self._window_protected:
+            return
+        if self.wal._in_flush:
+            # A forced checkpoint runs inside a WAL flush; the nested
+            # flush below would be a no-op, so the deferred records are
+            # not yet durable and the extents must not be written first.
+            # Keep the window open — frames stay protected and the drain
+            # completes at the next commit or explicit drain.
+            return
+        commits = self._window_commits
+        # WAL first: the deferred Blob States must be durable before any
+        # deferred extent content (Section III-C ordering, unchanged).
+        self.wal.group_commit_flush()
+        seen: set[int] = set()
+        live: list[ExtentFrame] = []
+        for frame in self._window_frames:
+            if id(frame) in seen:
+                continue
+            seen.add(id(frame))
+            # A deferred frame whose blob was dropped or replaced inside
+            # the window no longer owns its pages; flushing it would
+            # clobber whatever the allocator put there since.
+            if pool.frame_is_current(frame):
+                live.append(frame)
+        pool.flush_batch(live, category="data", background=True)
+        for frame in self._window_frames:
+            frame.prevent_evict = False
+        for frame in self._window_protected:
+            frame.prevent_evict = False
+        self._window_frames = []
+        self._window_protected = []
+        self._window_deadline = None
+        self._window_commits = 0
+        obs = self.wal.model.obs
+        if obs is not None:
+            obs.count("wal.window_drains")
+            obs.count("wal.window_commits", commits)
 
     def log_blob_content(self, txn: Transaction, table: str, key: bytes,
                          data: bytes, offset: int,
@@ -60,6 +150,9 @@ class LogPolicyBase:
         raise NotImplementedError
 
     def on_abort(self, txn: Transaction, pool: BufferPoolBase) -> None:
+        if not txn.logged:
+            # Never appended anything — nothing to undo at recovery.
+            return
         self.wal.append(TxnAbortRecord(txn_id=txn.txn_id))
         self.wal.group_commit_flush()
 
@@ -76,6 +169,10 @@ class AsyncBlobLogging(LogPolicyBase):
         txn.remember_flush(frames)
 
     def on_commit(self, txn: Transaction, pool: BufferPoolBase) -> None:
+        if not txn.logged and not txn.pending_flush:
+            # Read-only: no records were logged, so the commit needs no
+            # record (and no flush) either.
+            return
         self.wal.append(TxnCommitRecord(txn_id=txn.txn_id))
         san = self.wal.model.san
         if san is not None:
@@ -83,11 +180,9 @@ class AsyncBlobLogging(LogPolicyBase):
             san.note_page_coverage(
                 [f.head_pid for f in txn.pending_flush], self.wal.lsn)
         # Durability order (Section III-C): the WAL buffer — which holds
-        # the Blob States — is persisted *before* the extents.
-        self.wal.group_commit_flush()
-        pool.flush_batch(txn.pending_flush, category="data", background=True)
-        for frame in txn.pending_flush:
-            frame.prevent_evict = False
+        # the Blob States — is persisted *before* the extents.  With a
+        # group-commit window both flushes may be deferred together.
+        self._commit_durability(txn, pool)
 
 
 class PhysicalLogging(LogPolicyBase):
@@ -119,21 +214,20 @@ class PhysicalLogging(LogPolicyBase):
         txn.physlog_frames.extend(frames)
 
     def on_commit(self, txn: Transaction, pool: BufferPoolBase) -> None:
+        if not txn.logged and not txn.pending_flush \
+                and not txn.physlog_frames:
+            return
         self.wal.append(TxnCommitRecord(txn_id=txn.txn_id))
         san = self.wal.model.san
         if san is not None:
             pids = [f.head_pid for f in txn.pending_flush] \
                 + [f.head_pid for f in txn.physlog_frames]
             san.note_page_coverage(pids, self.wal.lsn)
-        self.wal.group_commit_flush()
         # Commit-time flush applies only to frames other code explicitly
         # queued (e.g. clone-updated extents); content-bearing frames stay
-        # dirty but become evictable now that their chunks are durable.
-        pool.flush_batch(txn.pending_flush, category="data", background=True)
-        for frame in txn.pending_flush:
-            frame.prevent_evict = False
-        for frame in txn.physlog_frames:
-            frame.prevent_evict = False
+        # dirty but become evictable once their chunks are durable — so
+        # under a window their unprotection defers with the WAL flush.
+        self._commit_durability(txn, pool, protected=txn.physlog_frames)
 
 
 def make_policy(name: str, wal: WalWriter) -> LogPolicyBase:

@@ -39,6 +39,7 @@ from repro.wal.records import (
     find_frame_beyond,
     scan_records,
 )
+from repro.wal.writer import scan_region
 
 
 @dataclass
@@ -117,7 +118,7 @@ def _recover_state_body(device: SimulatedNVMe, config: EngineConfig,
     if obs is not None:
         obs.begin("recovery.wal_scan")
     try:
-        records = _read_wal(device, config, state, retry)
+        records = _read_wal(device, config, model, state, retry)
     finally:
         if obs is not None:
             obs.end(corrupt_pages=state.wal_corrupt_pages,
@@ -244,7 +245,7 @@ def _load_snapshot(device: SimulatedNVMe, config: EngineConfig,
 
 
 def _read_wal(device: SimulatedNVMe, config: EngineConfig,
-              state: RecoveredState, retry=None) -> list:
+              model: CostModel, state: RecoveredState, retry=None) -> list:
     """Scan the WAL region, hardening against device-level damage.
 
     The region is read unverified (recovery owns corruption handling
@@ -256,8 +257,11 @@ def _read_wal(device: SimulatedNVMe, config: EngineConfig,
     committed work would be silently dropped by truncation, so recovery
     refuses with :class:`WalCorruptionError` instead.
     """
-    raw = _io(retry, lambda: device.read(config.wal_region_pid,
-                                         config.wal_pages, verify=False))
+    # The whole region is scanned as a chunked deep-queue sequential
+    # batch: chunk latencies overlap up to the scan queue depth instead
+    # of serializing behind one giant read command.
+    raw = _io(retry, lambda: scan_region(
+        device, model, config.wal_region_pid, config.wal_pages))
     state.wal_corrupt_pages = len(
         device.verify_range(config.wal_region_pid, config.wal_pages))
     scan = scan_records(raw)

@@ -91,6 +91,8 @@ class BlobDB:
         self.pool = pool_cls(self.device, self.model,
                              capacity_pages=cfg.buffer_pool_pages,
                              **pool_kwargs)
+        self.pool.io.queue_depth = cfg.io_queue_depth
+        self.pool.io.max_merge_pages = cfg.io_max_merge_pages
         # The data area spans the device's (possibly logical) page space.
         self.allocator = ExtentAllocator(
             self.tiers, cfg.data_start_pid,
@@ -121,6 +123,7 @@ class BlobDB:
                                  hasher_kind=cfg.hasher,
                                  use_tail_extents=cfg.use_tail_extents)
         self.policy = make_policy(cfg.log_policy, self.wal)
+        self.policy.commit_window_ns = cfg.group_commit_window_ns
         self.locks = LockTable(self.model)
         self._tables: dict[str, BTree] = {
             _TABLES_TABLE: self._new_btree()}
@@ -197,8 +200,17 @@ class BlobDB:
         txn = Transaction(self._next_txn_id)
         self._next_txn_id += 1
         self._active[txn.txn_id] = txn
-        self.wal.append(TxnBeginRecord(txn_id=txn.txn_id))
         return txn
+
+    def _ensure_begin(self, txn: Transaction) -> None:
+        """Log the begin record lazily, ahead of the first mutation.
+
+        Read-only transactions therefore never append to (or flush) the
+        WAL; recovery still sees begin first for every logged txn.
+        """
+        if not txn.logged:
+            txn.logged = True
+            self.wal.append(TxnBeginRecord(txn_id=txn.txn_id))
 
     @property
     def _occ(self) -> bool:
@@ -335,6 +347,7 @@ class BlobDB:
         tree = self._table(table)
         if tree.lookup(key) is not None:
             raise DuplicateKeyError(f"{table}[{key!r}] exists")
+        self._ensure_begin(txn)
         self.wal.append(InsertRecord(txn_id=txn.txn_id, table=table, key=key,
                                      value=encode_value(value)))
         txn.remember_undo(table, key, None)
@@ -400,6 +413,7 @@ class BlobDB:
         tree = self._table(table)
         if tree.lookup(key) is not None:
             raise DuplicateKeyError(f"{table}[{key!r}] exists")
+        self._ensure_begin(txn)
         result = self.blobs.create(data, use_tail=use_tail)
         txn.allocated.extend(result.new_extents)
         if result.new_tail is not None:
@@ -492,6 +506,7 @@ class BlobDB:
                           extra: bytes) -> BlobState:
         self.locks.acquire(txn.txn_id, table, key, LockMode.EXCLUSIVE)
         old_state = self.get_state(table, key)
+        self._ensure_begin(txn)
         result = self.blobs.grow(old_state, extra)
         txn.allocated.extend(result.new_extents)
         if result.freed_tail is not None:
@@ -534,6 +549,7 @@ class BlobDB:
                                 scheme: str) -> BlobState:
         self.locks.acquire(txn.txn_id, table, key, LockMode.EXCLUSIVE)
         old_state = self.get_state(table, key)
+        self._ensure_begin(txn)
         if scheme in ("auto", "delta"):
             # Capture pre-images for abort before the in-place write.
             self._capture_delta_preimages(txn, old_state, offset, len(data))
@@ -605,6 +621,7 @@ class BlobDB:
         old_state = self._lookup(table, key, None)
         if not isinstance(old_state, BlobState):
             raise TypeError(f"{table}[{key!r}] is not a BLOB")
+        self._ensure_begin(txn)
         self.wal.append(DeleteRecord(txn_id=txn.txn_id, table=table, key=key,
                                      old_value=encode_value(old_state)))
         extents, tail = self.blobs.delete(old_state)
@@ -630,12 +647,17 @@ class BlobDB:
             return
         txn.ensure_active()
         self.locks.acquire(txn.txn_id, table, key, LockMode.EXCLUSIVE)
+        self._ensure_begin(txn)
         self.wal.append(DeleteRecord(txn_id=txn.txn_id, table=table, key=key,
                                      old_value=encode_value(value)))
         txn.remember_undo(table, key, value)
         self._table(table).delete(key)
 
     # -- checkpointing -----------------------------------------------------------------------
+
+    def drain_commit_window(self) -> None:
+        """Settle any open group-commit window (see the log policy)."""
+        self.policy.drain_commit_window(self.pool)
 
     def _maybe_checkpoint(self) -> None:
         if (self.wal.used_fraction() > self.config.checkpoint_threshold
@@ -671,6 +693,9 @@ class BlobDB:
             obs.count("db.checkpoints")
 
     def _write_snapshot_body(self) -> None:
+        # Deferred group commits must settle before the WAL records that
+        # cover them can be discarded by the ring rewind.
+        self.policy.drain_commit_window(self.pool)
         # Physlog leaves committed BLOB content dirty in the pool; a
         # checkpoint must push it out (the second write) before the WAL
         # chunks that could redo it are discarded.

@@ -28,6 +28,12 @@ class EngineReport:
     device_bytes_read: int = 0
     device_write_requests: int = 0
 
+    # I/O scheduler (the pool's SQ/CQ front end)
+    io_requests_in: int = 0
+    io_requests_out: int = 0
+    io_drains: int = 0
+    io_coalesce_ratio: float = 0.0
+
     # WAL
     wal_records: int = 0
     wal_bytes_appended: int = 0
@@ -90,6 +96,9 @@ class EngineReport:
             f"device:         wrote [{cats}], "
             f"read {self.device_bytes_read >> 10}K "
             f"in {self.device_write_requests} write requests",
+            f"io scheduler:   {self.io_requests_in} submitted -> "
+            f"{self.io_requests_out} issued in {self.io_drains} drains "
+            f"({self.io_coalesce_ratio:.0%} coalesced)",
             f"wal:            {self.wal_records} records, "
             f"{self.wal_bytes_appended >> 10}K appended, "
             f"{self.wal_synchronous_flushes} sync flushes, "
@@ -128,6 +137,10 @@ def build_report(db) -> EngineReport:
             device.stats.bytes_written_by_category),
         device_bytes_read=device.stats.bytes_read,
         device_write_requests=device.stats.write_requests,
+        io_requests_in=pool.io.stats.requests_in,
+        io_requests_out=pool.io.stats.requests_out,
+        io_drains=pool.io.stats.drains,
+        io_coalesce_ratio=pool.io.stats.coalesce_ratio,
         wal_records=db.wal.stats.records,
         wal_bytes_appended=db.wal.stats.bytes_appended,
         wal_synchronous_flushes=db.wal.stats.synchronous_flushes,

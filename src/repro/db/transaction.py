@@ -102,6 +102,10 @@ class Transaction:
     def __init__(self, txn_id: int) -> None:
         self.txn_id = txn_id
         self.status = TxnStatus.ACTIVE
+        #: True once the begin record hit the WAL.  Begin is logged
+        #: lazily, ahead of the first mutation record, so read-only
+        #: transactions never touch the WAL at all.
+        self.logged = False
         #: Dirty BLOB extents awaiting the commit-time single flush.
         self.pending_flush: list[ExtentFrame] = []
         #: Extents to publish to the free lists when the commit is durable

@@ -1,0 +1,12 @@
+"""Deterministic asynchronous I/O engine (submission/completion queues).
+
+The paper's engine keeps the NVMe device at full queue depth by issuing
+large batches of asynchronous requests (Section III-C, V); this package
+provides the engine-side half of that: :class:`IoScheduler`, a
+submission/completion queue with request coalescing whose costs flow
+through the shared :class:`~repro.sim.cost.CostModel`.
+"""
+
+from repro.io.scheduler import IoScheduler, IoStats, IoTicket
+
+__all__ = ["IoScheduler", "IoStats", "IoTicket"]

@@ -1,0 +1,205 @@
+"""Submission/completion-queue scheduler over the simulated NVMe device.
+
+The paper attributes LeanStore's BLOB throughput to large, batched,
+asynchronous writes that keep the device at full queue depth while file
+systems pay per-page syscalls and serialized flushes (PAPER.md §IV-V).
+:class:`IoScheduler` reproduces that structure deterministically:
+
+* **Submission queue** — ``submit_read``/``submit_write`` enqueue
+  requests without touching the device; each returns an
+  :class:`IoTicket` that will carry the completion payload.
+* **Coalescing** — at ``drain`` time the pending queue is sorted by
+  (direction, category, pid) and runs of pid-adjacent requests of the
+  same kind are merged into single larger transfers, up to
+  ``max_merge_pages`` pages per merged command (real block schedulers
+  bound merges the same way to keep tail latency in check).
+* **Queue depth** — the merged batch is pushed to the device with the
+  scheduler's configured depth; :meth:`CostModel._charge_io` overlaps
+  the latency of in-flight commands instead of summing it, so deeper
+  queues cost less until bandwidth binds.
+* **Completion queue** — one ``io_submit``/``io_getevents`` syscall pair
+  is charged per foreground drain (not per request), and merged read
+  payloads are sliced back onto their originating tickets positionally.
+
+Failure atomicity matches the device: if the device (or a fault
+wrapper) raises mid-batch, the pending queue is left intact, so a
+retry policy re-draining the scheduler resubmits the whole batch —
+writes are idempotent, and partially applied prefixes are simply
+rewritten.
+
+Everything is observable through the nullable ``model.obs`` hook: an
+``io.queue_depth`` histogram of post-merge batch sizes plus
+``io.requests_in``/``io.requests_out``/``io.coalesced``/``io.drains``
+counters from which a coalesce ratio follows.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.sim.cost import CostModel
+from repro.storage.device import IoRequest
+
+
+@dataclass
+class IoTicket:
+    """One queued request; carries the read payload after completion."""
+
+    pid: int
+    npages: int
+    data: bytes | None = None
+    category: str = "data"
+    #: Set by ``drain``: read payload for reads, ``None`` for writes.
+    result: bytes | None = None
+    done: bool = False
+
+    @property
+    def is_write(self) -> bool:
+        return self.data is not None
+
+
+@dataclass
+class IoStats:
+    """Scheduler-side accounting (device stats count merged commands)."""
+
+    requests_in: int = 0
+    requests_out: int = 0
+    drains: int = 0
+
+    @property
+    def coalesced(self) -> int:
+        return self.requests_in - self.requests_out
+
+    @property
+    def coalesce_ratio(self) -> float:
+        """Fraction of enqueued requests absorbed into a neighbour."""
+        if self.requests_in == 0:
+            return 0.0
+        return self.coalesced / self.requests_in
+
+
+class IoScheduler:
+    """Batched SQ/CQ front end over a device exposing ``submit()``.
+
+    Callers must not enqueue conflicting writes to the same page within
+    one drain window: coalescing sorts the queue, so their device order
+    would be pid order, not submission order.  (The engine's buffer pool
+    never does — each dirty frame is flushed once per batch.)
+    """
+
+    def __init__(self, device, model: CostModel, *,
+                 queue_depth: int = 32, max_merge_pages: int = 64) -> None:
+        if queue_depth < 1:
+            raise ValueError("queue depth must be at least 1")
+        if max_merge_pages < 1:
+            raise ValueError("max merge size must be at least 1 page")
+        self.device = device
+        self.model = model
+        self.queue_depth = queue_depth
+        self.max_merge_pages = max_merge_pages
+        self.stats = IoStats()
+        self._pending: list[IoTicket] = []
+
+    # -- submission ----------------------------------------------------------
+
+    @property
+    def pending(self) -> int:
+        return len(self._pending)
+
+    def submit_read(self, pid: int, npages: int) -> IoTicket:
+        """Queue a read of ``npages`` pages at ``pid``."""
+        ticket = IoTicket(pid=pid, npages=npages)
+        self._pending.append(ticket)
+        return ticket
+
+    def submit_write(self, pid: int, data: bytes,
+                     category: str = "data") -> IoTicket:
+        """Queue a write of whole pages starting at ``pid``."""
+        ticket = IoTicket(pid=pid, npages=len(data) // self.device.page_size,
+                          data=data, category=category)
+        self._pending.append(ticket)
+        return ticket
+
+    # -- completion ----------------------------------------------------------
+
+    def drain(self, background: bool = False,
+              verify: bool = True) -> list[IoTicket]:
+        """Coalesce, issue, and complete every pending request.
+
+        Returns the tickets in their original submission order, each
+        with ``result`` populated (reads) and ``done`` set.  On a device
+        error the queue is preserved so a retry re-drains the batch.
+        """
+        if not self._pending:
+            return []
+        groups = self._coalesce(self._pending)
+        requests = [self._merge_request(group) for group in groups]
+        if not background:
+            self.model.syscall("io_submit")
+        payloads = self.device.submit(requests, background=background,
+                                      verify=verify,
+                                      queue_depth=self.queue_depth)
+        if not background:
+            self.model.syscall("io_getevents")
+        # The batch is durably applied: account and complete.
+        self.stats.requests_in += len(self._pending)
+        self.stats.requests_out += len(requests)
+        self.stats.drains += 1
+        obs = self.model.obs
+        if obs is not None:
+            obs.count("io.requests_in", len(self._pending))
+            obs.count("io.requests_out", len(requests))
+            obs.count("io.coalesced", len(self._pending) - len(requests))
+            obs.count("io.drains", background=background)
+            obs.observe("io.queue_depth", float(len(requests)))
+        ps = self.device.page_size
+        for group, payload in zip(groups, payloads):
+            offset = 0
+            for ticket in group:
+                if payload is not None:
+                    ticket.result = payload[offset:offset
+                                            + ticket.npages * ps]
+                    offset += ticket.npages * ps
+                ticket.done = True
+        drained = self._pending
+        self._pending = []
+        return drained
+
+    # -- internals -----------------------------------------------------------
+
+    def _coalesce(self, tickets: list[IoTicket]) -> list[list[IoTicket]]:
+        """Group sorted tickets into runs mergeable into one command."""
+        ordered = sorted(tickets,
+                         key=lambda t: (t.is_write, t.category, t.pid))
+        groups: list[list[IoTicket]] = []
+        run: list[IoTicket] = []
+        run_pages = 0
+        for ticket in ordered:
+            if run and self._adjacent(run[-1], ticket) \
+                    and run_pages + ticket.npages <= self.max_merge_pages:
+                run.append(ticket)
+                run_pages += ticket.npages
+                continue
+            if run:
+                groups.append(run)
+            run = [ticket]
+            run_pages = ticket.npages
+        groups.append(run)
+        return groups
+
+    @staticmethod
+    def _adjacent(prev: IoTicket, ticket: IoTicket) -> bool:
+        return (prev.is_write == ticket.is_write
+                and prev.category == ticket.category
+                and prev.pid + prev.npages == ticket.pid)
+
+    @staticmethod
+    def _merge_request(group: list[IoTicket]) -> IoRequest:
+        head = group[0]
+        npages = sum(t.npages for t in group)
+        if head.is_write:
+            data = head.data if len(group) == 1 \
+                else b"".join(t.data for t in group)  # type: ignore[misc]
+            return IoRequest(pid=head.pid, npages=npages, data=data,
+                             category=head.category)
+        return IoRequest(pid=head.pid, npages=npages)

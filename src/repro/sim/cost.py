@@ -214,6 +214,11 @@ class CostModel:
         self.memory_time_ns = 0.0
         #: Total bytes moved by memcpy/kernel_copy (bandwidth demand).
         self.memcpy_bytes = 0
+        #: Simulated ns spent in *foreground* WAL flushes.  With group
+        #: commit one flush serves every worker queued inside the commit
+        #: window, so :mod:`repro.sim.workers` amortizes this component
+        #: across workers instead of replaying it per worker.
+        self.wal_flush_time_ns = 0.0
 
     # -- internal charging helpers -----------------------------------------
 
@@ -313,27 +318,36 @@ class CostModel:
 
     # -- SSD I/O (invoked by the simulated device) -----------------------------
 
-    def ssd_read(self, nbytes: int, requests: int = 1) -> None:
+    def ssd_read(self, nbytes: int, requests: int = 1,
+                 queue_depth: int | None = None) -> None:
         """Charge reading ``nbytes`` spread over ``requests`` NVMe commands.
 
         Requests submitted in one async batch overlap their latency up to
-        the device queue depth; bandwidth is paid for every byte.
+        the effective queue depth (the submitter's ``queue_depth`` capped
+        by the device-internal ``ssd_queue_depth``); bandwidth is paid for
+        every byte.
         """
         self._charge_io(nbytes, requests, self.params.ssd_read_latency_ns,
-                        self.params.ssd_read_ns_per_byte)
+                        self.params.ssd_read_ns_per_byte, queue_depth)
 
-    def ssd_write(self, nbytes: int, requests: int = 1) -> None:
+    def ssd_write(self, nbytes: int, requests: int = 1,
+                  queue_depth: int | None = None) -> None:
         self._charge_io(nbytes, requests, self.params.ssd_write_latency_ns,
-                        self.params.ssd_write_ns_per_byte)
+                        self.params.ssd_write_ns_per_byte, queue_depth)
 
     def _charge_io(self, nbytes: int, requests: int,
-                   latency_ns: float, ns_per_byte: float) -> None:
+                   latency_ns: float, ns_per_byte: float,
+                   queue_depth: int | None = None) -> None:
         if requests <= 0:
             return
         qd = self.params.ssd_queue_depth
-        # Latency of overlapped waves of up to `qd` parallel commands.
+        if queue_depth is not None:
+            qd = max(1, min(queue_depth, qd))
+        # In-flight commands pipeline their latency instead of summing it:
+        # the batch is limited either by latency (waves of up to `qd`
+        # overlapped commands) or by transfer bandwidth, whichever binds.
         waves = (requests + qd - 1) // qd
-        ns = waves * latency_ns + nbytes * ns_per_byte
+        ns = max(waves * latency_ns, latency_ns + nbytes * ns_per_byte)
         self._charge_kernel(ns, cache_misses=nbytes // 256)
 
     # -- client/server access path ----------------------------------------------

@@ -39,6 +39,9 @@ class WorkerResult:
     contention_factor: float
     l3_spilled: bool
     counters: PerfCounters
+    #: Per-op foreground WAL flush time after group-commit amortization
+    #: (0.0 unless the run used ``group_commit=True``).
+    wal_flush_ns_per_op: float = 0.0
 
     @property
     def total_ops(self) -> int:
@@ -56,12 +59,19 @@ class WorkerSim:
 
     def run(self, op: WorkerOp, ops_per_worker: int,
             working_set_bytes: int = 0,
-            setup: Callable[[CostModel], None] | None = None) -> WorkerResult:
+            setup: Callable[[CostModel], None] | None = None,
+            group_commit: bool = False) -> WorkerResult:
         """Execute ``ops_per_worker`` operations and model N-worker scaling.
 
         ``working_set_bytes`` is the per-worker memory footprint an op
         streams through (client buffer + any internal staging buffer); it
         determines whether N workers together spill L3.
+
+        ``group_commit=True`` models cross-worker group commit: the
+        foreground WAL flush time the trace accumulated (one flush per
+        commit window) is shared by every worker whose commit rode the
+        window, so its per-op contribution is divided by the worker
+        count instead of being replicated N times.
         """
         if ops_per_worker < 1:
             raise ValueError("ops_per_worker must be positive")
@@ -75,18 +85,28 @@ class WorkerSim:
         start_ns = model.clock.now_ns
         start_mem = model.memory_time_ns
         start_bytes = model.memcpy_bytes
+        start_wal_flush = model.wal_flush_time_ns
         base_counters = model.counters.snapshot()
         for i in range(ops_per_worker):
             op(model, i)
         total_ns = model.clock.now_ns - start_ns
         mem_ns = model.memory_time_ns - start_mem
         copy_bytes = model.memcpy_bytes - start_bytes
+        wal_flush_ns = model.wal_flush_time_ns - start_wal_flush
         counters = model.counters.delta_since(base_counters)
 
         per_op_total = total_ns / ops_per_worker
         per_op_mem = mem_ns / ops_per_worker
         per_op_other = max(0.0, per_op_total - per_op_mem)
         per_op_bytes = copy_bytes / ops_per_worker
+        per_op_wal_flush = 0.0
+        if group_commit and wal_flush_ns > 0:
+            # Remove the synchronous flush component from the serial
+            # part and re-add the amortized 1/N share.
+            per_op_flush_full = wal_flush_ns / ops_per_worker
+            per_op_wal_flush = per_op_flush_full / self.n_workers
+            per_op_other = max(
+                0.0, per_op_other - per_op_flush_full) + per_op_wal_flush
 
         spilled = (self.n_workers * working_set_bytes) > self.params.l3_bytes
         if spilled:
@@ -103,6 +123,7 @@ class WorkerSim:
             contention_factor=factor,
             l3_spilled=spilled,
             counters=counters,
+            wal_flush_ns_per_op=per_op_wal_flush,
         )
 
     def _bandwidth_factor(self, other_ns: float, mem_ns: float,

@@ -58,6 +58,8 @@ class DeviceStats:
     write_requests: int = 0
     bytes_written_by_category: dict[str, int] = field(
         default_factory=lambda: {c: 0 for c in WRITE_CATEGORIES})
+    write_requests_by_category: dict[str, int] = field(
+        default_factory=lambda: {c: 0 for c in WRITE_CATEGORIES})
 
     @property
     def bytes_written(self) -> int:
@@ -75,19 +77,30 @@ class DeviceStats:
             read_requests=self.read_requests,
             write_requests=self.write_requests,
             bytes_written_by_category=dict(self.bytes_written_by_category),
+            write_requests_by_category=dict(self.write_requests_by_category),
         )
 
     def delta_since(self, earlier: "DeviceStats") -> "DeviceStats":
+        # Custom categories may first appear on either side of the
+        # interval, so every per-category delta is taken over the union
+        # of both key sets (a key missing on one side counts as zero).
         return DeviceStats(
             bytes_read=self.bytes_read - earlier.bytes_read,
             read_requests=self.read_requests - earlier.read_requests,
             write_requests=self.write_requests - earlier.write_requests,
-            bytes_written_by_category={
-                c: self.bytes_written_by_category[c]
-                - earlier.bytes_written_by_category.get(c, 0)
-                for c in self.bytes_written_by_category
-            },
+            bytes_written_by_category=_dict_delta(
+                self.bytes_written_by_category,
+                earlier.bytes_written_by_category),
+            write_requests_by_category=_dict_delta(
+                self.write_requests_by_category,
+                earlier.write_requests_by_category),
         )
+
+
+def _dict_delta(now: dict[str, int], earlier: dict[str, int]) \
+        -> dict[str, int]:
+    keys = sorted(set(now) | set(earlier))
+    return {k: now.get(k, 0) - earlier.get(k, 0) for k in keys}
 
 
 @dataclass
@@ -166,12 +179,16 @@ class SimulatedNVMe:
 
     def submit(self, requests: list[IoRequest],
                background: bool = False,
-               verify: bool = True) -> list[bytes | None]:
+               verify: bool = True,
+               queue_depth: int | None = None) -> list[bytes | None]:
         """Execute a batch of commands whose latencies overlap.
 
         Returns, positionally, the read data for read requests and ``None``
         for writes.  This models ``io_uring``/libaio submission: one wave
         of up-to-queue-depth commands pays one device latency.
+        ``queue_depth`` caps how many of the batch's commands are in
+        flight at once (the submitter's SQ depth); the device-internal
+        ``ssd_queue_depth`` remains the upper bound.
 
         ``background=True`` models work hidden from the critical path —
         page-cache writeback in file systems, a DBMS group committer, the
@@ -199,6 +216,9 @@ class SimulatedNVMe:
                     self.stats.bytes_written_by_category[req.category] = 0
                 self._scatter(req.pid, req.data)
                 self.stats.bytes_written_by_category[req.category] += nbytes
+                self.stats.write_requests_by_category[req.category] = \
+                    self.stats.write_requests_by_category.get(
+                        req.category, 0) + 1
                 write_bytes += nbytes
                 n_writes += 1
                 results.append(None)
@@ -228,9 +248,11 @@ class SimulatedNVMe:
         try:
             if not background:
                 if n_reads:
-                    self.model.ssd_read(read_bytes, requests=n_reads)
+                    self.model.ssd_read(read_bytes, requests=n_reads,
+                                        queue_depth=queue_depth)
                 if n_writes:
-                    self.model.ssd_write(write_bytes, requests=n_writes)
+                    self.model.ssd_write(write_bytes, requests=n_writes,
+                                         queue_depth=queue_depth)
                     if self.protect:
                         self.model.crc32_bytes(write_bytes)
         finally:

@@ -143,6 +143,19 @@ class FaultPlan:
             return self.spec.latency_spike_ns
         return 0.0
 
+    def draw_fault_index(self, n_requests: int) -> int:
+        """Index of the request a transient batch failure lands on.
+
+        Requests ahead of the drawn index have already completed when
+        the error surfaces; the failing request and everything queued
+        behind it never reach the device.  Single-request operations
+        consume no extra draw, preserving the schedule of plans written
+        before batch-position faults existed.
+        """
+        if n_requests <= 1:
+            return 0
+        return self._rng.randrange(n_requests)
+
     def draw_torn_byte(self, nbytes: int) -> int | None:
         """Byte offset at which a write tears, or None for a clean write."""
         if self.spec.torn_write <= 0.0:
@@ -207,8 +220,22 @@ class FaultyNVMe:
 
     def submit(self, requests: list[IoRequest],
                background: bool = False,
-               verify: bool = True) -> list[bytes | None]:
-        self._pre_op()
+               verify: bool = True,
+               queue_depth: int | None = None) -> list[bytes | None]:
+        if self.plan.draw_transient():
+            # A queued batch does not fail atomically: the error surfaces
+            # on request k, after requests [0, k) completed and before
+            # [k, n) were issued.  The prefix is applied verbatim (its
+            # own torn/flip draws happen on the retry that rewrites it).
+            k = self.plan.draw_fault_index(len(requests))
+            if k:
+                self.inner.submit(requests[:k], background=background,
+                                  verify=verify, queue_depth=queue_depth)
+            raise DeviceIOError(
+                f"injected transient device error at request {k}")
+        spike = self.plan.draw_latency_spike_ns()
+        if spike:
+            self.inner.model.clock.advance(spike)
         ps = self.inner.page_size
         damage: list[tuple[int, bytes]] = []
         flips: list[tuple[int, int]] = []
@@ -229,7 +256,7 @@ class FaultyNVMe:
             if flip is not None:
                 flips.append((req.pid + flip[0], flip[1]))
         results = self.inner.submit(requests, background=background,
-                                    verify=verify)
+                                    verify=verify, queue_depth=queue_depth)
         for pid, image in damage:
             self.inner._poke(pid, image)
         for pid, bit in flips:

@@ -133,7 +133,8 @@ class RemappedDevice:
 
     def submit(self, requests: list[IoRequest],
                background: bool = False,
-               verify: bool = True) -> list[bytes | None]:
+               verify: bool = True,
+               queue_depth: int | None = None) -> list[bytes | None]:
         """Translate each logical request into physical run requests."""
         physical_requests: list[IoRequest] = []
         plans: list[tuple[IoRequest, list[int]] | None] = []
@@ -157,7 +158,8 @@ class RemappedDevice:
                     physical_requests.append(IoRequest(pid=run_start,
                                                        npages=run_len))
                 plans.append((req, phys))
-        self.physical.submit(physical_requests, background=background)
+        self.physical.submit(physical_requests, background=background,
+                             queue_depth=queue_depth)
         # Reads re-gather from physical state (content-exact, cost above).
         results: list[bytes | None] = []
         for plan in plans:

@@ -25,9 +25,36 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable
 
+from repro.io import IoScheduler
 from repro.sim.cost import CostModel
 from repro.storage.device import SimulatedNVMe
 from repro.wal.records import LogRecord, decode_records
+
+#: Chunk size (pages) of the deep-queue sequential scan recovery uses to
+#: read the log region: the region is split into chunks submitted as one
+#: batch, so chunk latencies overlap up to the scan queue depth instead
+#: of serializing behind one giant command.
+SCAN_CHUNK_PAGES = 64
+SCAN_QUEUE_DEPTH = 32
+
+
+def scan_region(device, model: CostModel, region_pid: int,
+                npages: int, *, verify: bool = False) -> bytes:
+    """Read ``npages`` at ``region_pid`` as one deep-queue chunked batch."""
+    if npages <= 0:
+        return b""
+    scheduler = IoScheduler(device, model, queue_depth=SCAN_QUEUE_DEPTH,
+                            max_merge_pages=SCAN_CHUNK_PAGES)
+    tickets = []
+    pid = region_pid
+    remaining = npages
+    while remaining > 0:
+        chunk = min(SCAN_CHUNK_PAGES, remaining)
+        tickets.append(scheduler.submit_read(pid, chunk))
+        pid += chunk
+        remaining -= chunk
+    scheduler.drain(verify=verify)
+    return b"".join(t.result for t in tickets)  # type: ignore[misc]
 
 
 class WalFullError(Exception):
@@ -76,6 +103,10 @@ class WalWriter:
         #: Strictly increasing frame sequence; never rewinds, so stale
         #: ring bytes from a previous pass are detectable at recovery.
         self._next_seq = 1
+        #: Re-entrancy guard: an overflow flush can trigger a checkpoint
+        #: whose callback drains the group-commit window, which asks for
+        #: another flush of bytes the outer flush is already persisting.
+        self._in_flush = False
 
     @property
     def region_bytes(self) -> int:
@@ -137,12 +168,13 @@ class WalWriter:
         self.model.syscall("fdatasync")
 
     def _flush_prefix(self, nbytes: int, background: bool) -> None:
-        if nbytes <= 0 or not self._buffer:
+        if nbytes <= 0 or not self._buffer or self._in_flush:
             return
         nbytes = min(nbytes, len(self._buffer))
         obs = self.model.obs
         if obs is not None:
             obs.begin("wal.flush")
+        self._in_flush = True
         try:
             ps = self.device.page_size
             self._ensure_space(nbytes)
@@ -157,10 +189,17 @@ class WalWriter:
             def _write() -> None:
                 self.device.write(first_pid, padded, category=self.category,
                                   background=background)
+            flush_start = self.model.clock.now_ns
             if self.retry is not None:
                 self.retry.run(_write)
             else:
                 _write()
+            if not background:
+                # Foreground flush time is amortizable by group commit:
+                # one flush serves every worker in the commit window
+                # (repro.sim.workers divides this by the worker count).
+                self.model.wal_flush_time_ns += \
+                    self.model.clock.now_ns - flush_start
             del self._buffer[:nbytes]
             self._write_off += nbytes
             in_page = self._write_off % ps
@@ -173,6 +212,7 @@ class WalWriter:
             if not background:
                 self.stats.synchronous_flushes += 1
         finally:
+            self._in_flush = False
             if obs is not None:
                 obs.end(bytes=nbytes, background=background)
                 obs.count("wal.flushes", background=background)
@@ -222,7 +262,8 @@ class WalWriter:
         npages = (self._write_off + ps - 1) // ps
         if npages == 0:
             return []
-        # Recovery pays for its log scan like any other read; skip the
-        # checksum verify because torn final pages are expected here.
-        raw = self.device.read(self.region_pid, npages, verify=False)
+        # Recovery pays for its log scan like any other read — a chunked
+        # deep-queue sequential batch; skip the checksum verify because
+        # torn final pages are expected here.
+        raw = scan_region(self.device, self.model, self.region_pid, npages)
         return list(decode_records(raw[:self._write_off]))

@@ -182,6 +182,23 @@ class TestSubstrateBypassRule:
         source = "raw = self.device.peek(pid, 1)\n"
         assert lint_source("src/repro/storage/faults.py", source) == []
 
+    def test_flags_raw_scatter_gather_outside_io_layer(self):
+        findings = run("""
+            data = self.device._gather(pid, npages)
+            inner._scatter(pid, payload)
+        """)
+        assert [f.rule for f in findings] == ["RPR006"] * 2
+
+    def test_exempt_inside_io_scheduler_layer(self):
+        source = ("data = self.device._gather(pid, npages)\n"
+                  "self.device._scatter(pid, payload)\n")
+        assert lint_source("src/repro/io/scheduler.py", source) == []
+
+    def test_clean_unrelated_scatter(self):
+        # numpy-style scatter on a non-device receiver is not flagged.
+        findings = run("plot._scatter(xs, ys)\n")
+        assert findings == []
+
     def test_clean_unrelated_peek(self):
         # A token cursor's .peek() is not device access.
         findings = run("""

@@ -16,7 +16,8 @@ def suite_doc():
 class TestSuite:
     def test_runs_all_workloads(self, suite_doc):
         assert set(suite_doc["workloads"]) == \
-            {"ycsb_4k", "ycsb_100k", "wikipedia"}
+            {"ycsb_4k", "ycsb_100k", "wikipedia",
+             "iodepth_qd1", "iodepth_qd4", "iodepth_qd16", "iodepth_qd64"}
         assert suite_doc["suite_version"] == baseline.SUITE_VERSION
 
     def test_workload_shape(self, suite_doc):
@@ -27,6 +28,9 @@ class TestSuite:
                 <= wl["latency_us"]["max"], name
             assert wl["write_amplification"] > 0, name
             assert wl["payload_bytes"] > 0, name
+            if name.startswith("iodepth_"):
+                assert wl["queue_depth"] >= 1, name
+                continue
             # Category accounting must include the data and WAL streams.
             cats = wl["bytes_written_by_category"]
             assert cats.get("data", 0) > 0 and cats.get("wal", 0) > 0, name

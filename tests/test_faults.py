@@ -173,6 +173,37 @@ class TestFaultyNVMe:
         assert faulty.submit([IoRequest(pid=0, npages=1)]) == \
             [b"\x11" * 4096]
 
+    @staticmethod
+    def _fault_index_for(seed):
+        """Submit an 8-write batch; return (k, applied-flags per request)."""
+        dev, _ = make_device(protect=False)
+        for i in range(8):
+            dev.write(4 * i, b"\x00" * 4096, background=True)
+        plan = FaultPlan(FaultSpec(seed=seed, transient_error=1.0,
+                                   max_consecutive_transients=1))
+        faulty = FaultyNVMe(dev, plan)
+        batch = [IoRequest(pid=4 * i, npages=1, data=bytes([i + 1]) * 4096)
+                 for i in range(8)]
+        with pytest.raises(DeviceIOError) as err:
+            faulty.submit(batch)
+        k = int(str(err.value).rsplit(" ", 1)[-1])
+        applied = tuple(dev.peek(4 * i, 1) == bytes([i + 1]) * 4096
+                        for i in range(8))
+        return k, applied
+
+    def test_batch_fault_applies_exact_prefix(self):
+        # A faulted batch is not atomic: requests before the drawn index
+        # k land verbatim, k and everything after stay untouched.
+        k, applied = self._fault_index_for(seed=9)
+        assert 0 <= k < 8
+        assert applied == tuple(i < k for i in range(8))
+
+    def test_batch_fault_index_is_seed_deterministic(self):
+        assert self._fault_index_for(seed=9) == self._fault_index_for(seed=9)
+        # A different seed moves the tear point (9 vs 11 chosen to differ).
+        assert self._fault_index_for(seed=9)[0] != \
+            self._fault_index_for(seed=11)[0]
+
 
 class TestRetryPolicy:
     def test_retries_then_succeeds_deterministically(self):

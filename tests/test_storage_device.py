@@ -123,6 +123,21 @@ class TestAccounting:
         assert delta.bytes_written_by_category["data"] == 0
         assert delta.bytes_read == PAGE
 
+    def test_delta_includes_category_born_after_snapshot(self, device):
+        # Regression: a category whose first write lands *between* the
+        # two snapshots must still appear in the delta (the subtraction
+        # has to iterate the union of keys, not the earlier dict's).
+        device.write(0, b"1" * PAGE, category="data")
+        snap = device.stats.snapshot()
+        device.write(1, b"n" * (2 * PAGE), category="newborn")
+        delta = device.stats.delta_since(snap)
+        assert delta.bytes_written_by_category["newborn"] == 2 * PAGE
+        assert delta.write_requests_by_category["newborn"] == 1
+        assert "newborn" not in snap.bytes_written_by_category
+        # And the snapshot is a deep copy: later writes don't mutate it.
+        assert snap.bytes_written_by_category["data"] == PAGE
+        assert sum(snap.bytes_written_by_category.values()) == PAGE
+
     def test_resident_pages(self, device):
         device.write(0, b"x" * (3 * PAGE))
         assert device.resident_pages() == 3

@@ -15,6 +15,14 @@ def memory_op(model: CostModel, worker: int) -> None:
     model.memcpy(1 << 20)  # 1 MiB per op
 
 
+def commit_op(model: CostModel, worker: int) -> None:
+    """An op ending in a foreground WAL flush (as WalWriter reports it)."""
+    model.cpu(1000.0)
+    before = model.clock.now_ns
+    model.ssd_write(4096, requests=1)
+    model.wal_flush_time_ns += model.clock.now_ns - before
+
+
 class TestScaling:
     def test_cpu_bound_scales_linearly(self):
         """No shared resource: N workers give N times the throughput."""
@@ -49,6 +57,17 @@ class TestScaling:
         assert result.ops_per_worker == 25
         assert result.n_workers == 4
         assert result.counters.cycles > 0
+
+    def test_group_commit_amortizes_the_wal_flush(self):
+        """One window flush serves every worker whose commit rode it."""
+        plain = WorkerSim(4).run(commit_op, 20)
+        grouped = WorkerSim(4).run(commit_op, 20, group_commit=True)
+        assert plain.wal_flush_ns_per_op == 0.0
+        assert grouped.per_op_ns < plain.per_op_ns
+        # With one worker the amortization is a no-op: the full flush.
+        solo = WorkerSim(1).run(commit_op, 20, group_commit=True)
+        assert grouped.wal_flush_ns_per_op == pytest.approx(
+            solo.wal_flush_ns_per_op / 4)
 
     def test_setup_callback_excluded_from_op_stats(self):
         def setup(model: CostModel) -> None:
