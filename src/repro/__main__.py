@@ -255,11 +255,86 @@ def _cmd_bench_iodepth(args: argparse.Namespace) -> int:
     return 0
 
 
+def _write_shard_traces(trace_dir: str) -> int:
+    """Per-shard Chrome traces of a short 4-shard scatter-gather run.
+
+    Every shard runs on its own virtual clock, so each shard gets its
+    own trace file (plus one for the router); open them side by side in
+    Perfetto to see the sub-batches whose maximum is the makespan.
+    """
+    import os
+    import random
+
+    from repro import obs
+    from repro.db.config import EngineConfig
+    from repro.shard import ShardedBlobDB
+
+    config = EngineConfig(device_pages=16384, wal_pages=512,
+                          catalog_pages=128, buffer_pool_pages=4096)
+    sdb = ShardedBlobDB(n_shards=4, config=config)
+    tracers = {"router": obs.attach(sdb.model)}
+    for i, shard in enumerate(sdb.shards):
+        tracers[f"shard{i}"] = obs.attach(shard.model)
+    rng = random.Random(5)
+    keys = [b"user%010d" % i for i in range(64)]
+    for lo in range(0, len(keys), 16):
+        sdb.multiput([(key, rng.randbytes(4096))
+                      for key in keys[lo:lo + 16]])
+    for _ in range(8):
+        sdb.multiget([keys[rng.randrange(len(keys))] for _ in range(32)])
+    sdb.drain_commit_window()
+    os.makedirs(trace_dir, exist_ok=True)  # repro: allow[RPR004] host trace artifact dir
+    written = 0
+    for name, tracer in sorted(tracers.items()):
+        path = os.path.join(trace_dir, f"{name}.json")
+        with open(path, "w", encoding="utf-8") as fh:  # repro: allow[RPR004] host trace artifact
+            fh.write(obs.to_chrome_trace(tracer, label=f"shards-{name}"))
+            fh.write("\n")
+        written += 1
+    print(f"wrote {written} trace(s) to {trace_dir}/", file=sys.stderr)
+    return written
+
+
+def _cmd_bench_shards(args: argparse.Namespace) -> int:
+    """Shard sweep: print the table, then self-check determinism (two
+    runs byte-identical), monotone uniform-key speedup with >=3x at the
+    widest point, and measurable degradation under Zipf skew."""
+    from repro.bench import baseline
+
+    first = baseline.run_shard_sweep()
+    second = baseline.run_shard_sweep()
+    rows = first["sweep"]
+    print("shard sweep (scatter-gather makespan, pinned seed)")
+    print(f"  {'shards':>6} {'zipf':>5} {'ops':>6} {'op/s':>14} "
+          f"{'p99 us':>10} {'WA':>6} {'imbalance':>10}")
+    for wl in rows:
+        print(f"  {wl['n_shards']:>6} {wl['zipf_theta']:>5.2f} "
+              f"{wl['ops']:>6} {wl['throughput_ops_s']:>14.1f} "
+              f"{wl['latency_us']['p99']:>10.1f} "
+              f"{wl['write_amplification']:>6.2f} "
+              f"{wl['shard']['imbalance']:>10.4f}")
+    failures = baseline.shard_sweep_self_check(first, second)
+    if args.out:
+        baseline.write_baseline(args.out, first)
+        print(f"wrote {args.out}")
+    if args.traces:
+        _write_shard_traces(args.traces)
+    if failures:
+        for line in failures:
+            print("FAILED: " + line, file=sys.stderr)
+        return 1
+    print("shard sweep OK: deterministic, monotone speedup, "
+          "skew degrades as modelled")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import baseline
 
     if args.mode == "iodepth":
         return _cmd_bench_iodepth(args)
+    if args.mode == "shards":
+        return _cmd_bench_shards(args)
     doc = baseline.run_suite(args.label)
     # Provenance stamp attached *outside* the deterministic suite; the
     # regression gate ignores unknown top-level keys.
@@ -392,10 +467,16 @@ def main(argv: list[str] | None = None) -> int:
 
     bench = sub.add_parser(
         "bench", help="deterministic benchmark baseline + regression gate")
-    bench.add_argument("mode", nargs="?", choices=("suite", "iodepth"),
+    bench.add_argument("mode", nargs="?",
+                       choices=("suite", "iodepth", "shards"),
                        default="suite",
-                       help="'suite' (default) or 'iodepth' for the "
-                            "queue-depth sweep with self-checks")
+                       help="'suite' (default), 'iodepth' for the "
+                            "queue-depth sweep, or 'shards' for the "
+                            "sharded scatter-gather sweep — both sweeps "
+                            "run built-in self-checks")
+    bench.add_argument("--traces", metavar="DIR",
+                       help="with mode 'shards': also write per-shard "
+                            "Chrome traces of a 4-shard run to DIR")
     bench.add_argument("--label", default="local")
     bench.add_argument("--out", default=None,
                        help="output path (default BENCH_<label>.json)")

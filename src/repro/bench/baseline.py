@@ -239,6 +239,146 @@ def run_iodepth_sweep(depths: tuple[int, ...] = IODEPTH_SWEEP) -> dict:
     }
 
 
+#: Shard counts of the sharded-engine sweep.
+SHARD_SWEEP = (1, 2, 4, 8)
+
+#: Zipf skew of the adversarial sweep point (paper-standard hot-key
+#: skew; ~half of the samples land on a handful of keys).
+SHARD_SKEW_THETA = 0.99
+
+
+def _run_shards(n_shards: int, zipf_theta: float, *, n_records: int = 96,
+                n_batches: int = 24, batch: int = 128,
+                payload: int = 4096, seed: int = 3) -> dict:
+    """One point of the sharded scatter-gather sweep (ycsb_4k shape).
+
+    A fixed key population is hash-partitioned over ``n_shards``
+    independent engines; each round issues one ``multiget`` (or, every
+    fourth round, one ``multiput`` replace) of ``batch`` sampled keys.
+    The observed batch latency is the router's makespan — uniform
+    sampling splits the batch evenly and the makespan shrinks with the
+    shard count; Zipf-``theta`` sampling piles the batch onto the hot
+    key's shard and the makespan collapses back toward serial.
+    """
+    import random
+
+    from repro.db.config import EngineConfig
+    from repro.shard import ShardedBlobDB
+    from repro.workloads.ycsb import zipf_sampler
+
+    config = EngineConfig(device_pages=16384, wal_pages=512,
+                          catalog_pages=128, buffer_pool_pages=4096)
+    sdb = ShardedBlobDB(n_shards=n_shards, config=config)
+    rng = random.Random(seed)
+    keys = [b"user%010d" % i for i in range(n_records)]
+    payload_bytes = 0
+    # Load phase (untimed): populate every key via scattered batches.
+    for lo in range(0, n_records, 32):
+        items = [(key, rng.randbytes(payload))
+                 for key in keys[lo:lo + 32]]
+        sdb.multiput(items)
+        payload_bytes += sum(len(data) for _, data in items)
+    if zipf_theta > 0:
+        sample = zipf_sampler(n_records, zipf_theta, rng)
+    else:
+        def sample() -> int:
+            return rng.randrange(n_records)
+    clock = sdb.model.clock
+    latency = Histogram("batch_ns")
+    start_ns = clock.now_ns
+    ops = 0
+    for round_no in range(n_batches):
+        idx = [sample() for _ in range(batch)]
+        if round_no % 4 == 3:
+            # Replace batch: duplicates are deliberate — a skewed
+            # stream hammers the hot key, and every hit is an upsert
+            # the hot shard must serialize (last writer wins).
+            items = [(keys[i], rng.randbytes(payload)) for i in idx]
+            with Stopwatch(clock) as sw:
+                sdb.multiput(items)
+            payload_bytes += sum(len(data) for _, data in items)
+        else:
+            with Stopwatch(clock) as sw:
+                got = sdb.multiget([keys[i] for i in idx])
+            assert all(len(data) == payload for data in got)
+        latency.observe(sw.elapsed_ns)
+        ops += len(idx)
+    sdb.drain_commit_window()
+    elapsed_ns = clock.now_ns - start_ns
+    written = sum(shard.device.stats.bytes_written for shard in sdb.shards)
+    report = sdb.stats_report()
+    lat = latency.summary()
+    return {
+        "ops": ops,
+        "elapsed_virtual_ms": round(elapsed_ns / 1e6, 3),
+        "throughput_ops_s": round(ops * 1e9 / elapsed_ns, 1)
+        if elapsed_ns else 0.0,
+        "latency_us": {
+            "mean": round(lat["mean"] / 1000, 1),
+            "p50": round(lat["p50"] / 1000, 1),
+            "p95": round(lat["p95"] / 1000, 1),
+            "p99": round(lat["p99"] / 1000, 1),
+            "max": round(lat["max"] / 1000, 1),
+        },
+        "payload_bytes": payload_bytes,
+        "write_amplification": round(written / payload_bytes, 4)
+        if payload_bytes else 0.0,
+        "n_shards": n_shards,
+        "zipf_theta": zipf_theta,
+        "shard": {
+            "fanout_batches": report.shard_fanout_batches,
+            "routed_keys": report.shard_routed_keys,
+            "imbalance": round(report.shard_imbalance, 4),
+            "keys_per_shard": report.shard_keys_per_shard,
+        },
+    }
+
+
+def run_shard_sweep(shards: tuple[int, ...] = SHARD_SWEEP) -> dict:
+    """Shard-count sweep (uniform keys) plus one Zipf-skewed point."""
+    points = [_run_shards(n, 0.0) for n in shards]
+    points.append(_run_shards(shards[-1], SHARD_SKEW_THETA))
+    return {
+        "suite_version": SUITE_VERSION,
+        "sweep": points,
+    }
+
+
+def shard_sweep_self_check(first: dict, second: dict) -> list[str]:
+    """The sweep's acceptance checks; non-empty return = failure.
+
+    Enforced by ``repro bench shards`` (and therefore by the CI
+    perf-gate job): the sweep must be deterministic, uniform-key
+    throughput must rise monotonically with the shard count and reach
+    >=3x at the widest point, and Zipf skew must measurably degrade the
+    widest point — if it doesn't, the makespan model is broken.
+    """
+    failures: list[str] = []
+    if render(first) != render(second):
+        failures.append("shard sweep not deterministic: two runs differ")
+    uniform = [p for p in first["sweep"] if p["zipf_theta"] == 0.0]
+    tp = [p["throughput_ops_s"] for p in uniform]
+    for a, b in zip(tp, tp[1:]):
+        if b < a:
+            failures.append(
+                f"throughput not monotone in shard count: {a} -> {b}")
+    if tp and tp[-1] < 3.0 * tp[0]:
+        failures.append(
+            f"insufficient speedup at {uniform[-1]['n_shards']} shards: "
+            f"{tp[-1] / tp[0]:.2f}x < 3x")
+    skewed = [p for p in first["sweep"] if p["zipf_theta"] > 0.0]
+    for point in skewed:
+        peer = [p for p in uniform if p["n_shards"] == point["n_shards"]]
+        if peer and point["throughput_ops_s"] >= 0.8 * \
+                peer[0]["throughput_ops_s"]:
+            failures.append(
+                f"Zipf {point['zipf_theta']} skew shows no degradation at "
+                f"{point['n_shards']} shards: "
+                f"{point['throughput_ops_s']} vs uniform "
+                f"{peer[0]['throughput_ops_s']}")
+    return failures
+
+
 def run_suite(label: str = "local") -> dict:
     """Run the pinned-seed suite; returns the JSON-ready document."""
     workloads = {
@@ -255,6 +395,13 @@ def run_suite(label: str = "local") -> dict:
     # that hurts deep-queue pipelining fails the same gate.
     for point in run_iodepth_sweep()["sweep"]:
         workloads[f"iodepth_qd{point['queue_depth']}"] = point
+    # So does the shard sweep: scatter-gather speedup (and the skewed
+    # point's degradation) are perf properties the gate protects.
+    for point in run_shard_sweep()["sweep"]:
+        name = f"shards_s{point['n_shards']}"
+        if point["zipf_theta"] > 0:
+            name += f"_zipf{int(point['zipf_theta'] * 100)}"
+        workloads[name] = point
     return {
         "label": label,
         "suite_version": SUITE_VERSION,

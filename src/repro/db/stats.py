@@ -66,6 +66,13 @@ class EngineReport:
     scrub_blobs_scanned: int = 0
     scrub_corrupt_found: int = 0
 
+    # Sharding (all zero/empty on a single-engine report)
+    shard_count: int = 0
+    shard_fanout_batches: int = 0
+    shard_routed_keys: int = 0
+    shard_imbalance: float = 0.0
+    shard_keys_per_shard: list[int] = field(default_factory=list)
+
     # Simulated time
     simulated_seconds: float = 0.0
 
@@ -86,7 +93,7 @@ class EngineReport:
                          for k, v in sorted(
                              self.device_bytes_written_by_category.items())
                          if v)
-        return "\n".join([
+        lines = [
             f"simulated time: {self.simulated_seconds:.3f}s",
             f"buffer pool:    {self.pool_used_pages}/"
             f"{self.pool_capacity_pages} pages "
@@ -118,7 +125,18 @@ class EngineReport:
             f"{self.keys_repaired} keys repaired, "
             f"{self.keys_quarantined} keys "
             f"({self.extents_quarantined} extents) quarantined",
-        ])
+        ]
+        # Shard balance only makes sense with at least two shards:
+        # single-engine (or one-shard) reports must not divide by the
+        # shard count or print a meaningless imbalance ratio.
+        if self.shard_count >= 2:
+            spread = "/".join(str(n) for n in self.shard_keys_per_shard)
+            lines.append(
+                f"shards:         {self.shard_count} shards, "
+                f"{self.shard_routed_keys} keys routed "
+                f"[{spread}] in {self.shard_fanout_batches} fan-outs, "
+                f"imbalance {self.shard_imbalance:.2f}x")
+        return "\n".join(lines)
 
 
 def build_report(db) -> EngineReport:

@@ -13,7 +13,10 @@ the engine:
   byte;
 * zero-serialization reads on shared-memory transports: like the
   engine's local aliasing path, the response hands the client a view
-  instead of a wire copy.
+  instead of a wire copy;
+* :class:`ShardedBlobServer` — scatter-gather front end fanning one
+  request out to per-shard backends over per-shard transports, with
+  per-shard partial-failure retry and makespan-priced latency.
 
 The ablation bench (``benchmarks/test_ablation_network.py``) shows the
 paper's narrative end to end: TCP costs client/server engines their
@@ -28,7 +31,7 @@ from repro.net.transport import (
     UNIX_SOCKET,
     TransportProfile,
 )
-from repro.net.remote import BlobServer, RemoteBlobStore
+from repro.net.remote import BlobServer, RemoteBlobStore, ShardedBlobServer
 
 __all__ = [
     "TransportProfile",
@@ -38,4 +41,5 @@ __all__ = [
     "SHARED_MEMORY",
     "BlobServer",
     "RemoteBlobStore",
+    "ShardedBlobServer",
 ]

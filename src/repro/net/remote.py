@@ -30,9 +30,6 @@ class BlobServer:
     virtual clock captures naturally.
     """
 
-    #: Fixed request dispatch cost (parsing the header, finding the op).
-    _DISPATCH_NS = 900.0
-
     def __init__(self, db: BlobDB, table: str = "blobs") -> None:
         self.db = db
         self.table = table
@@ -100,7 +97,9 @@ class BlobServer:
         self._exit(16)
 
     def _enter(self, nbytes: int) -> None:
-        self.db.model.cpu(self._DISPATCH_NS)
+        # Request dispatch (header parse, op lookup) is priced by the
+        # cost model like every other primitive (CostParams.rpc_dispatch_ns).
+        self.db.model.rpc_dispatch()
         self.stats.requests += 1
         self.stats.bytes_in += nbytes
 
@@ -199,3 +198,170 @@ class RemoteBlobStore:
             return True
         except (KeyNotFoundError, DatabaseError):
             return False
+
+
+class ShardedBlobServer:
+    """Scatter-gather protocol front end over per-shard backends.
+
+    One client request fans out as one *batched* exchange per touched
+    shard: each sub-batch rides its shard's
+    :class:`~repro.net.transport.TransportProfile` and executes against
+    that shard's :class:`BlobServer` on the shard's own clock.  The
+    client-observed latency is the makespan over the shard exchanges
+    plus the router's fan-out charge — network scatter-gather priced
+    exactly like the local :class:`~repro.shard.sharded.ShardedBlobDB`.
+
+    Partial failure is per shard: a drawn :class:`TransientNetworkError`
+    loses one shard's sub-batch *in flight* (that backend never executes
+    it) and the per-shard retry policy re-issues only that sub-batch —
+    completed work on the other shards stands.  Re-issuing is safe
+    because puts are upserts and a lost request was never executed.
+    """
+
+    def __init__(self, sdb, transports, fault_plan=None,
+                 retry_attempts: int = 0,
+                 retry_base_ns: float = 50_000.0) -> None:
+        self.sdb = sdb
+        self.router = sdb.router
+        self.model = sdb.model  # router clock: what the client observes
+        self.backends = [BlobServer(shard, table=sdb.table)
+                         for shard in sdb.shards]
+        if isinstance(transports, TransportProfile):
+            transports = [transports] * len(self.backends)
+        self.transports = list(transports)
+        if len(self.transports) != len(self.backends):
+            raise ValueError(
+                f"need one transport per shard: got {len(self.transports)} "
+                f"for {len(self.backends)} shards")
+        #: Optional FaultPlan: each sub-batch exchange may lose its
+        #: request in flight before the shard's backend sees it.
+        self.fault_plan = fault_plan
+        if retry_attempts > 0:
+            from repro.storage.faults import RetryPolicy
+            # One policy per shard, bound to that shard's model, so the
+            # retry backoff is simulated inside the shard's sub-batch
+            # time and therefore inside the makespan.
+            self.retries = [RetryPolicy(b.db.model,
+                                        attempts=retry_attempts,
+                                        base_delay_ns=retry_base_ns)
+                            for b in self.backends]
+        else:
+            self.retries = [None] * len(self.backends)
+
+    @property
+    def stats(self) -> ServerStats:
+        """Aggregate request/byte accounting across every backend."""
+        total = ServerStats()
+        for backend in self.backends:
+            total.requests += backend.stats.requests
+            total.bytes_in += backend.stats.bytes_in
+            total.bytes_out += backend.stats.bytes_out
+        return total
+
+    # -- scatter-gather plumbing ----------------------------------------
+
+    def _attempt(self, shard_id: int, op):
+        """One sub-batch exchange with loss drawing and per-shard retry."""
+        def attempt():
+            if self.fault_plan is not None and \
+                    self.fault_plan.draw_network_fault():
+                raise TransientNetworkError(
+                    f"sub-batch to shard {shard_id} lost in flight")
+            obs = self.backends[shard_id].db.model.obs
+            if obs is None:
+                return op()
+            obs.begin("net.rpc")
+            try:
+                return op()
+            finally:
+                obs.end(op="shard_batch",
+                        transport=self.transports[shard_id].name)
+                obs.count("net.roundtrips", op="shard_batch")
+        retry = self.retries[shard_id]
+        if retry is not None:
+            return retry.run(attempt)
+        return attempt()
+
+    def _gather(self, parts: dict, run_one) -> None:
+        """Run one exchange per touched shard; advance by the makespan."""
+        self.router.charge_fanout(len(parts))
+        makespan = 0.0
+        for shard_id in sorted(parts):
+            model = self.backends[shard_id].db.model
+            start_ns = model.clock.now_ns
+            self._attempt(shard_id,
+                          lambda: run_one(shard_id, parts[shard_id]))
+            makespan = max(makespan, model.clock.now_ns - start_ns)
+        self.model.clock.advance(makespan)
+
+    # -- batched operations ----------------------------------------------
+
+    def multiput(self, items: list[tuple[bytes, bytes]]) -> None:
+        items = list(items)
+        parts = self.router.partition([key for key, _ in items])
+
+        def run(shard_id: int, sub) -> None:
+            backend = self.backends[shard_id]
+            request_bytes = 0
+            for pos, key in sub:
+                backend.handle_put(key, items[pos][1])
+                request_bytes += len(key) + len(items[pos][1])
+            self.transports[shard_id].charge_exchange(
+                backend.db.model, request_bytes, 16 * len(sub))
+        self._gather(parts, run)
+
+    def multiget(self, keys: list[bytes]) -> list[bytes]:
+        keys = list(keys)
+        parts = self.router.partition(keys)
+        results: list[bytes | None] = [None] * len(keys)
+
+        def run(shard_id: int, sub) -> None:
+            backend = self.backends[shard_id]
+            transport = self.transports[shard_id]
+            model = backend.db.model
+            zero_copy = transport.zero_copy_responses
+            wire_bytes = 0
+            for pos, key in sub:
+                data = backend.handle_get(key, zero_copy=zero_copy)
+                results[pos] = data
+                if zero_copy:
+                    # Client materializes its copy from the shared view.
+                    model.memcpy(len(data))
+                else:
+                    wire_bytes += len(data)
+            transport.charge_exchange(
+                model, sum(len(key) for _, key in sub), wire_bytes)
+        self._gather(parts, run)
+        return results  # type: ignore[return-value]
+
+    # -- single-key operations (one-element sub-batches) -------------------
+
+    def put(self, key: bytes, data: bytes) -> None:
+        self.multiput([(key, data)])
+
+    def get(self, key: bytes) -> bytes:
+        return self.multiget([key])[0]
+
+    def delete(self, key: bytes) -> None:
+        parts = self.router.partition([key])
+
+        def run(shard_id: int, sub) -> None:
+            backend = self.backends[shard_id]
+            for _, k in sub:
+                backend.handle_delete(k)
+            self.transports[shard_id].charge_exchange(
+                backend.db.model, len(key), 16)
+        self._gather(parts, run)
+
+    def stat(self, key: bytes) -> int:
+        parts = self.router.partition([key])
+        out: list[int] = []
+
+        def run(shard_id: int, sub) -> None:
+            backend = self.backends[shard_id]
+            for _, k in sub:
+                out.append(backend.handle_stat(k))
+            self.transports[shard_id].charge_exchange(
+                backend.db.model, len(key), 16)
+        self._gather(parts, run)
+        return out[0]

@@ -1,0 +1,23 @@
+"""Sharded engine: hash-partitioned shards with scatter-gather pricing.
+
+A single engine is bounded by one WAL, one buffer pool, and one device
+queue.  This package partitions the keyspace by content hash across N
+fully independent :class:`~repro.db.database.BlobDB` shards — each with
+its own :class:`SimulatedNVMe`, WAL, buffer pool, and I/O scheduler —
+and prices cross-shard batches the way the device layer prices
+overlapped NVMe commands: parallel work pays the slowest participant
+(the *makespan*), not the sum.
+
+* :class:`ShardRouter` — deterministic key→shard assignment (SHA-256
+  content hash, ``repro.core.hashing``), routing charged per key;
+* :class:`ShardedBlobDB` — scatter-gather ``multiget`` / ``multiput`` /
+  ``scan``, per-shard crash recovery with makespan pricing, aggregated
+  :class:`~repro.db.stats.EngineReport` with a shard-balance line.
+
+See ``docs/sharding.md`` for the design and its caveats (skew!).
+"""
+
+from repro.shard.router import RouterStats, ShardRouter
+from repro.shard.sharded import ShardedBlobDB
+
+__all__ = ["ShardRouter", "RouterStats", "ShardedBlobDB"]

@@ -133,6 +133,16 @@ class CostParams:
     serialize_ns_per_byte: float = 0.45
     #: SQL statement parse/plan for a trivial prepared statement.
     sql_overhead_ns: float = 3_500.0
+    #: Server-side request dispatch: parsing the header, finding the op.
+    rpc_dispatch_ns: float = 900.0
+
+    # -- Sharded engine -----------------------------------------------------
+    #: Router CPU per key on top of the content hash (bucket arithmetic,
+    #: sub-batch bookkeeping).
+    shard_route_ns: float = 60.0
+    #: Per-shard scatter cost of one fan-out batch (building and handing
+    #: off one sub-batch to a shard).
+    shard_fanout_ns: float = 400.0
 
     def copy(self, **overrides: float) -> "CostParams":
         """Return a copy with selected parameters replaced."""
@@ -219,6 +229,10 @@ class CostModel:
         #: window, so :mod:`repro.sim.workers` amortizes this component
         #: across workers instead of replaying it per worker.
         self.wal_flush_time_ns = 0.0
+        #: Simulated ns spent waiting on device I/O (reads, writes, and
+        #: WAL flushes alike).  The sharded worker model scales this
+        #: component by how many workers queue on each device.
+        self.io_time_ns = 0.0
 
     # -- internal charging helpers -----------------------------------------
 
@@ -349,6 +363,7 @@ class CostModel:
         waves = (requests + qd - 1) // qd
         ns = max(waves * latency_ns, latency_ns + nbytes * ns_per_byte)
         self._charge_kernel(ns, cache_misses=nbytes // 256)
+        self.io_time_ns += ns
 
     # -- client/server access path ----------------------------------------------
 
@@ -362,3 +377,20 @@ class CostModel:
     def sql_statement(self) -> None:
         """Charge parsing/planning one (prepared) SQL statement."""
         self._charge_user(self.params.sql_overhead_ns)
+
+    def rpc_dispatch(self) -> None:
+        """Charge server-side dispatch of one protocol request."""
+        self._charge_user(self.params.rpc_dispatch_ns)
+
+    # -- sharded engine ----------------------------------------------------------
+
+    def shard_route(self, key_bytes: int) -> None:
+        """Charge routing one key to its shard (hash + bucket math)."""
+        self._charge_user(key_bytes * self.params.hash_ns_per_byte
+                          + self.params.shard_route_ns,
+                          cache_misses=key_bytes // 256)
+
+    def shard_fanout(self, n_shards: int) -> None:
+        """Charge scattering one batch to ``n_shards`` sub-batches."""
+        if n_shards > 0:
+            self._charge_user(n_shards * self.params.shard_fanout_ns)

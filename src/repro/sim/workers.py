@@ -42,6 +42,12 @@ class WorkerResult:
     #: Per-op foreground WAL flush time after group-commit amortization
     #: (0.0 unless the run used ``group_commit=True``).
     wal_flush_ns_per_op: float = 0.0
+    #: Shard count of a sharded run (``None``: legacy single-engine mode
+    #: that assumes the device scales with the workers).
+    n_shards: int | None = None
+    #: Queueing stretch applied to the device-bound component — how many
+    #: workers share each shard's device (1.0 when not sharded).
+    device_factor: float = 1.0
 
     @property
     def total_ops(self) -> int:
@@ -60,7 +66,8 @@ class WorkerSim:
     def run(self, op: WorkerOp, ops_per_worker: int,
             working_set_bytes: int = 0,
             setup: Callable[[CostModel], None] | None = None,
-            group_commit: bool = False) -> WorkerResult:
+            group_commit: bool = False,
+            n_shards: int | None = None) -> WorkerResult:
         """Execute ``ops_per_worker`` operations and model N-worker scaling.
 
         ``working_set_bytes`` is the per-worker memory footprint an op
@@ -72,9 +79,21 @@ class WorkerSim:
         commit window) is shared by every worker whose commit rode the
         window, so its per-op contribution is divided by the worker
         count instead of being replicated N times.
+
+        ``n_shards`` switches on the sharded contention model: the run
+        models ``n_shards`` independent engines (one device + WAL
+        each), so each shard's device serves ``n_workers / n_shards``
+        queued workers and the device-bound fraction of per-op time
+        stretches by that factor.  ``None`` (the default) keeps the
+        legacy single-engine assumption that the device scales with the
+        workers.  Memory terms are *never* sharded — DRAM bandwidth and
+        L3 are host-wide — which is exactly why adding shards stops
+        helping once the workload is memory-bound (Section V-E).
         """
         if ops_per_worker < 1:
             raise ValueError("ops_per_worker must be positive")
+        if n_shards is not None and n_shards < 1:
+            raise ValueError("n_shards must be positive")
         model = CostModel(self.params)
         if setup is not None:
             setup(model)
@@ -86,6 +105,7 @@ class WorkerSim:
         start_mem = model.memory_time_ns
         start_bytes = model.memcpy_bytes
         start_wal_flush = model.wal_flush_time_ns
+        start_io = model.io_time_ns
         base_counters = model.counters.snapshot()
         for i in range(ops_per_worker):
             op(model, i)
@@ -93,6 +113,7 @@ class WorkerSim:
         mem_ns = model.memory_time_ns - start_mem
         copy_bytes = model.memcpy_bytes - start_bytes
         wal_flush_ns = model.wal_flush_time_ns - start_wal_flush
+        io_ns = model.io_time_ns - start_io
         counters = model.counters.delta_since(base_counters)
 
         per_op_total = total_ns / ops_per_worker
@@ -107,6 +128,19 @@ class WorkerSim:
             per_op_wal_flush = per_op_flush_full / self.n_workers
             per_op_other = max(
                 0.0, per_op_other - per_op_flush_full) + per_op_wal_flush
+
+        device_factor = 1.0
+        if n_shards is not None:
+            # Each shard's device queues n_workers/n_shards workers;
+            # their device-bound time serializes behind one another.
+            # The WAL-flush share a group-commit window amortized above
+            # is excluded — one window flush already serves its riders.
+            per_op_io = io_ns / ops_per_worker
+            if group_commit and wal_flush_ns > 0:
+                per_op_io = max(
+                    0.0, per_op_io - wal_flush_ns / ops_per_worker)
+            device_factor = max(1.0, self.n_workers / n_shards)
+            per_op_other += per_op_io * (device_factor - 1.0)
 
         spilled = (self.n_workers * working_set_bytes) > self.params.l3_bytes
         if spilled:
@@ -124,6 +158,8 @@ class WorkerSim:
             l3_spilled=spilled,
             counters=counters,
             wal_flush_ns_per_op=per_op_wal_flush,
+            n_shards=n_shards,
+            device_factor=device_factor,
         )
 
     def _bandwidth_factor(self, other_ns: float, mem_ns: float,

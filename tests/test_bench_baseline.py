@@ -17,7 +17,9 @@ class TestSuite:
     def test_runs_all_workloads(self, suite_doc):
         assert set(suite_doc["workloads"]) == \
             {"ycsb_4k", "ycsb_100k", "wikipedia",
-             "iodepth_qd1", "iodepth_qd4", "iodepth_qd16", "iodepth_qd64"}
+             "iodepth_qd1", "iodepth_qd4", "iodepth_qd16", "iodepth_qd64",
+             "shards_s1", "shards_s2", "shards_s4", "shards_s8",
+             "shards_s8_zipf99"}
         assert suite_doc["suite_version"] == baseline.SUITE_VERSION
 
     def test_workload_shape(self, suite_doc):
@@ -30,6 +32,11 @@ class TestSuite:
             assert wl["payload_bytes"] > 0, name
             if name.startswith("iodepth_"):
                 assert wl["queue_depth"] >= 1, name
+                continue
+            if name.startswith("shards_"):
+                assert wl["n_shards"] >= 1, name
+                assert sum(wl["shard"]["keys_per_shard"]) == \
+                    wl["shard"]["routed_keys"], name
                 continue
             # Category accounting must include the data and WAL streams.
             cats = wl["bytes_written_by_category"]
