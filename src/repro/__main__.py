@@ -328,6 +328,48 @@ def _cmd_bench_shards(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_replication(args: argparse.Namespace) -> int:
+    """Replication sweep: quorum commit-latency points plus the
+    availability-under-storm digest.  Self-checks determinism (two
+    runs byte-identical, digest included), strictly increasing commit
+    latency in quorum size, zero lost acknowledged writes, no torn
+    records, and bounded failover makespans."""
+    from repro.bench import baseline
+
+    first = baseline.run_replication_sweep()
+    second = baseline.run_replication_sweep()
+    print("replication sweep (3-member groups, pinned seed)")
+    print(f"  {'quorum':>6} {'ops':>6} {'op/s':>14} {'mean us':>9} "
+          f"{'p99 us':>10} {'shipped':>8} {'retries':>8}")
+    for wl in first["sweep"]:
+        rep = wl["replication"]
+        print(f"  {wl['quorum']:>6} {wl['ops']:>6} "
+              f"{wl['throughput_ops_s']:>14.1f} "
+              f"{wl['latency_us']['mean']:>9.2f} "
+              f"{wl['latency_us']['p99']:>10.2f} "
+              f"{rep['records_shipped']:>8} {rep['ship_retries']:>8}")
+    storm = first["storm"]
+    print(f"availability storm: {storm['schedules']} kill schedules, "
+          f"{storm['failovers']} failovers / {storm['rejoins']} rejoins, "
+          f"{storm['acked_writes']} acked writes "
+          f"({storm['lost_acked_writes']} lost, "
+          f"{storm['torn_records']} torn), "
+          f"{storm['truncated_records']} divergent records truncated, "
+          f"max failover {storm['max_failover_us']} us")
+    print(f"storm digest: {storm['digest']}")
+    failures = baseline.replication_self_check(first, second)
+    if args.out:
+        baseline.write_baseline(args.out, first)
+        print(f"wrote {args.out}")
+    if failures:
+        for line in failures:
+            print("FAILED: " + line, file=sys.stderr)
+        return 1
+    print("replication sweep OK: deterministic, quorum latency strictly "
+          "ordered, zero lost acked writes, failover bounded")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import baseline
 
@@ -335,6 +377,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_iodepth(args)
     if args.mode == "shards":
         return _cmd_bench_shards(args)
+    if args.mode == "replication":
+        return _cmd_bench_replication(args)
     doc = baseline.run_suite(args.label)
     # Provenance stamp attached *outside* the deterministic suite; the
     # regression gate ignores unknown top-level keys.
@@ -468,12 +512,15 @@ def main(argv: list[str] | None = None) -> int:
     bench = sub.add_parser(
         "bench", help="deterministic benchmark baseline + regression gate")
     bench.add_argument("mode", nargs="?",
-                       choices=("suite", "iodepth", "shards"),
+                       choices=("suite", "iodepth", "shards",
+                                "replication"),
                        default="suite",
                        help="'suite' (default), 'iodepth' for the "
-                            "queue-depth sweep, or 'shards' for the "
-                            "sharded scatter-gather sweep — both sweeps "
-                            "run built-in self-checks")
+                            "queue-depth sweep, 'shards' for the "
+                            "sharded scatter-gather sweep, or "
+                            "'replication' for the quorum sweep plus "
+                            "the availability storm — every sweep runs "
+                            "built-in self-checks")
     bench.add_argument("--traces", metavar="DIR",
                        help="with mode 'shards': also write per-shard "
                             "Chrome traces of a 4-shard run to DIR")

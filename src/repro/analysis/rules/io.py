@@ -41,7 +41,13 @@ _NET_EXEC_MODULES = frozenset({
 #: protection-information updates.
 _RAW_DEVICE_ATTRS = frozenset({"_pages", "_page_crc"})
 _RAW_DEVICE_CALLS = frozenset({"_poke", "peek", "_scatter", "_gather"})
-_DEVICE_RECEIVER = re.compile(r"\b(device|inner|physical|nvme)\b")
+#: Receiver names that plausibly hold a device handle.  ``member`` /
+#: ``replica`` / ``primary`` cover the replica layer, where every group
+#: member owns its own (possibly fault-wrapped) device — reaching into
+#: ``member.device._pages`` would bypass both the member's cost model
+#: and its fault plan.
+_DEVICE_RECEIVER = re.compile(
+    r"\b(device|inner|physical|nvme|member|replica|primary)\b")
 
 
 class HostFileIoRule(Rule):

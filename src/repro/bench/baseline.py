@@ -379,6 +379,282 @@ def shard_sweep_self_check(first: dict, second: dict) -> list[str]:
     return failures
 
 
+#: Quorum sizes of the replication sweep (3-member groups).
+REPLICATION_QUORUMS = (1, 2, 3)
+
+#: Seeded fault schedules of the availability storm.
+REPLICATION_STORM_SCHEDULES = 100
+
+#: Simulated upper bound on one failover's group-clock duration; a
+#: promotion that takes longer than this (20 ms) means retry backoff or
+#: catch-up work has run away and availability is fiction.
+REPLICATION_FAILOVER_BOUND_US = 20_000.0
+
+
+def _run_replication(quorum: int, *, n_ops: int = 48,
+                     payload: int = 2048, seed: int = 5) -> dict:
+    """One point of the quorum commit-latency sweep.
+
+    A 3-member replica group on deliberately *heterogeneous* links —
+    shared memory (primary-local, unused), RDMA, TCP — commits a fixed
+    put/read mix.  The only thing that varies across points is the
+    quorum size, so the sweep isolates what a quorum buys: ``q=1`` never
+    waits for a link, ``q=2`` waits for the fastest (RDMA) ack and
+    hides the slow TCP replica, ``q=3`` pays the slowest link on every
+    commit.  Commit latency must be *strictly* increasing in the quorum
+    size (enforced by :func:`replication_self_check`).
+    """
+    import random
+
+    from repro.db.config import EngineConfig
+    from repro.net.transport import RDMA, SHARED_MEMORY, TCP_ETHERNET
+    from repro.replica import ReplicaGroup
+
+    config = EngineConfig(device_pages=16384, wal_pages=512,
+                          catalog_pages=128, buffer_pool_pages=4096)
+    group = ReplicaGroup(n_replicas=2, quorum=quorum, config=config,
+                         transport=[SHARED_MEMORY, RDMA, TCP_ETHERNET],
+                         name=f"bench_q{quorum}")
+    rng = random.Random(seed)
+    keys = [b"rep%05d" % i for i in range(16)]
+    payload_bytes = 0
+    # Load phase (untimed): populate every key once.
+    for key in keys:
+        group.put(key, rng.randbytes(payload))
+        payload_bytes += payload
+    clock = group.model.clock
+    latency = Histogram("commit_ns")
+    start_ns = clock.now_ns
+    ops = 0
+    for i in range(n_ops):
+        key = keys[i % len(keys)]
+        with Stopwatch(clock) as sw:
+            if i % 3 == 2:
+                got = group.read_any(key)
+                assert len(got) == payload
+            else:
+                group.put(key, rng.randbytes(payload))
+                payload_bytes += payload
+        latency.observe(sw.elapsed_ns)
+        ops += 1
+    group.drain()
+    elapsed_ns = clock.now_ns - start_ns
+    written = sum(m.db.device.stats.bytes_written for m in group.members)
+    report = group.stats_report()
+    lat = latency.summary()
+    return {
+        "ops": ops,
+        "elapsed_virtual_ms": round(elapsed_ns / 1e6, 3),
+        "throughput_ops_s": round(ops * 1e9 / elapsed_ns, 1)
+        if elapsed_ns else 0.0,
+        "latency_us": {
+            "mean": round(lat["mean"] / 1000, 2),
+            "p50": round(lat["p50"] / 1000, 2),
+            "p95": round(lat["p95"] / 1000, 2),
+            "p99": round(lat["p99"] / 1000, 2),
+            "max": round(lat["max"] / 1000, 2),
+        },
+        "payload_bytes": payload_bytes,
+        "write_amplification": round(written / payload_bytes, 4)
+        if payload_bytes else 0.0,
+        "quorum": quorum,
+        "replication": {
+            "acked_writes": report.replica_acked_writes,
+            "records_shipped": report.replica_records_shipped,
+            "ship_retries": report.replica_ship_retries,
+            "max_lag_records": report.replica_max_lag_records,
+            "stale_reads": report.replica_stale_reads,
+        },
+    }
+
+
+def _storm_schedule(seed: int) -> tuple[str, dict]:
+    """One seeded kill-and-recover schedule of the availability storm.
+
+    Writes (and deletes) through a faulty-linked 3-member quorum-2
+    group, kills the primary mid-batch at a drawn point, audits the
+    failed-over group for the zero-loss contract, rejoins the deposed
+    primary, and converges.  Returns a canonical counter line (digest
+    input) plus the violation counts the self-check gates on.
+    """
+    import random
+
+    from repro.db.config import EngineConfig
+    from repro.db.errors import DatabaseError
+    from repro.replica import ReplicaGroup
+    from repro.storage.faults import FaultPlanFactory, FaultSpec
+
+    config = EngineConfig(device_pages=16384, wal_pages=512,
+                          catalog_pages=128, buffer_pool_pages=4096)
+    links = FaultPlanFactory(FaultSpec(
+        seed=seed, network_error=0.04,
+        latency_spike=0.02, latency_spike_ns=400_000.0,
+        partition=0.01, partition_max_ns=2_000_000.0))
+    group = ReplicaGroup(n_replicas=2, quorum=2, config=config,
+                         link_faults=links, name=f"storm{seed}")
+    rng = random.Random(seed)
+    acked: dict[bytes, bytes] = {}
+    deleted: list[bytes] = []
+    for i in range(20):
+        key = b"st%04d" % i
+        data = rng.randbytes(rng.randrange(64, 320))
+        group.put(key, data)
+        acked[key] = data
+    for key in sorted(acked)[:3]:
+        group.delete(key)
+        del acked[key]
+        deleted.append(key)
+    old_primary = group.primary_id
+    mid_key, mid_data = b"st-mid", rng.randbytes(128)
+    n_ships = rng.randrange(0, 3)
+    group.crash_primary(mid_record=(mid_key, mid_data, n_ships))
+    # Audit 1, on the freshly promoted primary: every acknowledged
+    # write readable byte-exact, every acknowledged delete gone, and
+    # the unacknowledged mid-crash record all-or-nothing.
+    lost = 0
+    torn = 0
+    for key, data in sorted(acked.items()):
+        try:
+            if group.get(key) != data:
+                lost += 1
+        except DatabaseError:
+            lost += 1
+    for key in deleted:
+        if group.exists(key):
+            lost += 1
+    mid_kept = group.exists(mid_key)
+    if mid_kept and group.get(mid_key) != mid_data:
+        torn += 1
+    group.rejoin(old_primary)
+    # Converge: repeated catch-up rounds let member clocks walk past
+    # any open partition window (each retry's backoff advances them).
+    for _ in range(20):
+        group.catch_up()
+        if group.max_lag() == 0:
+            break
+    residual_lag = group.max_lag()
+    # Audit 2, after the deposed primary rejoined and was truncated.
+    for key, data in sorted(acked.items()):
+        try:
+            if group.get(key) != data:
+                lost += 1
+        except DatabaseError:
+            lost += 1
+    stats = group.stats
+    line = (f"s{seed} epoch={group.epoch} primary={group.primary_id} "
+            f"acked={stats.acked_writes} shipped={stats.records_shipped} "
+            f"retries={group.ship_retries()} fenced={stats.fenced_ships} "
+            f"trunc={stats.truncated_records} "
+            f"mid={'kept' if mid_kept else 'dropped'} "
+            f"lag={residual_lag} "
+            f"failover_ns={int(stats.last_failover_ns)}")
+    return line, {
+        "lost": lost,
+        "torn": torn,
+        "mid_kept": 1 if mid_kept else 0,
+        "failovers": stats.failovers,
+        "rejoins": stats.rejoins,
+        "acked_writes": stats.acked_writes,
+        "records_shipped": stats.records_shipped,
+        "ship_retries": group.ship_retries(),
+        "fenced_ships": stats.fenced_ships,
+        "truncated_records": stats.truncated_records,
+        "failover_ns": stats.last_failover_ns,
+    }
+
+
+def run_replication_storm(
+        n_schedules: int = REPLICATION_STORM_SCHEDULES,
+        base_seed: int = 9000) -> dict:
+    """Availability under storm: ``n_schedules`` seeded kill schedules.
+
+    The whole storm reduces to one SHA-256 digest over the canonical
+    per-schedule counter lines — same code + same seed must reproduce it
+    bit-for-bit, which is what makes a hundred crash/failover/rejoin
+    schedules a CI artifact instead of a flaky soak test.
+    """
+    import hashlib
+
+    lines: list[str] = []
+    totals = {"lost": 0, "torn": 0, "mid_kept": 0, "failovers": 0,
+              "rejoins": 0, "acked_writes": 0, "records_shipped": 0,
+              "ship_retries": 0, "fenced_ships": 0,
+              "truncated_records": 0}
+    max_failover_ns = 0.0
+    for i in range(n_schedules):
+        line, counters = _storm_schedule(base_seed + i)
+        lines.append(line)
+        for key in totals:
+            totals[key] += counters[key]
+        max_failover_ns = max(max_failover_ns, counters["failover_ns"])
+    digest = hashlib.sha256("\n".join(lines).encode("ascii")).hexdigest()
+    return {
+        "schedules": n_schedules,
+        "base_seed": base_seed,
+        "digest": digest,
+        "lost_acked_writes": totals["lost"],
+        "torn_records": totals["torn"],
+        "mid_records_survived": totals["mid_kept"],
+        "failovers": totals["failovers"],
+        "rejoins": totals["rejoins"],
+        "acked_writes": totals["acked_writes"],
+        "records_shipped": totals["records_shipped"],
+        "ship_retries": totals["ship_retries"],
+        "fenced_ships": totals["fenced_ships"],
+        "truncated_records": totals["truncated_records"],
+        "max_failover_us": round(max_failover_ns / 1000, 1),
+    }
+
+
+def run_replication_sweep() -> dict:
+    """Quorum-latency sweep plus the availability storm, one document."""
+    return {
+        "suite_version": SUITE_VERSION,
+        "sweep": [_run_replication(q) for q in REPLICATION_QUORUMS],
+        "storm": run_replication_storm(),
+    }
+
+
+def replication_self_check(first: dict, second: dict) -> list[str]:
+    """The replication sweep's acceptance checks; non-empty = failure.
+
+    Enforced by ``repro bench replication`` (and the CI perf-gate job):
+    the sweep and storm must be deterministic (two in-process runs,
+    identical rendering — digest included), commit latency must be
+    *strictly* increasing in quorum size, and the storm must show real
+    failovers, zero lost acknowledged writes, no torn records, and
+    bounded failover makespans.
+    """
+    failures: list[str] = []
+    if render(first) != render(second):
+        failures.append("replication sweep not deterministic: runs differ")
+    by_quorum = {p["quorum"]: p for p in first["sweep"]}
+    means = [by_quorum[q]["latency_us"]["mean"]
+             for q in sorted(by_quorum)]
+    for a, b in zip(means, means[1:]):
+        if b <= a:
+            failures.append(
+                f"commit latency not strictly increasing with quorum: "
+                f"{means} us")
+            break
+    storm = first["storm"]
+    if storm["lost_acked_writes"]:
+        failures.append(
+            f"{storm['lost_acked_writes']} acknowledged writes lost "
+            f"across {storm['schedules']} schedules")
+    if storm["torn_records"]:
+        failures.append(f"{storm['torn_records']} torn mid-crash records")
+    if storm["failovers"] < storm["schedules"]:
+        failures.append(
+            f"only {storm['failovers']} failovers in "
+            f"{storm['schedules']} kill schedules")
+    if storm["max_failover_us"] > REPLICATION_FAILOVER_BOUND_US:
+        failures.append(
+            f"failover makespan unbounded: {storm['max_failover_us']} us "
+            f"> {REPLICATION_FAILOVER_BOUND_US} us")
+    return failures
+
+
 def run_suite(label: str = "local") -> dict:
     """Run the pinned-seed suite; returns the JSON-ready document."""
     workloads = {
@@ -402,6 +678,11 @@ def run_suite(label: str = "local") -> dict:
         if point["zipf_theta"] > 0:
             name += f"_zipf{int(point['zipf_theta'] * 100)}"
         workloads[name] = point
+    # And the quorum sweep: replication's commit-latency cost curve is
+    # a perf property too (the storm stays in `bench replication` —
+    # it gates robustness, not throughput).
+    for quorum in REPLICATION_QUORUMS:
+        workloads[f"replication_q{quorum}"] = _run_replication(quorum)
     return {
         "label": label,
         "suite_version": SUITE_VERSION,

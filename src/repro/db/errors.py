@@ -80,3 +80,27 @@ class RetriesExhaustedError(DatabaseError):
 
 class RemoteProtocolError(DatabaseError):
     """A remote request was malformed or addressed the wrong value kind."""
+
+
+# -- replication hierarchy -----------------------------------------------------
+
+
+class QuorumLostError(DatabaseError):
+    """A write could not be acknowledged by the configured quorum.
+
+    Raised by a replica group when too few members durably applied a
+    shipped record (lost links, partitions, crashed members).  The write
+    is *not acknowledged*: it may survive on the members that did apply
+    it or be truncated as a divergent tail at the next failover — either
+    way the client was never promised it.
+    """
+
+
+class StaleEpochError(DatabaseError):
+    """A deposed primary tried to ship records under an old epoch.
+
+    Epoch fencing: every shipped record carries the shipper's epoch, and
+    members reject anything below their own — so a primary that was
+    partitioned away (rather than crashed) cannot overwrite writes
+    acknowledged by its successor.
+    """

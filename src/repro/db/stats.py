@@ -73,6 +73,21 @@ class EngineReport:
     shard_imbalance: float = 0.0
     shard_keys_per_shard: list[int] = field(default_factory=list)
 
+    # Replication (all zero without replica groups)
+    replica_groups: int = 0
+    replica_members: int = 0
+    replica_quorum: int = 0
+    replica_epoch: int = 0
+    replica_acked_writes: int = 0
+    replica_records_shipped: int = 0
+    replica_ship_retries: int = 0
+    replica_failovers: int = 0
+    replica_rejoins: int = 0
+    replica_fenced_ships: int = 0
+    replica_truncated_records: int = 0
+    replica_max_lag_records: int = 0
+    replica_stale_reads: int = 0
+
     # Simulated time
     simulated_seconds: float = 0.0
 
@@ -86,6 +101,52 @@ class EngineReport:
         if not self.pool_capacity_pages:
             return 0.0
         return self.pool_used_pages / self.pool_capacity_pages
+
+    def accumulate(self, other: "EngineReport") -> None:
+        """Fold one member engine's raw counters into this aggregate.
+
+        Used by the sharded and replicated engines, whose reports sum
+        the per-member engines.  Only *summable raw counters* are
+        folded (plus max-style gauges like WAL pressure); ratios must be
+        recomputed by the caller from the summed raws, never averaged.
+        """
+        self.pool_used_pages += other.pool_used_pages
+        self.pool_capacity_pages += other.pool_capacity_pages
+        self.pool_evictions += other.pool_evictions
+        for cat, nbytes in other.device_bytes_written_by_category.items():
+            self.device_bytes_written_by_category[cat] = \
+                self.device_bytes_written_by_category.get(cat, 0) + nbytes
+        self.device_bytes_read += other.device_bytes_read
+        self.device_write_requests += other.device_write_requests
+        self.io_requests_in += other.io_requests_in
+        self.io_requests_out += other.io_requests_out
+        self.io_drains += other.io_drains
+        self.wal_records += other.wal_records
+        self.wal_bytes_appended += other.wal_bytes_appended
+        self.wal_synchronous_flushes += other.wal_synchronous_flushes
+        self.wal_used_fraction = max(self.wal_used_fraction,
+                                     other.wal_used_fraction)
+        self.checkpoints_taken += other.checkpoints_taken
+        self.extents_fresh += other.extents_fresh
+        self.extents_reused += other.extents_reused
+        self.extents_freed += other.extents_freed
+        self.active_transactions += other.active_transactions
+        self.occ_aborts += other.occ_aborts
+        self.faults_injected += other.faults_injected
+        for kind, count in other.fault_breakdown.items():
+            self.fault_breakdown[kind] = \
+                self.fault_breakdown.get(kind, 0) + count
+        self.io_retries += other.io_retries
+        self.io_retries_exhausted += other.io_retries_exhausted
+        self.checksum_pages_verified += other.checksum_pages_verified
+        self.checksum_failures += other.checksum_failures
+        self.wal_corrupt_pages += other.wal_corrupt_pages
+        self.wal_records_truncated += other.wal_records_truncated
+        self.extents_quarantined += other.extents_quarantined
+        self.keys_quarantined += other.keys_quarantined
+        self.keys_repaired += other.keys_repaired
+        self.scrub_blobs_scanned += other.scrub_blobs_scanned
+        self.scrub_corrupt_found += other.scrub_corrupt_found
 
     def format(self) -> str:
         """Human-readable multi-line summary."""
@@ -136,6 +197,23 @@ class EngineReport:
                 f"{self.shard_routed_keys} keys routed "
                 f"[{spread}] in {self.shard_fanout_batches} fan-outs, "
                 f"imbalance {self.shard_imbalance:.2f}x")
+        # Replication line only for actual replica groups; a plain or
+        # merely sharded engine must not print quorum/epoch noise.
+        if self.replica_groups >= 1:
+            lines.append(
+                f"replication:    {self.replica_groups} group(s) x "
+                f"{self.replica_members // max(self.replica_groups, 1)} "
+                f"members, quorum {self.replica_quorum}, "
+                f"epoch {self.replica_epoch}; "
+                f"{self.replica_acked_writes} acked writes, "
+                f"{self.replica_records_shipped} records shipped "
+                f"({self.replica_ship_retries} retried), "
+                f"{self.replica_failovers} failovers / "
+                f"{self.replica_rejoins} rejoins, "
+                f"{self.replica_fenced_ships} fenced ships, "
+                f"{self.replica_truncated_records} divergent records "
+                f"truncated, max lag {self.replica_max_lag_records}, "
+                f"{self.replica_stale_reads} stale reads")
         return "\n".join(lines)
 
 

@@ -16,7 +16,12 @@ the engine:
   instead of a wire copy;
 * :class:`ShardedBlobServer` — scatter-gather front end fanning one
   request out to per-shard backends over per-shard transports, with
-  per-shard partial-failure retry and makespan-priced latency.
+  per-shard partial-failure retry and makespan-priced latency;
+* :class:`ReplicatedBlobServer` — the same front end over *replica
+  groups*: each sub-batch quorum-commits inside its group (WAL
+  shipping, failover and all), lost client sub-exchanges are retried
+  per group, and ``any_replica`` reads rotate over group members with
+  staleness accounting.
 
 The ablation bench (``benchmarks/test_ablation_network.py``) shows the
 paper's narrative end to end: TCP costs client/server engines their
@@ -31,7 +36,12 @@ from repro.net.transport import (
     UNIX_SOCKET,
     TransportProfile,
 )
-from repro.net.remote import BlobServer, RemoteBlobStore, ShardedBlobServer
+from repro.net.remote import (
+    BlobServer,
+    RemoteBlobStore,
+    ReplicatedBlobServer,
+    ShardedBlobServer,
+)
 
 __all__ = [
     "TransportProfile",
@@ -41,5 +51,6 @@ __all__ = [
     "SHARED_MEMORY",
     "BlobServer",
     "RemoteBlobStore",
+    "ReplicatedBlobServer",
     "ShardedBlobServer",
 ]

@@ -365,3 +365,156 @@ class ShardedBlobServer:
                 backend.db.model, len(key), 16)
         self._gather(parts, run)
         return out[0]
+
+
+class ReplicatedBlobServer:
+    """Scatter-gather protocol front end over replica groups.
+
+    The replicated sibling of :class:`ShardedBlobServer`: one client
+    request fans out as one batched exchange per touched *group*, and
+    each sub-batch executes against that group's primary — quorum
+    commit, WAL shipping, and any failover included — on the group's
+    own coordinator clock.  Client-observed latency is the makespan
+    over the group exchanges plus the router's fan-out charge.
+
+    Partial failure has two independent layers: a drawn
+    :class:`TransientNetworkError` loses one group's *client*
+    sub-exchange in flight (the group never executes it; the per-group
+    retry re-issues only that sub-batch, completed groups stand), while
+    lost WAL-ship exchanges *inside* a group are retried by that
+    group's own per-link policies, invisibly to the client beyond the
+    quorum makespan.  Re-issuing a lost client sub-batch is safe
+    because puts are upserts and a lost request was never executed;
+    a :class:`~repro.db.errors.QuorumLostError` is *not* retried here —
+    it means the group accepted the request and could not acknowledge
+    it, which the client must observe.
+    """
+
+    def __init__(self, rdb, transports, fault_plan=None,
+                 retry_attempts: int = 0,
+                 retry_base_ns: float = 50_000.0) -> None:
+        self.rdb = rdb
+        self.router = rdb.router
+        self.model = rdb.model  # router clock: what the client observes
+        self.groups = rdb.groups
+        if isinstance(transports, TransportProfile):
+            transports = [transports] * len(self.groups)
+        self.transports = list(transports)
+        if len(self.transports) != len(self.groups):
+            raise ValueError(
+                f"need one transport per group: got {len(self.transports)} "
+                f"for {len(self.groups)} groups")
+        self.fault_plan = fault_plan
+        self.stats = ServerStats()
+        if retry_attempts > 0:
+            from repro.storage.faults import RetryPolicy
+            # Bound to each group's coordinator model so retry backoff
+            # lands inside that group's sub-batch time (the makespan).
+            self.retries = [RetryPolicy(g.model, attempts=retry_attempts,
+                                        base_delay_ns=retry_base_ns)
+                            for g in self.groups]
+        else:
+            self.retries = [None] * len(self.groups)
+
+    # -- scatter-gather plumbing ----------------------------------------
+
+    def _attempt(self, group_id: int, op):
+        """One sub-batch exchange with loss drawing and per-group retry."""
+        def attempt():
+            if self.fault_plan is not None and \
+                    self.fault_plan.draw_network_fault():
+                raise TransientNetworkError(
+                    f"sub-batch to group {group_id} lost in flight")
+            group = self.groups[group_id]
+            group.model.rpc_dispatch()
+            obs = group.model.obs
+            if obs is None:
+                return op()
+            obs.begin("net.rpc")
+            try:
+                return op()
+            finally:
+                obs.end(op="group_batch",
+                        transport=self.transports[group_id].name)
+                obs.count("net.roundtrips", op="group_batch")
+        retry = self.retries[group_id]
+        if retry is not None:
+            return retry.run(attempt)
+        return attempt()
+
+    def _gather(self, parts: dict, run_one) -> None:
+        """Run one exchange per touched group; advance by the makespan."""
+        self.router.charge_fanout(len(parts))
+        makespan = 0.0
+        for group_id in sorted(parts):
+            model = self.groups[group_id].model
+            start_ns = model.clock.now_ns
+            self._attempt(group_id,
+                          lambda: run_one(group_id, parts[group_id]))
+            makespan = max(makespan, model.clock.now_ns - start_ns)
+            self.stats.requests += 1
+        self.model.clock.advance(makespan)
+
+    # -- batched operations ----------------------------------------------
+
+    def multiput(self, items: list[tuple[bytes, bytes]]) -> None:
+        """Quorum-commit a batch: each group acks its own sub-batch."""
+        items = list(items)
+        parts = self.router.partition([key for key, _ in items])
+
+        def run(group_id: int, sub) -> None:
+            group = self.groups[group_id]
+            request_bytes = 0
+            for pos, key in sub:
+                group.put(key, items[pos][1])
+                request_bytes += len(key) + len(items[pos][1])
+            self.transports[group_id].charge_exchange(
+                group.model, request_bytes, 16 * len(sub))
+            self.stats.bytes_in += request_bytes
+            self.stats.bytes_out += 16 * len(sub)
+        self._gather(parts, run)
+
+    def multiget(self, keys: list[bytes],
+                 any_replica: bool = False) -> list[bytes]:
+        """Read a batch; ``any_replica`` rotates over each group's
+        members (staleness-accounted) instead of pinning the primary."""
+        keys = list(keys)
+        parts = self.router.partition(keys)
+        results: list[bytes | None] = [None] * len(keys)
+
+        def run(group_id: int, sub) -> None:
+            group = self.groups[group_id]
+            wire_bytes = 0
+            for pos, key in sub:
+                data = group.read_any(key) if any_replica \
+                    else group.get(key)
+                results[pos] = data
+                wire_bytes += len(data)
+            self.transports[group_id].charge_exchange(
+                group.model, sum(len(key) for _, key in sub), wire_bytes)
+            self.stats.bytes_in += sum(len(key) for _, key in sub)
+            self.stats.bytes_out += wire_bytes
+        self._gather(parts, run)
+        return results  # type: ignore[return-value]
+
+    # -- single-key operations (one-element sub-batches) -------------------
+
+    def put(self, key: bytes, data: bytes) -> None:
+        self.multiput([(key, data)])
+
+    def get(self, key: bytes) -> bytes:
+        return self.multiget([key])[0]
+
+    def read_any(self, key: bytes) -> bytes:
+        return self.multiget([key], any_replica=True)[0]
+
+    def delete(self, key: bytes) -> None:
+        parts = self.router.partition([key])
+
+        def run(group_id: int, sub) -> None:
+            group = self.groups[group_id]
+            for _, k in sub:
+                group.delete(k)
+            self.transports[group_id].charge_exchange(
+                group.model, len(key), 16)
+        self._gather(parts, run)

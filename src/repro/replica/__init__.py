@@ -1,0 +1,28 @@
+"""Replicated shard groups: WAL shipping, quorum commit, failover.
+
+Promotes the engine's shards to replica groups — ``1 primary + N
+replicas`` each, every member a complete engine on its own virtual
+clock — with quorum-priced commits, per-link fault injection, read
+fan-out with staleness accounting, and deterministic epoch-fenced
+failover.  See ``docs/replication.md``.
+"""
+
+from repro.replica.group import GroupStats, ReplicaGroup, ReplicaMember
+from repro.replica.record import (
+    ACK_BYTES,
+    OP_DELETE,
+    OP_PUT,
+    ReplicationRecord,
+)
+from repro.replica.sharded import ReplicatedShardedBlobDB
+
+__all__ = [
+    "ACK_BYTES",
+    "OP_DELETE",
+    "OP_PUT",
+    "GroupStats",
+    "ReplicaGroup",
+    "ReplicaMember",
+    "ReplicatedShardedBlobDB",
+    "ReplicationRecord",
+]

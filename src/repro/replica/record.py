@@ -1,0 +1,97 @@
+"""The replication stream's record type and its wire framing.
+
+A replica group ships the primary's logical WAL stream — one record per
+committed operation, in commit order, with a dense group LSN.  Unlike
+the engine's own WAL (single-flush logging: BLOB content stays in its
+extents, only Blob State metadata is logged), the *shipped* record
+carries the content inline: each replica materializes its own extents
+on its own device, so the content must cross the link, as it would in
+physical log shipping.
+
+Framing mirrors :mod:`repro.wal.records`:
+``[u8 op][u64 lsn][u64 epoch][u32 key_len][key][u32 payload_len]
+[payload][u32 crc32]`` — a CRC-framed, self-delimiting record a
+receiving member can validate before applying.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+from dataclasses import dataclass
+
+_HEADER = struct.Struct(">BQQ")
+_LEN = struct.Struct(">I")
+_CRC = struct.Struct(">I")
+
+#: Operation codes on the wire.
+OP_PUT = 1
+OP_DELETE = 2
+
+_OP_NAMES = {OP_PUT: "put", OP_DELETE: "delete"}
+_OP_CODES = {name: code for code, name in _OP_NAMES.items()}
+
+#: Fixed wire bytes of one shipped record's response (ack envelope).
+ACK_BYTES = 16
+
+
+@dataclass(frozen=True)
+class ReplicationRecord:
+    """One operation of the replication stream.
+
+    ``lsn`` is dense and group-wide (1-based); ``epoch`` is the term of
+    the primary that *created* the record.  Epoch fencing compares the
+    shipping primary's current epoch (carried in the ship envelope, see
+    :meth:`ReplicaGroup._ship`), not this origin epoch — catch-up
+    legitimately re-ships old-epoch records under a new primary.
+    """
+
+    lsn: int
+    epoch: int
+    op: str              # "put" | "delete"
+    key: bytes
+    payload: bytes | None = None   # None for deletes
+
+    def __post_init__(self) -> None:
+        if self.op not in _OP_CODES:
+            raise ValueError(f"unknown replication op {self.op!r}")
+        if self.op == "delete" and self.payload is not None:
+            raise ValueError("delete records carry no payload")
+
+    def encode(self) -> bytes:
+        payload = self.payload or b""
+        body = (_HEADER.pack(_OP_CODES[self.op], self.lsn, self.epoch)
+                + _LEN.pack(len(self.key)) + self.key
+                + _LEN.pack(len(payload)) + payload)
+        return body + _CRC.pack(zlib.crc32(body))
+
+    def wire_bytes(self) -> int:
+        """Request payload size of shipping this record (framing incl.)."""
+        return (_HEADER.size + 2 * _LEN.size + _CRC.size
+                + len(self.key) + len(self.payload or b""))
+
+    @classmethod
+    def decode(cls, raw: bytes) -> "ReplicationRecord":
+        if len(raw) < _HEADER.size + 2 * _LEN.size + _CRC.size:
+            raise ValueError("truncated replication record")
+        body, crc_raw = raw[:-_CRC.size], raw[-_CRC.size:]
+        if zlib.crc32(body) != _CRC.unpack(crc_raw)[0]:
+            raise ValueError("replication record CRC mismatch")
+        op_code, lsn, epoch = _HEADER.unpack_from(body, 0)
+        if op_code not in _OP_NAMES:
+            raise ValueError(f"unknown replication op code {op_code}")
+        off = _HEADER.size
+        (key_len,) = _LEN.unpack_from(body, off)
+        off += _LEN.size
+        key = body[off:off + key_len]
+        if len(key) != key_len:
+            raise ValueError("truncated replication key")
+        off += key_len
+        (payload_len,) = _LEN.unpack_from(body, off)
+        off += _LEN.size
+        payload = body[off:off + payload_len]
+        if len(payload) != payload_len:
+            raise ValueError("truncated replication payload")
+        op = _OP_NAMES[op_code]
+        return cls(lsn=lsn, epoch=epoch, op=op, key=key,
+                   payload=payload if op == "put" else None)

@@ -1,0 +1,188 @@
+"""Replicated shard groups: the router over N :class:`ReplicaGroup`\\ s.
+
+PR 5 hash-partitioned the keyspace across independent engines; this
+layer promotes each partition to a replica group.  The
+:class:`~repro.shard.router.ShardRouter` is unchanged — it routes keys
+to *groups* instead of single engines — and cross-group batches reuse
+:func:`~repro.shard.sharded.gather_makespan` one level up: every group
+commits its sub-batch (primary work + quorum wait) on its own
+coordinator clock, and the router's clock advances by the slowest
+group.  A primary crash inside one group is invisible to the others:
+the group fails over on its own clock and the router keeps routing to
+the same group id — group membership is a replication concern, not a
+partitioning one.
+"""
+
+from __future__ import annotations
+
+from repro.db.config import EngineConfig
+from repro.db.stats import EngineReport
+from repro.net.transport import TCP_ETHERNET
+from repro.replica.group import ReplicaGroup
+from repro.shard.router import ShardRouter
+from repro.shard.sharded import gather_makespan
+from repro.sim.cost import CostModel
+
+
+class ReplicatedShardedBlobDB:
+    """Scatter-gather facade over hash-partitioned replica groups."""
+
+    def __init__(self, n_groups: int = 4, n_replicas: int = 2,
+                 quorum: int = 2,
+                 config: EngineConfig | None = None,
+                 model: CostModel | None = None,
+                 table: str = "blobs",
+                 hasher_kind: str = "fast",
+                 transport=TCP_ETHERNET,
+                 device_faults=None, link_faults=None,
+                 auto_failover: bool = True) -> None:
+        if n_groups < 1:
+            raise ValueError("need at least one replica group")
+        self.config = config or EngineConfig()
+        self.model = model or CostModel()
+        self.table = table
+        # One coordinator clock per group; fault plans derive per-member
+        # seeds from the group-qualified target name, so every link and
+        # device in the fleet faults independently but reproducibly.
+        self.groups = [
+            ReplicaGroup(n_replicas=n_replicas, quorum=quorum,
+                         config=self.config,
+                         model=CostModel(self.model.params),
+                         table=table, transport=transport,
+                         name=f"g{gid}",
+                         device_faults=device_faults,
+                         link_faults=link_faults,
+                         auto_failover=auto_failover)
+            for gid in range(n_groups)
+        ]
+        self.n_groups = n_groups
+        self.router = ShardRouter(n_groups, self.model, hasher_kind)
+
+    # -- scatter-gather core -------------------------------------------------
+
+    def _gather(self, group_ids, runner) -> float:
+        ids = sorted(group_ids)
+        self.router.charge_fanout(len(ids))
+        return gather_makespan(
+            self.model,
+            [(gid, self.groups[gid].model.clock) for gid in ids],
+            runner, obs_label="replica.group")
+
+    # -- single-key operations ------------------------------------------------
+
+    def put(self, key: bytes, data: bytes) -> None:
+        gid = self.router.shard_of(key)
+        self._gather([gid], lambda g: self.groups[g].put(key, data))
+
+    def get(self, key: bytes) -> bytes:
+        gid = self.router.shard_of(key)
+        out: list[bytes] = []
+        self._gather([gid], lambda g: out.append(self.groups[g].get(key)))
+        return out[0]
+
+    def read_any(self, key: bytes) -> bytes:
+        """Route to the owning group, read from its member rotation."""
+        gid = self.router.shard_of(key)
+        out: list[bytes] = []
+        self._gather([gid],
+                     lambda g: out.append(self.groups[g].read_any(key)))
+        return out[0]
+
+    def delete(self, key: bytes) -> None:
+        gid = self.router.shard_of(key)
+        self._gather([gid], lambda g: self.groups[g].delete(key))
+
+    def exists(self, key: bytes) -> bool:
+        return self.groups[self.router.shard_of(key)].exists(key)
+
+    # -- scatter-gather batches ------------------------------------------------
+
+    def multiget(self, keys: list[bytes]) -> list[bytes]:
+        parts = self.router.partition(list(keys))
+        results: list[bytes | None] = [None] * len(keys)
+
+        def run(gid: int) -> None:
+            group = self.groups[gid]
+            for pos, key in parts[gid]:
+                results[pos] = group.get(key)
+        self._gather(parts.keys(), run)
+        return results  # type: ignore[return-value]
+
+    def multiput(self, items: list[tuple[bytes, bytes]]) -> None:
+        """Quorum-commit a batch: each group acks its own sub-batch."""
+        items = list(items)
+        parts = self.router.partition([key for key, _ in items])
+
+        def run(gid: int) -> None:
+            group = self.groups[gid]
+            for pos, key in parts[gid]:
+                group.put(key, items[pos][1])
+        self._gather(parts.keys(), run)
+
+    def drain(self) -> None:
+        """Settle every group's commit window and converge replicas."""
+        self._gather(range(self.n_groups),
+                     lambda gid: self.groups[gid].drain())
+
+    # -- failure surface --------------------------------------------------------
+
+    def crash_primary(self, group_id: int, mid_record=None):
+        """Crash one group's primary; the group fails over on its clock."""
+        group = self.groups[group_id]
+        out = []
+        self._gather([group_id],
+                     lambda g: out.append(group.crash_primary(mid_record)))
+        return out[0]
+
+    def rejoin(self, group_id: int, member_id: int) -> dict:
+        group = self.groups[group_id]
+        out: list[dict] = []
+        self._gather([group_id],
+                     lambda g: out.append(group.rejoin(member_id)))
+        return out[0]
+
+    # -- introspection ----------------------------------------------------------
+
+    def group_reports(self) -> list[EngineReport]:
+        return [group.stats_report() for group in self.groups]
+
+    def stats_report(self) -> EngineReport:
+        """Aggregate engine raws and replication counters across groups."""
+        reports = self.group_reports()
+        agg = EngineReport(shard_count=self.n_groups,
+                           shard_fanout_batches=self.router.stats
+                           .fanout_batches,
+                           shard_routed_keys=self.router.stats.routed_keys,
+                           shard_imbalance=self.router.stats.imbalance(),
+                           shard_keys_per_shard=list(
+                               self.router.stats.per_shard_keys))
+        for rep in reports:
+            agg.accumulate(rep)
+            agg.replica_groups += rep.replica_groups
+            agg.replica_members += rep.replica_members
+            agg.replica_quorum = max(agg.replica_quorum, rep.replica_quorum)
+            agg.replica_epoch = max(agg.replica_epoch, rep.replica_epoch)
+            agg.replica_acked_writes += rep.replica_acked_writes
+            agg.replica_records_shipped += rep.replica_records_shipped
+            agg.replica_ship_retries += rep.replica_ship_retries
+            agg.replica_failovers += rep.replica_failovers
+            agg.replica_rejoins += rep.replica_rejoins
+            agg.replica_fenced_ships += rep.replica_fenced_ships
+            agg.replica_truncated_records += rep.replica_truncated_records
+            agg.replica_max_lag_records = max(agg.replica_max_lag_records,
+                                              rep.replica_max_lag_records)
+            agg.replica_stale_reads += rep.replica_stale_reads
+        # Ratios recomputed from summed raws (accumulate never averages).
+        live = [m for g in self.groups for m in g.members
+                if m.alive and m.db is not None]
+        hits = sum(m.db.pool.stats.hits for m in live)
+        misses = sum(m.db.pool.stats.misses for m in live)
+        agg.pool_hit_ratio = hits / (hits + misses) if hits + misses else 0.0
+        if agg.io_requests_in:
+            agg.io_coalesce_ratio = \
+                (agg.io_requests_in - agg.io_requests_out) \
+                / agg.io_requests_in
+        utils = [m.db.allocator.utilization() for m in live]
+        agg.allocator_utilization = sum(utils) / len(utils) if utils else 0.0
+        agg.simulated_seconds = self.model.clock.now_s
+        return agg

@@ -27,6 +27,34 @@ from repro.shard.router import ShardRouter
 from repro.sim.cost import CostModel
 
 
+def gather_makespan(model: CostModel, clocks, runner,
+                    obs_label: str = "shard") -> float:
+    """Run ``runner(pid)`` for each ``(pid, clock)`` participant.
+
+    The scatter-gather pricing core, shared by the sharded engine, its
+    network front ends, and the replica layer one level up: every
+    participant executes on its *own* virtual clock, the coordinator's
+    clock (``model``) advances by the **makespan** — the maximum
+    per-participant elapsed time — and each participant's elapsed time
+    is observed under ``<obs_label>.s<pid>.batch_ns``.  Participants run
+    in sorted id order so the simulation stays order-deterministic even
+    though the model says "parallel".
+    """
+    obs = model.obs
+    makespan = 0.0
+    for pid, clock in sorted(clocks, key=lambda pc: pc[0]):
+        start_ns = clock.now_ns
+        runner(pid)
+        elapsed = clock.now_ns - start_ns
+        if obs is not None:
+            obs.observe(f"{obs_label}.s{pid}.batch_ns", elapsed)
+        makespan = max(makespan, elapsed)
+    if obs is not None:
+        obs.observe(f"{obs_label}.makespan_ns", makespan)
+    model.clock.advance(makespan)
+    return makespan
+
+
 class ShardedBlobDB:
     """Scatter-gather facade over hash-partitioned ``BlobDB`` shards."""
 
@@ -74,21 +102,12 @@ class ShardedBlobDB:
         """
         ids = sorted(shard_ids)
         self.router.charge_fanout(len(ids))
-        obs = self.model.obs
-        makespan = 0.0
-        for shard_id in ids:
-            shard = self.shards[shard_id]
-            start_ns = shard.model.clock.now_ns
-            runner(shard_id)
-            elapsed = shard.model.clock.now_ns - start_ns
-            if obs is not None:
-                obs.observe(f"shard.s{shard_id}.batch_ns", elapsed)
-            makespan = max(makespan, elapsed)
-        if obs is not None:
-            obs.observe("shard.makespan_ns", makespan)
-            obs.observe("shard.imbalance",
-                        int(self.router.stats.imbalance() * 1000))
-        self.model.clock.advance(makespan)
+        makespan = gather_makespan(
+            self.model,
+            [(sid, self.shards[sid].model.clock) for sid in ids], runner)
+        if self.model.obs is not None:
+            self.model.obs.observe("shard.imbalance",
+                                   int(self.router.stats.imbalance() * 1000))
         return makespan
 
     def _upsert(self, shard: BlobDB, txn, key: bytes, data: bytes) -> None:
@@ -247,43 +266,7 @@ class ShardedBlobDB:
                            shard_keys_per_shard=list(
                                self.router.stats.per_shard_keys))
         for rep in reports:
-            agg.pool_used_pages += rep.pool_used_pages
-            agg.pool_capacity_pages += rep.pool_capacity_pages
-            agg.pool_evictions += rep.pool_evictions
-            for cat, nbytes in rep.device_bytes_written_by_category.items():
-                agg.device_bytes_written_by_category[cat] = \
-                    agg.device_bytes_written_by_category.get(cat, 0) + nbytes
-            agg.device_bytes_read += rep.device_bytes_read
-            agg.device_write_requests += rep.device_write_requests
-            agg.io_requests_in += rep.io_requests_in
-            agg.io_requests_out += rep.io_requests_out
-            agg.io_drains += rep.io_drains
-            agg.wal_records += rep.wal_records
-            agg.wal_bytes_appended += rep.wal_bytes_appended
-            agg.wal_synchronous_flushes += rep.wal_synchronous_flushes
-            agg.wal_used_fraction = max(agg.wal_used_fraction,
-                                        rep.wal_used_fraction)
-            agg.checkpoints_taken += rep.checkpoints_taken
-            agg.extents_fresh += rep.extents_fresh
-            agg.extents_reused += rep.extents_reused
-            agg.extents_freed += rep.extents_freed
-            agg.active_transactions += rep.active_transactions
-            agg.occ_aborts += rep.occ_aborts
-            agg.faults_injected += rep.faults_injected
-            for kind, count in rep.fault_breakdown.items():
-                agg.fault_breakdown[kind] = \
-                    agg.fault_breakdown.get(kind, 0) + count
-            agg.io_retries += rep.io_retries
-            agg.io_retries_exhausted += rep.io_retries_exhausted
-            agg.checksum_pages_verified += rep.checksum_pages_verified
-            agg.checksum_failures += rep.checksum_failures
-            agg.wal_corrupt_pages += rep.wal_corrupt_pages
-            agg.wal_records_truncated += rep.wal_records_truncated
-            agg.extents_quarantined += rep.extents_quarantined
-            agg.keys_quarantined += rep.keys_quarantined
-            agg.keys_repaired += rep.keys_repaired
-            agg.scrub_blobs_scanned += rep.scrub_blobs_scanned
-            agg.scrub_corrupt_found += rep.scrub_corrupt_found
+            agg.accumulate(rep)
         # Ratios recomputed from summed raw counters, not averaged.
         hits = sum(s.pool.stats.hits for s in self.shards)
         misses = sum(s.pool.stats.misses for s in self.shards)

@@ -144,6 +144,14 @@ class CostParams:
     #: off one sub-batch to a shard).
     shard_fanout_ns: float = 400.0
 
+    # -- replicated engine ---------------------------------------------------
+    #: Primary-side cost of enqueueing one WAL-ship record onto one
+    #: replica link (framing the record, per-link queue append).
+    replica_ship_ns: float = 250.0
+    #: Coordinator bookkeeping for one quorum-commit decision (tracking
+    #: acknowledgements, releasing the commit to the client).
+    quorum_commit_ns: float = 300.0
+
     def copy(self, **overrides: float) -> "CostParams":
         """Return a copy with selected parameters replaced."""
         values = {f.name: getattr(self, f.name) for f in fields(self)}
@@ -394,3 +402,14 @@ class CostModel:
         """Charge scattering one batch to ``n_shards`` sub-batches."""
         if n_shards > 0:
             self._charge_user(n_shards * self.params.shard_fanout_ns)
+
+    # -- replicated engine ----------------------------------------------------
+
+    def replica_ship(self, n_links: int) -> None:
+        """Charge enqueueing one record onto ``n_links`` replica links."""
+        if n_links > 0:
+            self._charge_user(n_links * self.params.replica_ship_ns)
+
+    def quorum_commit(self) -> None:
+        """Charge one quorum-commit acknowledgement decision."""
+        self._charge_user(self.params.quorum_commit_ns)

@@ -29,7 +29,8 @@ misbehaviour a first-class, reproducible test input.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, fields
+import zlib
+from dataclasses import dataclass, fields, replace
 
 from repro.db.errors import DeviceIOError, RetriesExhaustedError, TransientError
 from repro.storage.device import IoRequest
@@ -51,10 +52,17 @@ class FaultSpec:
     latency_spike: float = 0.0
     #: Probability that a network exchange is lost (remote store only).
     network_error: float = 0.0
+    #: Probability that a network exchange opens a *partition*: the link
+    #: stays dead for a drawn duration instead of losing one exchange.
+    partition: float = 0.0
     #: A transient burst never exceeds this many consecutive failures,
     #: so any retry policy with more attempts is guaranteed to succeed.
     max_consecutive_transients: int = 2
     latency_spike_ns: float = 2_000_000.0
+    #: Upper bound of a drawn partition duration; the draw is uniform in
+    #: ``[partition_max_ns / 2, partition_max_ns]`` so partitions are
+    #: never degenerate one-exchange blips.
+    partition_max_ns: float = 8_000_000.0
 
     def describe(self) -> str:
         parts = [f"seed={self.seed}"]
@@ -74,11 +82,13 @@ class FaultStats:
     transient_errors: int = 0
     latency_spikes: int = 0
     network_errors: int = 0
+    partitions: int = 0
 
     @property
     def total(self) -> int:
         return (self.torn_writes + self.bit_flips + self.transient_errors
-                + self.latency_spikes + self.network_errors)
+                + self.latency_spikes + self.network_errors
+                + self.partitions)
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -87,6 +97,7 @@ class FaultStats:
             "transient_errors": self.transient_errors,
             "latency_spikes": self.latency_spikes,
             "network_errors": self.network_errors,
+            "partitions": self.partitions,
         }
 
 
@@ -143,6 +154,25 @@ class FaultPlan:
             return self.spec.latency_spike_ns
         return 0.0
 
+    def draw_partition_ns(self) -> float:
+        """Duration of a network partition opening at this exchange.
+
+        Returns 0.0 for a healthy exchange.  A non-zero draw means the
+        link goes dead *now* and stays dead for the returned number of
+        simulated nanoseconds — callers (the replica WAL-shipping links)
+        fail every exchange until their clock passes the deadline,
+        modelling a partition rather than independent losses.  The
+        duration is drawn uniformly from the upper half of
+        ``partition_max_ns`` so a partition always outlives at least one
+        retry backoff.
+        """
+        if self.spec.partition <= 0.0:
+            return 0.0
+        if self._rng.random() < self.spec.partition:
+            self.stats.partitions += 1
+            return self.spec.partition_max_ns * self._rng.uniform(0.5, 1.0)
+        return 0.0
+
     def draw_fault_index(self, n_requests: int) -> int:
         """Index of the request a transient batch failure lands on.
 
@@ -177,6 +207,53 @@ class FaultPlan:
         return None
 
 
+def derive_seed(base_seed: int, target: str) -> int:
+    """Stable per-target sub-seed of one base seed.
+
+    A Knuth multiplicative mix of the base seed with a CRC32 of the
+    target name: pure arithmetic, so the derived seed is identical
+    across processes and Python versions (unlike ``hash()``), and
+    distinct targets get decorrelated streams.
+    """
+    return (base_seed * 2654435761 + zlib.crc32(target.encode("utf-8"))) \
+        % (1 << 32)
+
+
+class FaultPlanFactory:
+    """Derives one independent :class:`FaultPlan` per named target.
+
+    A replica group needs a *separate* schedule per member device and
+    per shipping link — sharing one plan would entangle the draw order
+    of unrelated members, so adding a replica would reshuffle every
+    other member's faults.  The factory gives each target its own
+    ``random.Random`` seeded by :func:`derive_seed`, so every member's
+    schedule is a pure function of ``(base seed, target name)`` and the
+    whole group remains digest-reproducible from the one base seed.
+    """
+
+    def __init__(self, spec: FaultSpec) -> None:
+        self.spec = spec
+        #: Plans handed out so far, by target name (insertion order).
+        self.plans: dict[str, FaultPlan] = {}
+
+    def plan_for(self, target: str) -> FaultPlan:
+        """The target's plan (created on first use, then stable)."""
+        plan = self.plans.get(target)
+        if plan is None:
+            plan = FaultPlan(replace(
+                self.spec, seed=derive_seed(self.spec.seed, target)))
+            self.plans[target] = plan
+        return plan
+
+    def stats(self) -> FaultStats:
+        """Aggregate injected-fault counters across every target."""
+        total = FaultStats()
+        for plan in self.plans.values():
+            for name, value in plan.stats.as_dict().items():
+                setattr(total, name, getattr(total, name) + value)
+        return total
+
+
 class FaultyNVMe:
     """Device wrapper injecting the plan's faults below the engine.
 
@@ -188,6 +265,19 @@ class FaultyNVMe:
     the data the engine intended to write.
     """
 
+    #: State-carrying inner methods forwarded through a fault-accounting
+    #: shim rather than verbatim.  These are the ``crash()``/
+    #: ``snapshot()``-style operations an engine calls *around* plain
+    #: I/O — trimming freed extents at commit, CRC-scanning a region
+    #: during recovery or scrub.  A verbatim passthrough would let a
+    #: "faulty" device behave perfectly on exactly the paths that decide
+    #: whether a crashed-then-recovered engine is healthy; the shim
+    #: keeps the plan's draw sequence and latency-spike accounting
+    #: running.  (They stay infallible — no injected ``DeviceIOError`` —
+    #: because recovery scans them without a retry loop by design.)
+    _ACCOUNTED_STATE_METHODS = frozenset({"trim", "verify_range",
+                                          "check_page"})
+
     def __init__(self, inner, plan: FaultPlan) -> None:
         self.inner = inner
         self.plan = plan
@@ -197,7 +287,21 @@ class FaultyNVMe:
         return self.plan.stats
 
     def __getattr__(self, name: str):
-        return getattr(self.inner, name)
+        # Guard: during unpickle/copy, attribute lookups can arrive
+        # before ``inner`` exists in the instance dict; delegating the
+        # lookup of ``inner`` itself would recurse forever.
+        if name in ("inner", "plan"):
+            raise AttributeError(name)
+        attr = getattr(self.inner, name)
+        if name in self._ACCOUNTED_STATE_METHODS and callable(attr):
+            def forward(*args, _method=attr, **kwargs):
+                spike = self.plan.draw_latency_spike_ns()
+                if spike:
+                    self.inner.model.clock.advance(spike)
+                return _method(*args, **kwargs)
+            forward.__name__ = name
+            return forward
+        return attr
 
     # -- faulted I/O ---------------------------------------------------------
 

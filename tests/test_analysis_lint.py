@@ -207,6 +207,24 @@ class TestSubstrateBypassRule:
         """)
         assert findings == []
 
+    def test_flags_replica_member_device_bypass(self):
+        # The replica layer's receivers hold fault-wrapped devices too:
+        # reaching into a member's or the primary's raw pages bypasses
+        # that member's cost model *and* its fault plan.
+        findings = run("""
+            pages = member.device._pages
+            raw = self.primary.device.peek(pid, 1)
+            replica._poke(pid, 0, b"x")
+        """, path="src/repro/replica/group.py")
+        assert [f.rule for f in findings] == ["RPR006"] * 3
+
+    def test_replica_layer_not_storage_exempt(self):
+        # src/repro/replica/ is NOT an allowed path for raw access —
+        # only the storage substrate and the I/O scheduler are.
+        source = "raw = member.device.peek(pid, 1)\n"
+        assert rules_of(lint_source("src/repro/replica/group.py",
+                                    source)) == {"RPR006"}
+
 
 class TestSuppressions:
     def test_parse(self):

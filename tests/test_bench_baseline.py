@@ -19,7 +19,8 @@ class TestSuite:
             {"ycsb_4k", "ycsb_100k", "wikipedia",
              "iodepth_qd1", "iodepth_qd4", "iodepth_qd16", "iodepth_qd64",
              "shards_s1", "shards_s2", "shards_s4", "shards_s8",
-             "shards_s8_zipf99"}
+             "shards_s8_zipf99",
+             "replication_q1", "replication_q2", "replication_q3"}
         assert suite_doc["suite_version"] == baseline.SUITE_VERSION
 
     def test_workload_shape(self, suite_doc):
@@ -37,6 +38,11 @@ class TestSuite:
                 assert wl["n_shards"] >= 1, name
                 assert sum(wl["shard"]["keys_per_shard"]) == \
                     wl["shard"]["routed_keys"], name
+                continue
+            if name.startswith("replication_"):
+                assert wl["quorum"] >= 1, name
+                assert wl["replication"]["acked_writes"] > 0, name
+                assert wl["replication"]["records_shipped"] > 0, name
                 continue
             # Category accounting must include the data and WAL streams.
             cats = wl["bytes_written_by_category"]
