@@ -1,0 +1,88 @@
+#!/usr/bin/env python3
+"""Traffic storm: open-loop overload, the knee, and admission control.
+
+Walks the whole `repro.sched` story on one small fleet:
+
+1. *Calibrate* — a closed-loop run measures what the fleet can serve.
+2. *Walk the knee* — open-loop Poisson arrivals at rising fractions of
+   that capacity: below the knee completed throughput tracks offered
+   load; past it throughput saturates while p999 latency and the
+   dispatch backlog explode.  No request is ever refused — the queue
+   just grows, which *is* the failure mode of an unprotected service.
+3. *Storm through admission* — the worst overload replayed through a
+   per-tenant token bucket, once shedding (bounded tail, exact shed
+   counts) and once queueing (nothing lost, latency pays instead).
+   Tenant 1 is given a zero quota: its storm is fully shed while
+   tenant 0 is untouched.
+
+Everything runs on the virtual clock with seeded RNGs, so every number
+printed here is byte-identical on every machine.
+
+Run:  python examples/traffic_storm.py
+"""
+
+from repro.sched import (
+    AdmissionController,
+    TokenBucket,
+    TrafficConfig,
+    TrafficSim,
+    generate_jobs,
+)
+
+TENANTS = 2
+OPS_PER_TENANT = 120
+SEED = 23
+
+
+def fleet(admission=None) -> TrafficSim:
+    return TrafficSim(TrafficConfig(
+        n_workers=2, n_shards=1, n_keys=32, payload_bytes=4096,
+        read_ratio=0.5, seed=SEED), admission=admission)
+
+
+def jobs_at(capacity_ops_s: float, mult: float):
+    # generate_jobs rates are per tenant: aggregate = tenants * rate.
+    return generate_jobs(
+        tenants=TENANTS, per_tenant=OPS_PER_TENANT,
+        rate_ops_s=capacity_ops_s * mult / TENANTS, seed=SEED,
+        n_keys=32, payload_bytes=4096, read_ratio=0.5)
+
+
+def main() -> None:
+    closed = fleet().run_closed(TENANTS * 60, tenants=TENANTS)
+    cap = closed.throughput_ops_s
+    print(f"closed-loop capacity: {cap:,.0f} op/s "
+          f"(p999 {closed.latency['p999'] / 1000:.1f} us)")
+
+    print("\nopen loop, no admission control — walking the knee")
+    print(f"  {'offered':>8} {'op/s':>12} {'p50 us':>8} {'p999 us':>9} "
+          f"{'backlog':>8}")
+    for mult in (0.25, 0.5, 1.0, 2.0, 4.0):
+        res = fleet().run(jobs_at(cap, mult))
+        print(f"  {mult:>7.2f}x {res.throughput_ops_s:>12,.0f} "
+              f"{res.latency['p50'] / 1000:>8.1f} "
+              f"{res.latency['p999'] / 1000:>9.1f} "
+              f"{res.max_dispatch_depth:>8}")
+    print("  throughput saturates at the knee; only the tail keeps "
+          "growing.")
+
+    print("\nsame 4x storm, token-bucket admission "
+          "(tenant 1 has zero quota)")
+    storm = jobs_at(cap, 4.0)
+    for policy in ("shed", "queue"):
+        ctl = AdmissionController(
+            policy=policy, rate_tokens_s=cap * 0.3, burst=8.0,
+            quotas={1: TokenBucket(0.0, 0.0)})
+        res = fleet(admission=ctl).run(storm)
+        shed_t = {t: n for t, n in sorted(res.shed_by_tenant.items())}
+        print(f"  policy={policy:<5} completed {res.completed:>3} "
+              f"shed {res.shed:>3} {shed_t} queued {res.queued_ops:>3} "
+              f"p999 {res.latency['p999'] / 1000:>7.1f} us")
+        assert res.offered == res.admitted + res.shed  # exact accounting
+    print("  shed bounds the tail by refusing work; queue completes "
+          "everything\n  and pays in latency — both with exact, "
+          "per-tenant accounting.")
+
+
+if __name__ == "__main__":
+    main()

@@ -370,6 +370,42 @@ def _cmd_bench_replication(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_traffic(args: argparse.Namespace) -> int:
+    """Open-loop traffic sweep: closed-loop capacity calibration,
+    offered-load points across the saturation knee, and token-bucket
+    admission under overload.  Self-checks determinism (two runs
+    byte-identical), the knee (throughput saturates while p999 grows),
+    and admission (bounded p999, exact shed accounting)."""
+    from repro.bench import baseline
+
+    first = baseline.run_traffic_sweep()
+    second = baseline.run_traffic_sweep()
+    print("traffic sweep (open-loop arrivals, pinned seed)")
+    print(f"  closed-loop capacity: {first['capacity_ops_s']:.1f} op/s")
+    print(f"  {'offered':>8} {'policy':>7} {'done':>5} {'shed':>5} "
+          f"{'op/s':>12} {'p99 us':>9} {'p999 us':>9} {'depth':>6}")
+    for wl in first["sweep"]:
+        adm = wl["admission"]
+        policy = adm["policy"] if adm else "-"
+        print(f"  {wl['offered_mult']:>7.2f}x {policy:>7} "
+              f"{wl['completed']:>5} {wl['shed']:>5} "
+              f"{wl['throughput_ops_s']:>12.1f} "
+              f"{wl['latency_us']['p99']:>9.1f} "
+              f"{wl['latency_us']['p999']:>9.1f} "
+              f"{wl['max_dispatch_depth']:>6}")
+    failures = baseline.traffic_self_check(first, second)
+    if args.out:
+        baseline.write_baseline(args.out, first)
+        print(f"wrote {args.out}")
+    if failures:
+        for line in failures:
+            print("FAILED: " + line, file=sys.stderr)
+        return 1
+    print("traffic sweep OK: deterministic, knee saturates with a "
+          "growing tail, admission bounds p999 with exact shed counts")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import baseline
 
@@ -379,6 +415,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_shards(args)
     if args.mode == "replication":
         return _cmd_bench_replication(args)
+    if args.mode == "traffic":
+        return _cmd_bench_traffic(args)
     doc = baseline.run_suite(args.label)
     # Provenance stamp attached *outside* the deterministic suite; the
     # regression gate ignores unknown top-level keys.
@@ -513,14 +551,15 @@ def main(argv: list[str] | None = None) -> int:
         "bench", help="deterministic benchmark baseline + regression gate")
     bench.add_argument("mode", nargs="?",
                        choices=("suite", "iodepth", "shards",
-                                "replication"),
+                                "replication", "traffic"),
                        default="suite",
                        help="'suite' (default), 'iodepth' for the "
                             "queue-depth sweep, 'shards' for the "
-                            "sharded scatter-gather sweep, or "
+                            "sharded scatter-gather sweep, "
                             "'replication' for the quorum sweep plus "
-                            "the availability storm — every sweep runs "
-                            "built-in self-checks")
+                            "the availability storm, or 'traffic' for "
+                            "the open-loop saturation/admission sweep "
+                            "— every sweep runs built-in self-checks")
     bench.add_argument("--traces", metavar="DIR",
                        help="with mode 'shards': also write per-shard "
                             "Chrome traces of a 4-shard run to DIR")

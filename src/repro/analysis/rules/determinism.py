@@ -30,11 +30,17 @@ _WALL_CLOCK_SUFFIXES = frozenset({
 })
 
 #: Module-level functions of ``random`` that draw from the hidden
-#: process-global generator.
+#: process-global generator.  The distribution samplers the arrival
+#: generators lean on (``expovariate`` for Poisson gaps, the variate
+#: family for heavy-tailed service times) are listed explicitly: an
+#: unseeded inter-arrival draw silently de-determinizes a whole
+#: ``repro/sched`` traffic schedule.
 _GLOBAL_RANDOM_FNS = frozenset({
     "random", "randrange", "randint", "randbytes", "getrandbits",
     "uniform", "gauss", "normalvariate", "expovariate", "triangular",
     "choice", "choices", "sample", "shuffle", "betavariate", "seed",
+    "lognormvariate", "paretovariate", "weibullvariate",
+    "vonmisesvariate", "gammavariate", "binomialvariate",
 })
 
 #: Entropy sources that can never be seeded.

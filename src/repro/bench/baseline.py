@@ -655,6 +655,166 @@ def replication_self_check(first: dict, second: dict) -> list[str]:
     return failures
 
 
+#: Offered-load multipliers of the open-loop traffic sweep, as
+#: fractions of the measured closed-loop capacity: one point well below
+#: the knee, one near it, and two past it.
+TRAFFIC_SWEEP = (0.25, 1.0, 2.0, 4.0)
+
+#: Token rate of the admission-protected overload point, as a fraction
+#: of closed-loop capacity (split evenly across the tenants).
+TRAFFIC_ADMIT_FRACTION = 0.4
+
+#: Upper bound on the protected point's p999 latency relative to the
+#: unprotected overload point: shedding must cut the tail at least in
+#: half or admission control is decorative.
+TRAFFIC_P999_PROTECTION = 0.5
+
+#: Tenants and per-tenant op count of every open-loop point.
+_TRAFFIC_TENANTS = 2
+_TRAFFIC_OPS_PER_TENANT = 100
+
+
+def _traffic_sim(admission=None):
+    from repro.sched import TrafficConfig, TrafficSim
+
+    return TrafficSim(TrafficConfig(
+        n_workers=2, n_shards=1, n_keys=32, payload_bytes=4096,
+        read_ratio=0.5, seed=17), admission=admission)
+
+
+def run_traffic_sweep(mults: tuple[float, ...] = TRAFFIC_SWEEP) -> dict:
+    """Open-loop traffic sweep over the discrete-event scheduler.
+
+    First a closed-loop run measures the fleet's service capacity (the
+    calibration point — the same quantity ``WorkerSim`` estimates
+    analytically).  Then each sweep point replays a seeded Poisson
+    arrival schedule at a multiple of that capacity through
+    :class:`~repro.sched.TrafficSim`: below the knee completed
+    throughput tracks offered load; past it throughput saturates and
+    p999 latency explodes — the open-loop behaviour a closed-loop
+    (or analytic) harness is structurally blind to.  A final pair of
+    points replays the worst overload through token-bucket admission
+    (shed and queue policies) to show a bounded tail and exact shed
+    accounting.
+    """
+    from repro.sched import AdmissionController, generate_jobs
+
+    closed = _traffic_sim().run_closed(
+        _TRAFFIC_TENANTS * 48, tenants=_TRAFFIC_TENANTS)
+    capacity = closed.throughput_ops_s
+
+    def jobs_at(mult: float):
+        # Per-tenant rate: aggregate offered load = tenants * rate.
+        return generate_jobs(
+            tenants=_TRAFFIC_TENANTS, per_tenant=_TRAFFIC_OPS_PER_TENANT,
+            rate_ops_s=capacity * mult / _TRAFFIC_TENANTS, seed=17,
+            n_keys=32, payload_bytes=4096, read_ratio=0.5)
+
+    open_points = []
+    for mult in mults:
+        point = _traffic_sim().run(jobs_at(mult)).as_dict()
+        point["offered_mult"] = mult
+        point["admission"] = None
+        open_points.append(point)
+
+    admitted_points = []
+    for policy in ("shed", "queue"):
+        ctl = AdmissionController(
+            policy=policy,
+            rate_tokens_s=capacity * TRAFFIC_ADMIT_FRACTION
+            / _TRAFFIC_TENANTS,
+            burst=4.0)
+        point = _traffic_sim(admission=ctl).run(
+            jobs_at(mults[-1])).as_dict()
+        point["offered_mult"] = mults[-1]
+        point["admission"] = {
+            "policy": policy,
+            "rate_fraction": TRAFFIC_ADMIT_FRACTION,
+            "burst": 4.0,
+        }
+        admitted_points.append(point)
+
+    closed_point = closed.as_dict()
+    closed_point["offered_mult"] = None
+    closed_point["admission"] = None
+    return {
+        "suite_version": SUITE_VERSION,
+        "capacity_ops_s": round(capacity, 1),
+        "closed_loop": closed_point,
+        "sweep": open_points + admitted_points,
+    }
+
+
+def traffic_self_check(first: dict, second: dict) -> list[str]:
+    """The traffic sweep's acceptance checks; non-empty = failure.
+
+    Enforced by ``repro bench traffic`` (and therefore the CI perf-gate
+    job): the sweep must be deterministic (two in-process runs render
+    byte-identically), open-loop throughput must saturate at a knee
+    while p999 grows without admission control, and the admission
+    points must show a bounded tail with *exact* shed accounting.
+    """
+    failures: list[str] = []
+    if render(first) != render(second):
+        failures.append("traffic sweep not deterministic: two runs differ")
+    open_pts = {p["offered_mult"]: p for p in first["sweep"]
+                if p["admission"] is None}
+    mults = sorted(open_pts)
+    capacity = first["capacity_ops_s"]
+    low, high = open_pts[mults[0]], open_pts[mults[-1]]
+    # Below the knee, completed throughput tracks offered load.
+    offered_low = capacity * mults[0]
+    if abs(low["throughput_ops_s"] - offered_low) > 0.3 * offered_low:
+        failures.append(
+            f"below-knee point off its offered load: "
+            f"{low['throughput_ops_s']} vs offered {offered_low:.1f}")
+    # Past the knee, throughput saturates ...
+    knee_pts = [open_pts[m] for m in mults if m >= 2.0]
+    if len(knee_pts) >= 2 and knee_pts[-1]["throughput_ops_s"] > \
+            1.15 * knee_pts[0]["throughput_ops_s"]:
+        failures.append(
+            f"no saturation knee: {knee_pts[0]['throughput_ops_s']} -> "
+            f"{knee_pts[-1]['throughput_ops_s']} op/s past 2x offered")
+    # ... and the unprotected tail explodes.
+    if high["latency_us"]["p999"] < 5 * low["latency_us"]["p999"]:
+        failures.append(
+            f"p999 does not grow across the knee: "
+            f"{low['latency_us']['p999']} -> {high['latency_us']['p999']}"
+            f" us")
+    if any(p["shed"] for p in open_pts.values()):
+        failures.append("open-loop points shed without admission control")
+    for point in first["sweep"]:
+        adm = point["admission"]
+        if adm is None:
+            continue
+        name = f"admission[{adm['policy']}]"
+        if point["offered"] != point["admitted"] + point["shed"]:
+            failures.append(
+                f"{name}: offered {point['offered']} != admitted "
+                f"{point['admitted']} + shed {point['shed']}")
+        if point["completed"] != point["admitted"]:
+            failures.append(
+                f"{name}: completed {point['completed']} != admitted "
+                f"{point['admitted']}")
+        if adm["policy"] == "shed":
+            if not point["shed"]:
+                failures.append(f"{name}: overload point shed nothing")
+            bound = TRAFFIC_P999_PROTECTION * high["latency_us"]["p999"]
+            if point["latency_us"]["p999"] >= bound:
+                failures.append(
+                    f"{name}: p999 not bounded: "
+                    f"{point['latency_us']['p999']} us >= {bound:.2f} us "
+                    f"({TRAFFIC_P999_PROTECTION:.0%} of unprotected)")
+        else:
+            if point["shed"]:
+                failures.append(
+                    f"{name}: queue policy shed {point['shed']} ops")
+            if not point["queued_ops"]:
+                failures.append(
+                    f"{name}: overload point queued nothing")
+    return failures
+
+
 def run_suite(label: str = "local") -> dict:
     """Run the pinned-seed suite; returns the JSON-ready document."""
     workloads = {
@@ -683,6 +843,18 @@ def run_suite(label: str = "local") -> dict:
     # it gates robustness, not throughput).
     for quorum in REPLICATION_QUORUMS:
         workloads[f"replication_q{quorum}"] = _run_replication(quorum)
+    # And the traffic sweep: the saturation knee, the open-loop tail,
+    # and the admission-protected overload point are perf properties —
+    # a change that moves the knee or unbounds p999 fails the gate.
+    traffic = run_traffic_sweep()
+    workloads["traffic_closed"] = traffic["closed_loop"]
+    for point in traffic["sweep"]:
+        if point["admission"] is None:
+            mult = point["offered_mult"]
+            name = f"traffic_x{str(mult).replace('.', '')}"
+        else:
+            name = f"traffic_admit_{point['admission']['policy']}"
+        workloads[name] = point
     return {
         "label": label,
         "suite_version": SUITE_VERSION,

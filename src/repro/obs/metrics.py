@@ -6,9 +6,12 @@ registries — metric output is part of the reproducibility surface, like
 the fault-sweep digest.
 
 Histograms use fixed geometric bucket boundaries shared by every
-instance, so summaries (p50/p95/p99) are stable across runs and across
-code that merely *reads* them: percentile estimation never depends on
-insertion order or float accumulation quirks.
+instance, so summaries (p50/p95/p99/p999) are stable across runs and
+across code that merely *reads* them: percentile estimation never
+depends on insertion order or float accumulation quirks.  p999 is
+first-class because tail latency is what the open-loop traffic
+scheduler (:mod:`repro.sched`) exists to measure — the p50 of an
+overloaded system looks fine right up until it doesn't.
 """
 
 from __future__ import annotations
@@ -134,6 +137,7 @@ class Histogram:
             "p50": self.percentile(0.50),
             "p95": self.percentile(0.95),
             "p99": self.percentile(0.99),
+            "p999": self.percentile(0.999),
         }
 
 

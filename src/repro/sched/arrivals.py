@@ -1,0 +1,166 @@
+"""Open-loop arrival generators: seeded Poisson and a diurnal curve.
+
+A *closed-loop* benchmark (every workload in :mod:`repro.bench` so far)
+issues the next operation only when the previous one completes — offered
+load implicitly tracks capacity and overload is unobservable.  An
+*open-loop* benchmark fixes the arrival process independently of service
+progress, which is how production traffic behaves: requests keep landing
+whether or not the backend keeps up, queues grow, and the tail explodes
+past the saturation knee.
+
+Both generators draw inter-arrival gaps from an explicitly seeded
+``random.Random`` (``rng.expovariate`` — the method on a seeded
+instance, never the module-level function, which lint rule RPR002
+flags), so an arrival schedule is a pure function of its parameters and
+seed.  The diurnal generator modulates a Poisson process by thinning
+(Lewis & Shedler): candidates are drawn at the peak rate and accepted
+with probability ``rate(t) / peak_rate``, giving an exact nonhomogeneous
+Poisson process without approximating the curve.
+
+Op *content* (key, kind, payload) is deliberately a pure function of the
+``(tenant, index)`` pair — see :func:`op_for` — so an admission policy
+that sheds op *k* cannot perturb the bytes of op *k + 1*.  That property
+is what makes shed-vs-queue policy comparisons byte-exact.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+
+#: Payload body shared by every generated op (content is stamped per
+#: op); one module-level constant keeps generation cheap and pure.
+_BASE_SEED = 0x7AFF1C
+
+
+@dataclass(frozen=True)
+class Job:
+    """One arriving operation, fully determined at generation time."""
+
+    tenant: int
+    index: int
+    arrive_ns: int
+    kind: str          # "read" | "write"
+    key: bytes
+    payload: bytes | None = field(repr=False, default=None)
+
+
+def poisson_arrivals(rate_ops_s: float, n: int, rng: random.Random,
+                     start_ns: int = 0) -> list[int]:
+    """``n`` arrival times of a homogeneous Poisson process.
+
+    Inter-arrival gaps are exponential with mean ``1e9 / rate_ops_s``
+    simulated nanoseconds; the schedule is deterministic per ``rng``
+    state and independent of anything the backend does with it.
+    """
+    if rate_ops_s <= 0:
+        raise ValueError("arrival rate must be positive")
+    if n < 0:
+        raise ValueError("cannot generate a negative number of arrivals")
+    mean_gap_ns = 1e9 / rate_ops_s
+    t = float(start_ns)
+    out: list[int] = []
+    for _ in range(n):
+        t += rng.expovariate(1.0) * mean_gap_ns
+        out.append(int(t))
+    return out
+
+
+@dataclass(frozen=True)
+class DiurnalCurve:
+    """A day-shaped rate curve: ``base * (1 + amp * sin(2π t/period))``.
+
+    ``amplitude`` in [0, 1); the peak rate is ``base * (1 + amplitude)``
+    and the trough ``base * (1 - amplitude)``, so the curve never goes
+    negative and the thinning acceptance ratio stays well-defined.
+    """
+
+    base_ops_s: float
+    amplitude: float = 0.5
+    period_ns: int = 1_000_000_000  # one simulated "day" per second
+
+    def __post_init__(self) -> None:
+        if self.base_ops_s <= 0:
+            raise ValueError("base rate must be positive")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ValueError("amplitude must be in [0, 1)")
+        if self.period_ns <= 0:
+            raise ValueError("period must be positive")
+
+    @property
+    def peak_ops_s(self) -> float:
+        return self.base_ops_s * (1.0 + self.amplitude)
+
+    def rate_at(self, t_ns: int) -> float:
+        phase = 2.0 * math.pi * (t_ns % self.period_ns) / self.period_ns
+        return self.base_ops_s * (1.0 + self.amplitude * math.sin(phase))
+
+
+def diurnal_arrivals(curve: DiurnalCurve, n: int, rng: random.Random,
+                     start_ns: int = 0) -> list[int]:
+    """``n`` arrivals of a nonhomogeneous Poisson process by thinning.
+
+    Candidates are drawn at ``curve.peak_ops_s`` and kept with
+    probability ``rate(t) / peak``; the rejection draw comes from the
+    same seeded ``rng``, so the thinned schedule is exactly reproducible.
+    """
+    if n < 0:
+        raise ValueError("cannot generate a negative number of arrivals")
+    peak = curve.peak_ops_s
+    mean_gap_ns = 1e9 / peak
+    t = float(start_ns)
+    out: list[int] = []
+    while len(out) < n:
+        t += rng.expovariate(1.0) * mean_gap_ns
+        if rng.random() * peak <= curve.rate_at(int(t)):
+            out.append(int(t))
+    return out
+
+
+def op_for(tenant: int, index: int, *, seed: int, n_keys: int,
+           payload_bytes: int, read_ratio: float) -> tuple[str, bytes, bytes | None]:
+    """Deterministic op content for one ``(tenant, index)`` pair.
+
+    A fresh generator is seeded from the pair, so the result never
+    depends on how many earlier ops were generated, admitted, or shed —
+    the indexed analogue of :class:`~repro.workloads.ycsb.YcsbWorkload`
+    whose stream state would otherwise couple ops together.
+    """
+    rng = random.Random(seed * 1_000_003 + tenant * 10_007 + index)
+    key_idx = rng.randrange(n_keys)
+    key = b"t%02d-key%08d" % (tenant, key_idx)
+    if rng.random() < read_ratio:
+        return "read", key, None
+    stamp = b"t%02d/%08d/" % (tenant, index)
+    body = random.Random(_BASE_SEED ^ key_idx).randbytes(
+        max(0, payload_bytes - len(stamp)))
+    return "write", key, (stamp + body)[:payload_bytes]
+
+
+def generate_jobs(*, tenants: int, per_tenant: int, rate_ops_s: float,
+                  seed: int, n_keys: int, payload_bytes: int,
+                  read_ratio: float,
+                  curve: DiurnalCurve | None = None) -> list[Job]:
+    """The merged open-loop schedule of every tenant's arrival stream.
+
+    Each tenant gets its own seeded Poisson (or diurnal) process at
+    ``rate_ops_s``; streams are merged by ``(arrive_ns, tenant, index)``
+    so simultaneous arrivals have one defined global order.
+    """
+    jobs: list[Job] = []
+    for tenant in range(tenants):
+        rng = random.Random(seed * 7_919 + tenant)
+        if curve is not None:
+            times = diurnal_arrivals(curve, per_tenant, rng)
+        else:
+            times = poisson_arrivals(rate_ops_s, per_tenant, rng)
+        for index, arrive_ns in enumerate(times):
+            kind, key, payload = op_for(
+                tenant, index, seed=seed, n_keys=n_keys,
+                payload_bytes=payload_bytes, read_ratio=read_ratio)
+            jobs.append(Job(tenant=tenant, index=index,
+                            arrive_ns=arrive_ns, kind=kind, key=key,
+                            payload=payload))
+    jobs.sort(key=lambda j: (j.arrive_ns, j.tenant, j.index))
+    return jobs

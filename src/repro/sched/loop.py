@@ -1,0 +1,216 @@
+"""Deterministic discrete-event loop with coroutine workers.
+
+The analytic :class:`~repro.sim.workers.WorkerSim` scales one worker's
+trace by closed-form stretch factors — it cannot express queueing, tail
+latency, or overload.  This module replaces that with the standard
+discrete-event structure real NVMe stacks have (submit, wait, complete):
+
+* :class:`EventLoop` — a heap of ``(time_ns, seq, ...)`` entries on its
+  own virtual timeline.  ``seq`` is a monotone sequence number assigned
+  at scheduling time, so simultaneous events fire in a defined order and
+  two runs of the same seed replay the exact same interleaving.
+* :class:`SimWorker` protocol — a worker is a plain generator that
+  yields *commands* instead of blocking:
+
+  - :class:`Delay` — resume after a fixed number of simulated ns
+    (CPU/memory work that runs in parallel with other workers);
+  - :class:`Io` — occupy a :class:`Resource` (a device submission
+    queue) for a service demand; the loop enqueues the request FIFO and
+    resumes the worker at its *completion* time, exactly like an
+    ``io_submit``/``io_getevents`` ticket pair on the
+    :class:`~repro.io.IoScheduler`;
+  - :class:`Take` — wait for the next item of a :class:`JobQueue`
+    (dispatch); the yield expression evaluates to the item.
+
+Nothing here reads a wall clock or draws randomness: the loop's time is
+advanced only by scheduled events, and every queue is FIFO, so the whole
+simulation is a pure function of (code, arrival schedule, seeds).
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Generator, Iterable
+
+#: A worker coroutine: yields Delay/Io/Take commands, receives the
+#: Take'd item (or None) back from the loop at each resumption.
+SimWorker = Generator[object, object, None]
+
+
+class Delay:
+    """Resume the yielding worker after ``ns`` simulated nanoseconds."""
+
+    __slots__ = ("ns",)
+
+    def __init__(self, ns: float) -> None:
+        if ns < 0:
+            raise ValueError(f"cannot delay a negative time ({ns} ns)")
+        self.ns = ns
+
+
+class Io:
+    """Occupy ``resource`` for ``demand_ns`` of FIFO-serialized service.
+
+    The request joins the resource's submission queue at yield time and
+    the worker resumes when its service completes — queueing wait is
+    whatever the backlog ahead of it implies, never an analytic factor.
+    """
+
+    __slots__ = ("resource", "demand_ns")
+
+    def __init__(self, resource: "Resource", demand_ns: float) -> None:
+        if demand_ns < 0:
+            raise ValueError(f"negative service demand ({demand_ns} ns)")
+        self.resource = resource
+        self.demand_ns = demand_ns
+
+
+class Take:
+    """Wait for (and consume) the next item of a :class:`JobQueue`."""
+
+    __slots__ = ("queue",)
+
+    def __init__(self, queue: "JobQueue") -> None:
+        self.queue = queue
+
+
+class Resource:
+    """A FIFO server (one device submission queue) on the loop timeline.
+
+    ``busy_until_ns`` is when the last queued request completes; a new
+    request starts at ``max(now, busy_until_ns)`` — the discrete-event
+    equivalent of queue depth.  ``waited_ns``/``served`` feed the
+    wait-time observability the analytic model could not produce.
+    """
+
+    __slots__ = ("name", "busy_until_ns", "served", "busy_ns", "waited_ns")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.busy_until_ns = 0
+        self.served = 0
+        self.busy_ns = 0.0
+        self.waited_ns = 0.0
+
+    def admit(self, now_ns: int, demand_ns: float) -> int:
+        """Queue one request; returns its completion time."""
+        start_ns = max(now_ns, self.busy_until_ns)
+        self.waited_ns += start_ns - now_ns
+        self.busy_until_ns = start_ns + int(demand_ns)
+        self.busy_ns += demand_ns
+        self.served += 1
+        return self.busy_until_ns
+
+    def depth_at(self, now_ns: int) -> float:
+        """Outstanding service time ahead of a request arriving now."""
+        return max(0, self.busy_until_ns - now_ns)
+
+
+class JobQueue:
+    """FIFO hand-off between producers (arrivals) and worker coroutines."""
+
+    __slots__ = ("_items", "_waiters")
+
+    def __init__(self) -> None:
+        self._items: list = []
+        self._waiters: list[SimWorker] = []
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    @property
+    def idle_workers(self) -> int:
+        return len(self._waiters)
+
+
+class EventLoop:
+    """Heap-ordered virtual timeline driving :data:`SimWorker` coroutines."""
+
+    def __init__(self) -> None:
+        self.now_ns = 0
+        self._seq = 0
+        #: Heap entries: (time_ns, seq, kind, payload).  ``kind`` is
+        #: "resume" (payload: worker, value) or "call" (payload: fn).
+        self._heap: list[tuple] = []
+        self.events_fired = 0
+
+    # -- scheduling ----------------------------------------------------------
+
+    def _push(self, t_ns: int, kind: str, payload) -> None:
+        if t_ns < self.now_ns:
+            raise ValueError(
+                f"cannot schedule into the past ({t_ns} < {self.now_ns})")
+        self._seq += 1
+        heapq.heappush(self._heap, (t_ns, self._seq, kind, payload))
+
+    def call_at(self, t_ns: int, fn) -> None:
+        """Run ``fn()`` at absolute virtual time ``t_ns``."""
+        self._push(t_ns, "call", fn)
+
+    def spawn(self, worker: SimWorker) -> None:
+        """Start a worker coroutine at the current virtual time."""
+        self._push(self.now_ns, "resume", (worker, None))
+
+    # -- queue plumbing ------------------------------------------------------
+
+    def put(self, queue: JobQueue, item) -> None:
+        """Deliver ``item``: wake the longest-idle worker, else buffer."""
+        if queue._waiters:
+            worker = queue._waiters.pop(0)
+            self._push(self.now_ns, "resume", (worker, item))
+        else:
+            queue._items.append(item)
+
+    # -- execution -----------------------------------------------------------
+
+    def _step(self, worker: SimWorker, value) -> None:
+        """Resume ``worker`` with ``value`` and act on its next command."""
+        try:
+            command = worker.send(value)
+        except StopIteration:
+            return
+        if isinstance(command, Delay):
+            self._push(self.now_ns + int(command.ns), "resume",
+                       (worker, None))
+        elif isinstance(command, Io):
+            done_ns = command.resource.admit(self.now_ns, command.demand_ns)
+            self._push(done_ns, "resume", (worker, None))
+        elif isinstance(command, Take):
+            queue = command.queue
+            if queue._items:
+                item = queue._items.pop(0)
+                self._push(self.now_ns, "resume", (worker, item))
+            else:
+                queue._waiters.append(worker)
+        else:
+            raise TypeError(f"worker yielded {command!r}; expected "
+                            f"Delay, Io, or Take")
+
+    def run(self, until_ns: int | None = None,
+            max_events: int = 10_000_000) -> None:
+        """Fire events in (time, seq) order until the heap drains.
+
+        ``until_ns`` stops the loop (inclusive) once every event at or
+        before that time has fired; later events stay queued.
+        ``max_events`` bounds runaway workloads deterministically.
+        """
+        while self._heap:
+            t_ns = self._heap[0][0]
+            if until_ns is not None and t_ns > until_ns:
+                break
+            t_ns, _, kind, payload = heapq.heappop(self._heap)
+            self.now_ns = t_ns
+            self.events_fired += 1
+            if self.events_fired > max_events:
+                raise RuntimeError(
+                    f"event budget exhausted ({max_events} events)")
+            if kind == "call":
+                payload()
+            else:
+                worker, value = payload
+                self._step(worker, value)
+
+    def drain_workers(self, workers: Iterable[SimWorker]) -> None:
+        """Close still-parked workers (loop shutdown) without firing them."""
+        for worker in workers:
+            worker.close()

@@ -13,6 +13,14 @@ This reproduces the paper's observations deterministically: a design that
 performs two memcpys per read (hash-table pool: internal copy + client
 copy) saturates bandwidth at high worker counts, while a single-copy
 design (vmcache + aliasing) keeps scaling (Section V-E).
+
+``WorkerSim`` is the *analytic baseline*: closed-form stretch factors
+are exact for bandwidth ceilings but structurally cannot express
+queueing, tail latency, or overload — a stretch factor has no waiting
+line.  The discrete-event scheduler (:mod:`repro.sched`) models those
+by simulation; ``tests/test_sched_traffic.py`` cross-checks that both
+agree where the analytic model is valid (a single uncontended worker)
+and documents where it lies (any load-dependent wait).
 """
 
 from __future__ import annotations

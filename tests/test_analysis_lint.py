@@ -254,6 +254,65 @@ class TestSuppressions:
         assert findings == []
 
 
+class TestSchedulerPackage:
+    """The traffic scheduler is determinism-critical: a wall clock or an
+    unseeded draw in an arrival generator silently de-determinizes every
+    schedule downstream.  The linter must police ``repro/sched`` like
+    any engine module — no special-case exemption."""
+
+    SCHED = "src/repro/sched/arrivals.py"
+
+    def test_flags_wall_clock_in_arrival_generator(self):
+        findings = run("""
+            import time
+            def poisson_arrivals(rate, n):
+                start = time.time()
+                return [start + i / rate for i in range(n)]
+            """, path=self.SCHED)
+        assert rules_of(findings) == {"RPR001"}
+
+    def test_flags_unseeded_interarrival_draws(self):
+        findings = run("""
+            import random
+            def gaps(rate, n):
+                return [random.expovariate(rate) for _ in range(n)]
+            def jitter():
+                return random.Random().random()
+            """, path=self.SCHED)
+        assert [f.rule for f in findings] == ["RPR002", "RPR002"]
+
+    def test_flags_newly_covered_variates(self):
+        """The rule knows the full ``random`` variate family — the
+        thinning sampler could plausibly reach for any of them."""
+        findings = run("""
+            import random
+            a = random.paretovariate(2.0)
+            b = random.weibullvariate(1.0, 1.5)
+            c = random.gammavariate(2.0, 0.5)
+            """, path=self.SCHED)
+        assert [f.rule for f in findings] == ["RPR002"] * 3
+
+    def test_clean_seeded_generator_passes(self):
+        findings = run("""
+            import random
+            def poisson_arrivals(rate, n, rng):
+                t = 0.0
+                out = []
+                for _ in range(n):
+                    t += rng.expovariate(rate)
+                    out.append(int(t))
+                return out
+            rng = random.Random(42)
+            """, path=self.SCHED)
+        assert findings == []
+
+    def test_real_sched_package_is_clean(self):
+        sched_dir = os.path.join(REPO_SRC, "sched")
+        files = iter_python_files([sched_dir])
+        assert len(files) >= 4  # loop, arrivals, admission, traffic
+        assert lint_paths([sched_dir]) == []
+
+
 class TestEngineAndReport:
     def test_rule_ids_unique_and_documented(self):
         ids = [cls.rule_id for cls in ALL_RULES]

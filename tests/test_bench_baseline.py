@@ -20,7 +20,10 @@ class TestSuite:
              "iodepth_qd1", "iodepth_qd4", "iodepth_qd16", "iodepth_qd64",
              "shards_s1", "shards_s2", "shards_s4", "shards_s8",
              "shards_s8_zipf99",
-             "replication_q1", "replication_q2", "replication_q3"}
+             "replication_q1", "replication_q2", "replication_q3",
+             "traffic_closed", "traffic_x025", "traffic_x10",
+             "traffic_x20", "traffic_x40",
+             "traffic_admit_shed", "traffic_admit_queue"}
         assert suite_doc["suite_version"] == baseline.SUITE_VERSION
 
     def test_workload_shape(self, suite_doc):
@@ -43,6 +46,12 @@ class TestSuite:
                 assert wl["quorum"] >= 1, name
                 assert wl["replication"]["acked_writes"] > 0, name
                 assert wl["replication"]["records_shipped"] > 0, name
+                continue
+            if name.startswith("traffic_"):
+                assert wl["offered"] == wl["admitted"] + wl["shed"], name
+                assert wl["completed"] == wl["ops"], name
+                assert wl["latency_us"]["p99"] <= \
+                    wl["latency_us"]["p999"], name
                 continue
             # Category accounting must include the data and WAL streams.
             cats = wl["bytes_written_by_category"]

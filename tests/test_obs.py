@@ -69,6 +69,21 @@ class TestMetrics:
     def test_histogram_empty_summary(self):
         s = Histogram("empty").summary()
         assert s["count"] == 0 and s["p99"] == 0
+        assert s["p999"] == 0
+
+    def test_histogram_p999_on_skewed_fill(self):
+        """p999 resolves the far tail: a 1-in-1000 outlier must pull
+        p999 beyond p99 (the tail the traffic simulator gates on)."""
+        h = Histogram("tail")
+        for _ in range(1000):
+            h.observe(100)
+        for _ in range(5):  # 0.5% tail mass: p999 sees it, p99 cannot
+            h.observe(50_000_000)
+        s = h.summary()
+        assert set(s) >= {"p50", "p95", "p99", "p999"}
+        assert s["p999"] >= s["p99"] >= s["p95"] >= s["p50"]
+        assert s["p999"] > s["p99"]
+        assert s["p999"] <= h.max
 
     def test_histogram_overflow_bucket(self):
         h = Histogram("big", bounds=(10, 100))

@@ -1,0 +1,142 @@
+"""Tests for token-bucket admission control and its edge cases."""
+
+import math
+
+import pytest
+
+from repro.sched.admission import (
+    ADMIT,
+    QUEUE,
+    SHED,
+    AdmissionController,
+    TokenBucket,
+)
+
+
+class TestTokenBucket:
+    def test_burst_then_refill(self):
+        bucket = TokenBucket(rate_tokens_s=2.0, burst=3.0)
+        assert all(bucket.try_take(0) for _ in range(3))
+        assert not bucket.try_take(0)
+        # Half a second accrues one token at 2 tokens/s.
+        assert bucket.try_take(500_000_000)
+        assert not bucket.try_take(500_000_000)
+
+    def test_tokens_cap_at_burst(self):
+        bucket = TokenBucket(rate_tokens_s=1000.0, burst=2.0)
+        bucket.try_take(0)
+        # An hour of idle accrual still caps at burst.
+        bucket._refill(3_600_000_000_000)
+        assert bucket.tokens == 2.0
+
+    def test_next_grant_time(self):
+        bucket = TokenBucket(rate_tokens_s=1.0, burst=1.0)
+        assert bucket.try_take(0)
+        assert bucket.next_grant_ns(0) == pytest.approx(1e9)
+
+    def test_zero_rate_bucket_never_grants(self):
+        bucket = TokenBucket(rate_tokens_s=0.0, burst=0.0)
+        assert not bucket.try_take(0)
+        assert math.isinf(bucket.next_grant_ns(10**12))
+
+    def test_reservations_do_not_double_spend(self):
+        """Two queued ops must reserve *different* future tokens.
+
+        Regression: computing grants from ``now`` instead of the refill
+        frontier let a later op claim a token the earlier reservation
+        had already consumed.
+        """
+        bucket = TokenBucket(rate_tokens_s=1.0, burst=1.0)
+        assert bucket.try_take(0)  # drain the burst
+        g1 = bucket.next_grant_ns(100_000_000)
+        bucket.take_at(int(math.ceil(g1)))
+        g2 = bucket.next_grant_ns(200_000_000)
+        assert g2 >= g1 + 1e9 * 0.999  # a full token's accrual later
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TokenBucket(rate_tokens_s=-1.0, burst=1.0)
+        with pytest.raises(ValueError):
+            TokenBucket(rate_tokens_s=1.0, burst=-1.0)
+
+
+class TestAdmissionEdgeCases:
+    def test_zero_quota_tenant_sheds_everything(self):
+        """A zero-rate, zero-burst quota admits nothing — under *both*
+        policies: the queue policy must shed too (there is no future
+        token to wait for), not hold jobs forever."""
+        for policy in ("shed", "queue"):
+            ctl = AdmissionController(policy=policy, rate_tokens_s=0.0,
+                                      burst=0.0)
+            outcomes = [ctl.decide(7, t * 1000)[0] for t in range(20)]
+            assert outcomes == [SHED] * 20, policy
+            assert ctl.stats.shed == {7: 20}
+            assert ctl.stats.admitted == {}
+
+    def test_burst_exactly_at_bucket_capacity(self):
+        """A simultaneous burst of exactly ``burst`` ops is admitted in
+        full with no waiting; the next op is the first casualty."""
+        ctl = AdmissionController(policy="shed", rate_tokens_s=10.0,
+                                  burst=8.0)
+        outcomes = [ctl.decide(0, 0) for _ in range(8)]
+        assert all(o == (ADMIT, 0) for o in outcomes)
+        assert ctl.decide(0, 0)[0] == SHED
+        assert ctl.stats.admitted == {0: 8}
+        assert ctl.stats.shed == {0: 1}
+
+    def test_burst_at_capacity_queue_policy_delays_overflow(self):
+        ctl = AdmissionController(policy="queue", rate_tokens_s=10.0,
+                                  burst=8.0)
+        for _ in range(8):
+            assert ctl.decide(0, 0) == (ADMIT, 0)
+        decision, dispatch_ns = ctl.decide(0, 0)
+        assert decision == QUEUE
+        assert dispatch_ns == pytest.approx(1e8, rel=0.01)  # 1 token @ 10/s
+        assert ctl.stats.queued == {0: 1}
+        assert ctl.stats.queued_wait_ns == pytest.approx(1e8, rel=0.01)
+
+    def test_shed_vs_queue_same_admission_sequence_when_under_quota(self):
+        """Below quota the policies are indistinguishable."""
+        arrivals = [i * 200_000_000 for i in range(10)]  # 5 ops/s offered
+        seq = {}
+        for policy in ("shed", "queue"):
+            ctl = AdmissionController(policy=policy, rate_tokens_s=10.0,
+                                      burst=2.0)
+            seq[policy] = [ctl.decide(0, t) for t in arrivals]
+        assert seq["shed"] == seq["queue"]
+        assert all(d == ADMIT for d, _ in seq["shed"])
+
+    def test_queued_dispatches_respect_arrival_order(self):
+        """Grant times of one tenant's queued ops strictly increase."""
+        ctl = AdmissionController(policy="queue", rate_tokens_s=5.0,
+                                  burst=1.0)
+        grants = []
+        for t in range(6):
+            decision, dispatch_ns = ctl.decide(0, t * 1000)
+            if decision == QUEUE:
+                grants.append(dispatch_ns)
+        assert grants == sorted(grants)
+        assert len(set(grants)) == len(grants)
+        # Each successive grant is one token's accrual (200 ms) later.
+        for a, b in zip(grants, grants[1:]):
+            assert b - a == pytest.approx(2e8, rel=0.01)
+
+    def test_per_tenant_isolation(self):
+        """One tenant's storm cannot drain another tenant's bucket."""
+        ctl = AdmissionController(policy="shed", rate_tokens_s=1.0,
+                                  burst=2.0)
+        for _ in range(10):
+            ctl.decide(0, 0)
+        assert ctl.decide(1, 0)[0] == ADMIT
+        assert ctl.stats.shed.get(1, 0) == 0
+
+    def test_explicit_quota_overrides_default(self):
+        ctl = AdmissionController(
+            policy="shed", rate_tokens_s=100.0, burst=10.0,
+            quotas={3: TokenBucket(0.0, 0.0)})
+        assert ctl.decide(0, 0)[0] == ADMIT
+        assert ctl.decide(3, 0)[0] == SHED
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ValueError, match="policy"):
+            AdmissionController(policy="drop")

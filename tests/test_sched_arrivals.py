@@ -1,0 +1,140 @@
+"""Tests for the open-loop arrival generators."""
+
+import random
+
+import pytest
+
+from repro.sched.arrivals import (
+    DiurnalCurve,
+    diurnal_arrivals,
+    generate_jobs,
+    op_for,
+    poisson_arrivals,
+)
+
+
+class TestPoisson:
+    def test_deterministic_per_seed(self):
+        a = poisson_arrivals(1e6, 200, random.Random(11))
+        b = poisson_arrivals(1e6, 200, random.Random(11))
+        c = poisson_arrivals(1e6, 200, random.Random(12))
+        assert a == b
+        assert a != c
+
+    def test_mean_gap_matches_rate(self):
+        """At rate R the mean inter-arrival gap is ~1e9/R ns."""
+        times = poisson_arrivals(1e6, 4000, random.Random(3))
+        gaps = [b - a for a, b in zip(times, times[1:])]
+        mean = sum(gaps) / len(gaps)
+        assert mean == pytest.approx(1000.0, rel=0.1)
+
+    def test_times_are_monotone_ints(self):
+        times = poisson_arrivals(5e5, 100, random.Random(7), start_ns=500)
+        assert all(isinstance(t, int) for t in times)
+        assert all(b >= a for a, b in zip(times, times[1:]))
+        assert times[0] >= 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            poisson_arrivals(0, 10, random.Random(0))
+        with pytest.raises(ValueError):
+            poisson_arrivals(1e6, -1, random.Random(0))
+
+
+class TestDiurnal:
+    def test_curve_shape(self):
+        curve = DiurnalCurve(base_ops_s=1000.0, amplitude=0.5,
+                             period_ns=1_000_000)
+        assert curve.peak_ops_s == 1500.0
+        assert curve.rate_at(0) == pytest.approx(1000.0)
+        # Quarter period: sin peak.
+        assert curve.rate_at(250_000) == pytest.approx(1500.0)
+        # Three-quarter period: trough, still positive.
+        assert curve.rate_at(750_000) == pytest.approx(500.0)
+
+    def test_thinning_is_deterministic(self):
+        curve = DiurnalCurve(base_ops_s=1e6, amplitude=0.8)
+        a = diurnal_arrivals(curve, 300, random.Random(5))
+        b = diurnal_arrivals(curve, 300, random.Random(5))
+        assert a == b
+
+    def test_peak_vs_trough_density(self):
+        """More arrivals land in the peak half-period than the trough."""
+        period = 10_000_000
+        curve = DiurnalCurve(base_ops_s=1e6, amplitude=0.9,
+                             period_ns=period)
+        times = diurnal_arrivals(curve, 5000, random.Random(9))
+        peak = sum(1 for t in times if (t % period) < period // 2)
+        trough = len(times) - peak
+        assert peak > 2 * trough
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DiurnalCurve(base_ops_s=0.0)
+        with pytest.raises(ValueError):
+            DiurnalCurve(base_ops_s=1.0, amplitude=1.0)
+        with pytest.raises(ValueError):
+            DiurnalCurve(base_ops_s=1.0, period_ns=0)
+
+
+class TestOpContent:
+    def test_pure_function_of_tenant_and_index(self):
+        """Op k's bytes cannot depend on what happened to ops < k."""
+        kw = dict(seed=4, n_keys=32, payload_bytes=256, read_ratio=0.5)
+        first = [op_for(1, i, **kw) for i in range(50)]
+        # Regenerate in a different order, interleaved with other tenants.
+        second = [op_for(1, i, **kw) for i in reversed(range(50))]
+        _ = [op_for(2, i, **kw) for i in range(10)]
+        assert first == list(reversed(second))
+
+    def test_write_payload_sized_and_stamped(self):
+        kind, key, payload = next(
+            (op_for(0, i, seed=1, n_keys=4, payload_bytes=128,
+                    read_ratio=0.0) for i in range(5)))
+        assert kind == "write"
+        assert len(payload) == 128
+        assert payload.startswith(b"t00/")
+
+    def test_read_ratio_extremes(self):
+        reads = [op_for(0, i, seed=2, n_keys=8, payload_bytes=64,
+                        read_ratio=1.0)[0] for i in range(20)]
+        writes = [op_for(0, i, seed=2, n_keys=8, payload_bytes=64,
+                         read_ratio=0.0)[0] for i in range(20)]
+        assert set(reads) == {"read"}
+        assert set(writes) == {"write"}
+
+
+class TestGenerateJobs:
+    def test_merged_schedule_is_deterministic_and_sorted(self):
+        kw = dict(tenants=3, per_tenant=40, rate_ops_s=1e6, seed=8,
+                  n_keys=16, payload_bytes=512, read_ratio=0.5)
+        a = generate_jobs(**kw)
+        b = generate_jobs(**kw)
+        assert a == b
+        assert len(a) == 120
+        order = [(j.arrive_ns, j.tenant, j.index) for j in a]
+        assert order == sorted(order)
+
+    def test_tenant_streams_are_independent(self):
+        """Adding a tenant never perturbs existing tenants' schedules."""
+        kw = dict(per_tenant=30, rate_ops_s=1e6, seed=8, n_keys=16,
+                  payload_bytes=512, read_ratio=0.5)
+        two = [j for j in generate_jobs(tenants=2, **kw) if j.tenant == 0]
+        three = [j for j in generate_jobs(tenants=3, **kw)
+                 if j.tenant == 0]
+        assert two == three
+
+    def test_diurnal_curve_layering(self):
+        curve = DiurnalCurve(base_ops_s=1e6, amplitude=0.5)
+        jobs = generate_jobs(tenants=1, per_tenant=50, rate_ops_s=1e6,
+                             seed=3, n_keys=8, payload_bytes=256,
+                             read_ratio=0.5, curve=curve)
+        flat = generate_jobs(tenants=1, per_tenant=50, rate_ops_s=1e6,
+                             seed=3, n_keys=8, payload_bytes=256,
+                             read_ratio=0.5)
+        assert len(jobs) == 50
+        assert [j.arrive_ns for j in jobs] != [j.arrive_ns for j in flat]
+        # Op content is arrival-process independent: same (tenant, index)
+        # pairs produce the same kind/key/payload either way.
+        assert [(j.kind, j.key, j.payload) for j in jobs] \
+            == [(f.kind, f.key, f.payload) for f in flat]

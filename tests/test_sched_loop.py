@@ -1,0 +1,205 @@
+"""Tests for the discrete-event loop and SimWorker protocol."""
+
+import pytest
+
+from repro.sched.loop import Delay, EventLoop, Io, JobQueue, Resource, Take
+
+
+class TestEventOrdering:
+    def test_events_fire_in_time_order(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(300, lambda: fired.append("c"))
+        loop.call_at(100, lambda: fired.append("a"))
+        loop.call_at(200, lambda: fired.append("b"))
+        loop.run()
+        assert fired == ["a", "b", "c"]
+        assert loop.now_ns == 300
+
+    def test_simultaneous_events_fire_in_schedule_order(self):
+        """Tie-break by sequence number: scheduling order, not heap luck."""
+        loop = EventLoop()
+        fired = []
+        for tag in ("first", "second", "third"):
+            loop.call_at(500, lambda t=tag: fired.append(t))
+        loop.run()
+        assert fired == ["first", "second", "third"]
+
+    def test_cannot_schedule_into_the_past(self):
+        loop = EventLoop()
+        loop.call_at(100, lambda: loop.call_at(50, lambda: None))
+        with pytest.raises(ValueError, match="past"):
+            loop.run()
+
+    def test_run_until_leaves_later_events_queued(self):
+        loop = EventLoop()
+        fired = []
+        loop.call_at(100, lambda: fired.append(1))
+        loop.call_at(200, lambda: fired.append(2))
+        loop.run(until_ns=150)
+        assert fired == [1]
+        loop.run()
+        assert fired == [1, 2]
+
+    def test_event_budget_bounds_runaway(self):
+        loop = EventLoop()
+
+        def again():
+            loop.call_at(loop.now_ns + 1, again)
+
+        loop.call_at(0, again)
+        with pytest.raises(RuntimeError, match="budget"):
+            loop.run(max_events=100)
+
+
+class TestWorkerCommands:
+    def test_delay_resumes_at_the_right_time(self):
+        loop = EventLoop()
+        seen = []
+
+        def worker():
+            yield Delay(250)
+            seen.append(loop.now_ns)
+            yield Delay(750)
+            seen.append(loop.now_ns)
+
+        loop.spawn(worker())
+        loop.run()
+        assert seen == [250, 1000]
+
+    def test_io_serializes_on_the_resource(self):
+        """Two workers hitting one device queue FIFO behind each other."""
+        loop = EventLoop()
+        device = Resource("dev")
+        done = []
+
+        def worker(tag):
+            yield Io(device, 1000)
+            done.append((tag, loop.now_ns))
+
+        loop.spawn(worker("a"))
+        loop.spawn(worker("b"))
+        loop.run()
+        assert done == [("a", 1000), ("b", 2000)]
+        assert device.served == 2
+        assert device.busy_ns == 2000
+        assert device.waited_ns == 1000  # b waited behind a
+
+    def test_io_on_idle_resource_has_no_wait(self):
+        loop = EventLoop()
+        r1, r2 = Resource("d1"), Resource("d2")
+        done = []
+
+        def worker(res, tag):
+            yield Io(res, 500)
+            done.append((tag, loop.now_ns))
+
+        loop.spawn(worker(r1, "a"))
+        loop.spawn(worker(r2, "b"))
+        loop.run()
+        assert done == [("a", 500), ("b", 500)]
+        assert r1.waited_ns == r2.waited_ns == 0
+
+    def test_take_blocks_until_put(self):
+        loop = EventLoop()
+        queue = JobQueue()
+        got = []
+
+        def worker():
+            item = yield Take(queue)
+            got.append((item, loop.now_ns))
+
+        w = worker()
+        loop.spawn(w)
+        loop.call_at(400, lambda: loop.put(queue, "job"))
+        loop.run()
+        assert got == [("job", 400)]
+
+    def test_take_drains_buffered_items_fifo(self):
+        loop = EventLoop()
+        queue = JobQueue()
+        got = []
+
+        def worker():
+            while True:
+                item = yield Take(queue)
+                got.append(item)
+
+        loop.put(queue, 1)
+        loop.put(queue, 2)
+        w = worker()
+        loop.spawn(w)
+        loop.run()
+        assert got == [1, 2]
+        loop.drain_workers([w])
+
+    def test_idle_workers_wake_fifo(self):
+        """Longest-idle worker gets the next job (no set-order luck)."""
+        loop = EventLoop()
+        queue = JobQueue()
+        served = []
+
+        def worker(tag):
+            while True:
+                item = yield Take(queue)
+                served.append((tag, item))
+
+        workers = [worker("w0"), worker("w1")]
+        for w in workers:
+            loop.spawn(w)
+        loop.call_at(10, lambda: loop.put(queue, "x"))
+        loop.call_at(20, lambda: loop.put(queue, "y"))
+        loop.run()
+        assert served == [("w0", "x"), ("w1", "y")]
+        loop.drain_workers(workers)
+
+    def test_unknown_yield_raises(self):
+        loop = EventLoop()
+
+        def worker():
+            yield "nonsense"
+
+        loop.spawn(worker())
+        with pytest.raises(TypeError, match="expected"):
+            loop.run()
+
+    def test_negative_delay_and_demand_rejected(self):
+        with pytest.raises(ValueError):
+            Delay(-1)
+        with pytest.raises(ValueError):
+            Io(Resource("d"), -5)
+
+
+class TestResourceAccounting:
+    def test_depth_at_measures_backlog(self):
+        res = Resource("dev")
+        res.admit(0, 1000)
+        res.admit(0, 1000)
+        assert res.depth_at(0) == 2000
+        assert res.depth_at(1500) == 500
+        assert res.depth_at(5000) == 0
+
+    def test_determinism_two_identical_runs(self):
+        def drive():
+            loop = EventLoop()
+            res = Resource("dev")
+            queue = JobQueue()
+            log = []
+
+            def worker(tag):
+                while True:
+                    item = yield Take(queue)
+                    yield Io(res, 100 * (item + 1))
+                    yield Delay(37)
+                    log.append((tag, item, loop.now_ns))
+
+            workers = [worker(i) for i in range(3)]
+            for w in workers:
+                loop.spawn(w)
+            for i in range(9):
+                loop.call_at(50 * i, lambda i=i: loop.put(queue, i))
+            loop.run()
+            loop.drain_workers(workers)
+            return log
+
+        assert drive() == drive()

@@ -1,0 +1,240 @@
+"""Tests for the traffic simulator: knee, tails, parity, WorkerSim."""
+
+import random
+
+import pytest
+
+from repro.db import BlobDB, EngineConfig
+from repro.sched import (
+    AdmissionController,
+    TrafficConfig,
+    TrafficSim,
+    generate_jobs,
+    op_for,
+)
+from repro.sim.workers import WorkerSim
+
+CFG = dict(n_workers=1, n_shards=1, n_keys=32, payload_bytes=2048,
+           read_ratio=0.5, seed=5)
+
+
+def fresh_sim(admission=None, **overrides):
+    merged = {**CFG, **overrides}
+    return TrafficSim(TrafficConfig(**merged), admission=admission)
+
+
+def capacity_ops_s(n_ops=80):
+    return fresh_sim().run_closed(n_ops).throughput_ops_s
+
+
+class TestClosedLoop:
+    def test_deterministic(self):
+        a = fresh_sim().run_closed(60).as_dict()
+        b = fresh_sim().run_closed(60).as_dict()
+        assert a == b
+
+    def test_all_ops_complete(self):
+        res = fresh_sim().run_closed(60)
+        assert res.completed == res.offered == 60
+        assert res.shed == 0
+        assert res.throughput_ops_s > 0
+
+    def test_agrees_with_workersim_at_one_worker(self):
+        """The cross-check the analytic model must pass: one worker,
+        no contention — the event loop replays the same demands
+        serially, so throughput must match ``WorkerSim(1)`` closely.
+
+        The comparison engine is built *on the WorkerSim's own model*
+        inside the ``setup`` hook: a post-hoc model swap (the fig10
+        read-only idiom) misses the WAL writer's model reference and
+        silently drops every commit-path charge from the clock.
+        """
+        n_ops = 60
+        cfg = TrafficConfig(**CFG)
+        des = fresh_sim().run_closed(n_ops)
+
+        ops = [op_for(0, i, seed=cfg.seed, n_keys=cfg.n_keys,
+                      payload_bytes=cfg.payload_bytes,
+                      read_ratio=cfg.read_ratio) for i in range(n_ops)]
+        page = 4096
+        capacity_pages = cfg.device_bytes // page
+        config = EngineConfig(
+            device_pages=capacity_pages,
+            buffer_pool_pages=cfg.buffer_bytes // page,
+            wal_pages=min(capacity_pages // 8, 65536),
+            catalog_pages=min(capacity_pages // 16, 8192),
+            pool="vmcache",
+            log_policy="async-blob",
+        )
+        state = {}
+
+        def setup(model):
+            # Same preload as TrafficSim.preload (untimed: WorkerSim
+            # snapshots the clock after setup returns).
+            db = BlobDB(config, model=model)
+            db.create_table("blobs")
+            for idx in range(cfg.n_keys):
+                key = b"t%02d-key%08d" % (0, idx)
+                data = random.Random(
+                    cfg.seed * 31 + idx).randbytes(cfg.payload_bytes)
+                with db.transaction() as txn:
+                    db.put_blob(txn, "blobs", key, data)
+            state["db"] = db
+
+        def op(model, i):
+            db = state["db"]
+            kind, key, payload = ops[i]
+            if kind == "read":
+                assert db.read_blob("blobs", key)
+            else:
+                with db.transaction() as txn:
+                    db.delete_blob(txn, "blobs", key)
+                    db.put_blob(txn, "blobs", key, payload)
+
+        analytic = WorkerSim(1).run(op, n_ops, setup=setup)
+        assert des.throughput_ops_s == pytest.approx(
+            analytic.throughput_ops_s, rel=0.05)
+
+    def test_documents_where_workersim_lies(self):
+        """``WorkerSim``'s per-op time is load-independent; the event
+        loop shows queueing: near saturation, latency >> service."""
+        cap = capacity_ops_s()
+        jobs = generate_jobs(tenants=1, per_tenant=150,
+                             rate_ops_s=cap * 0.9, seed=5, n_keys=32,
+                             payload_bytes=2048, read_ratio=0.5)
+        res = fresh_sim().run(jobs)
+        # Queueing waits exist (a stretch factor cannot express them)...
+        assert res.wait["mean"] > 0
+        # ...and the latency distribution has a real tail: p999 is
+        # strictly beyond p50, while the analytic model emits one
+        # constant per-op time for every op.
+        assert res.latency["p999"] > res.latency["p50"]
+        assert res.latency["mean"] > res.service["mean"]
+
+
+class TestOpenLoopKnee:
+    def test_throughput_saturates_and_tail_explodes(self):
+        cap = capacity_ops_s()
+        points = {}
+        for mult in (0.25, 2.0, 4.0):
+            jobs = generate_jobs(tenants=1, per_tenant=120,
+                                 rate_ops_s=cap * mult, seed=7,
+                                 n_keys=32, payload_bytes=2048,
+                                 read_ratio=0.5)
+            points[mult] = fresh_sim().run(jobs)
+        tp = {m: r.throughput_ops_s for m, r in points.items()}
+        # Below the knee, completed throughput tracks offered load.
+        assert tp[0.25] == pytest.approx(cap * 0.25, rel=0.25)
+        # Past the knee it saturates: quadrupling offered load from 2x
+        # to 4x buys almost nothing.
+        assert tp[4.0] < 1.15 * tp[2.0]
+        # The tail pays for the fiction: p999 grows by an order of
+        # magnitude across the knee.
+        assert points[4.0].latency["p999"] > \
+            10 * points[0.25].latency["p999"]
+        # Open loop without admission never sheds — the queue just grows.
+        assert all(r.shed == 0 for r in points.values())
+        assert points[4.0].max_dispatch_depth > \
+            5 * points[0.25].max_dispatch_depth
+
+    def test_deterministic_across_runs(self):
+        cap = capacity_ops_s()
+        jobs = generate_jobs(tenants=2, per_tenant=60,
+                             rate_ops_s=cap, seed=9, n_keys=32,
+                             payload_bytes=2048, read_ratio=0.5)
+        a = fresh_sim().run(jobs).as_dict()
+        b = fresh_sim().run(jobs).as_dict()
+        assert a == b
+
+
+class TestAdmissionUnderOverload:
+    def overload_jobs(self, cap, seed=11):
+        return generate_jobs(tenants=2, per_tenant=80,
+                             rate_ops_s=cap * 2.0, seed=seed,
+                             n_keys=32, payload_bytes=2048,
+                             read_ratio=0.0)
+
+    def test_shedding_bounds_the_tail(self):
+        cap = capacity_ops_s()
+        jobs = self.overload_jobs(cap)
+        unprotected = fresh_sim().run(jobs)
+        protected = fresh_sim(admission=AdmissionController(
+            policy="shed", rate_tokens_s=cap * 0.3, burst=4.0)).run(jobs)
+        assert protected.shed > 0
+        assert protected.latency["p999"] < unprotected.latency["p999"] / 2
+        # Shed accounting is exact, not sampled.
+        assert protected.offered == protected.admitted + protected.shed
+        assert protected.completed == protected.admitted
+        assert sum(protected.shed_by_tenant.values()) == protected.shed
+
+    def test_shed_vs_queue_policy_parity(self):
+        """Same seed, same schedule: the queue policy completes every
+        op late, the shed policy drops some — but every op they both
+        execute produces byte-identical outcomes, and every key no shed
+        op touched converges to byte-identical stored state."""
+        cap = capacity_ops_s()
+        jobs = self.overload_jobs(cap)
+        sims = {}
+        results = {}
+        for policy in ("shed", "queue"):
+            sim = fresh_sim(admission=AdmissionController(
+                policy=policy, rate_tokens_s=cap * 0.5, burst=4.0))
+            sims[policy] = sim
+            results[policy] = sim.run(jobs)
+        shed_res, queue_res = results["shed"], results["queue"]
+        # Queue loses nothing; shed loses exactly its shed count.
+        assert queue_res.completed == queue_res.offered
+        assert queue_res.shed == 0
+        assert queue_res.queued_ops > 0
+        assert shed_res.shed > 0
+        assert shed_res.completed == shed_res.offered - shed_res.shed
+        # Different latency: the queue policy pays admission wait.
+        assert queue_res.wait["max"] > shed_res.wait["max"]
+        assert queue_res.latency["mean"] > shed_res.latency["mean"]
+        # Byte-identical op outcomes: write payloads are pure functions
+        # of (tenant, index), so keys untouched by any shed op must hold
+        # identical bytes in both engines.
+        done_shed = {(j.tenant, j.index)
+                     for j, *_ in sims["shed"]._completed}
+        shed_keys = {j.key for j in jobs
+                     if (j.tenant, j.index) not in done_shed}
+        compared = 0
+        for job in jobs:
+            if job.key in shed_keys:
+                continue
+            a = sims["shed"]._stores[
+                sims["shed"].shard_of(job.key)].get(job.key)
+            b = sims["queue"]._stores[
+                sims["queue"].shard_of(job.key)].get(job.key)
+            assert a == b, job.key
+            compared += 1
+        assert compared > 0
+
+    def test_zero_quota_tenant_is_fully_shed_but_isolated(self):
+        """A zero-quota tenant storms; the paying tenant is untouched."""
+        from repro.sched.admission import TokenBucket
+
+        cap = capacity_ops_s()
+        jobs = generate_jobs(tenants=2, per_tenant=60,
+                             rate_ops_s=cap * 0.4, seed=13, n_keys=32,
+                             payload_bytes=2048, read_ratio=0.5)
+        ctl = AdmissionController(policy="shed", rate_tokens_s=cap,
+                                  burst=8.0,
+                                  quotas={1: TokenBucket(0.0, 0.0)})
+        res = fresh_sim(admission=ctl).run(jobs)
+        assert res.shed_by_tenant.get(1) == 60
+        assert res.shed_by_tenant.get(0, 0) == 0
+        assert res.completed == 60
+
+
+class TestShardsAndWorkers:
+    def test_more_workers_and_shards_raise_capacity(self):
+        slim = fresh_sim().run_closed(60).throughput_ops_s
+        wide = fresh_sim(n_workers=4, n_shards=2).run_closed(60) \
+            .throughput_ops_s
+        assert wide > 1.5 * slim
+
+    def test_write_amplification_accounted(self):
+        res = fresh_sim(read_ratio=0.0).run_closed(40)
+        assert res.payload_bytes == 40 * CFG["payload_bytes"]
+        assert res.write_amplification > 0
