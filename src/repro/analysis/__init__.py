@@ -11,19 +11,30 @@ nothing else enforces mechanically:
   without the frame latch) and write-ahead logging (no data-page
   write-back before its covering WAL record is durable).
 
-Two prongs enforce them:
+Three prongs enforce them:
 
 * :mod:`repro.analysis.lint` — an AST pass over the source tree with
   pluggable rules (``RPR001``…), run as ``python -m repro lint``;
 * :mod:`repro.analysis.sanitizer` — an opt-in TSan-style runtime
   checker attached to a :class:`~repro.sim.cost.CostModel` via the
   nullable ``model.san`` hook (mirroring ``model.obs``), run as
-  ``python -m repro sanitize``.
+  ``python -m repro sanitize``;
+* :mod:`repro.analysis.race` — a vector-clock happens-before race
+  detector over the event loop (``loop.race`` / ``model.race``), plus
+  the seeded schedule-space explorer in :mod:`repro.analysis.explorer`,
+  run as ``python -m repro race``.
 
-See ``docs/static-analysis.md`` for the rule catalogue and the
-sanitizer's invariant classes.
+See ``docs/static-analysis.md`` for the rule catalogue, the
+sanitizer's invariant classes, and the HB edge catalogue.
 """
 
+from repro.analysis.race import (
+    RaceDetector,
+    RaceReport,
+    RaceScope,
+    RaceViolation,
+    attach_race_detector,
+)
 from repro.analysis.sanitizer import (
     LatchCycleViolation,
     LatchViolation,
@@ -36,8 +47,13 @@ from repro.analysis.sanitizer import (
 __all__ = [
     "LatchCycleViolation",
     "LatchViolation",
+    "RaceDetector",
+    "RaceReport",
+    "RaceScope",
+    "RaceViolation",
     "Sanitizer",
     "SanitizerViolation",
     "WalOrderViolation",
+    "attach_race_detector",
     "attach_sanitizer",
 ]

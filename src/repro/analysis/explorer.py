@@ -1,0 +1,364 @@
+"""Seeded schedule-space exploration for the event-loop engine.
+
+A single event-loop run exercises *one* interleaving — the FIFO
+tie-break among simultaneous events.  This module is the bounded
+DPOR-lite pass the verification stack uses to visit many: it re-runs
+one fixed workload under N deterministic perturbations of event
+tie-breaking (:class:`~repro.sched.loop.SeededTieBreak` — only heap
+*ties* move, so each seed is still perfectly replayable) and checks, on
+every explored schedule:
+
+* **Digest invariance** — the final store content must be identical
+  across all schedules.  Per-tenant keyspaces are disjoint and each
+  tenant's arrivals are strictly increasing, so same-key writes apply
+  in arrival order no matter how ties break; a digest mismatch means
+  scheduling leaked into data.
+* **Race freedom** — the happens-before detector
+  (:mod:`repro.analysis.race`) rides along and must find no
+  write/write or read/write pair without an HB path.
+* **Latch/WAL invariants** — one latch/WAL sanitizer
+  (:mod:`repro.analysis.sanitizer`, ``mode="collect"``) is shared
+  across all schedules with :meth:`~Sanitizer.reset_run` between them,
+  so its latch-order graph cannot grow across schedules.
+* **Replication invariants** — the completed writes are replayed *in
+  completion order* (which legitimately differs per schedule) into a
+  :class:`~repro.replica.ReplicaGroup`, the primary is killed mid
+  stream, and after the epoch-fenced failover every acknowledged write
+  must still read back byte-exact with the epoch strictly increased.
+  Replica state is *excluded* from the cross-schedule digest: its
+  timeline depends on completion order by design.
+
+Before exploring, :meth:`ScheduleExplorer.self_check` runs a planted
+race as a positive control — a detector that cannot see the bug it
+exists for must not certify anything.
+
+``python -m repro race --schedules 100`` drives this and emits a
+canonical exploration digest: a hash over every per-schedule outcome,
+reproducible across invocations, uploaded as a perf-gate artifact.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from dataclasses import dataclass, field
+
+from repro.analysis.race import RaceViolation, attach_race_detector
+from repro.analysis.sanitizer import Sanitizer
+from repro.sched.admission import AdmissionController
+from repro.sched.arrivals import Job, generate_jobs
+from repro.sched.loop import (Acquire, Delay, EventLoop, Release, Resource,
+                              SeededTieBreak)
+from repro.sched.traffic import TrafficConfig, TrafficSim
+
+
+def quantize_arrivals(jobs: list, grid_ns: int) -> list:
+    """Snap arrival times to a coarse grid to manufacture ties.
+
+    Poisson arrivals land on distinct nanoseconds, which leaves the
+    tie-break policy nothing to perturb — every explored schedule would
+    be the same schedule.  Snapping each arrival down to a ``grid_ns``
+    multiple makes *cross-tenant* simultaneity common (the interesting
+    case: those ops contend for workers, shard locks, and device
+    queues) while each tenant's own stream is kept strictly increasing
+    by bumping collisions to the next grid slot — so same-key writes
+    still apply in arrival order and the store digest stays
+    interleaving-invariant.
+    """
+    quantized: list = []
+    last_by_tenant: dict[int, int] = {}
+    for job in jobs:
+        t_ns = (job.arrive_ns // grid_ns) * grid_ns
+        prev = last_by_tenant.get(job.tenant)
+        if prev is not None and t_ns <= prev:
+            t_ns = prev + grid_ns
+        last_by_tenant[job.tenant] = t_ns
+        quantized.append(Job(tenant=job.tenant, index=job.index,
+                             arrive_ns=t_ns, kind=job.kind, key=job.key,
+                             payload=job.payload))
+    return quantized
+
+
+@dataclass
+class ScheduleOutcome:
+    """Everything one explored schedule is judged by."""
+
+    seed: int
+    store_digest: str
+    completed: int
+    races: int
+    sanitizer_violations: int
+    epoch: int
+    acked_writes: int
+    lost_acked: int
+
+    def to_dict(self) -> dict:
+        return {
+            "seed": self.seed,
+            "store_digest": self.store_digest,
+            "completed": self.completed,
+            "races": self.races,
+            "sanitizer_violations": self.sanitizer_violations,
+            "epoch": self.epoch,
+            "acked_writes": self.acked_writes,
+            "lost_acked": self.lost_acked,
+        }
+
+
+@dataclass
+class ExplorationResult:
+    """The verdict over the whole explored schedule space."""
+
+    schedules: int
+    base_seed: int
+    store_digest: str
+    exploration_digest: str
+    races: int
+    sanitizer_violations: int
+    invariant_failures: list = field(default_factory=list)
+    outcomes: list = field(default_factory=list)
+    race_reports: list = field(default_factory=list)
+    sanitizer_overflows: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return (not self.invariant_failures and self.races == 0
+                and self.sanitizer_violations == 0)
+
+    def to_dict(self) -> dict:
+        return {
+            "schedules": self.schedules,
+            "base_seed": self.base_seed,
+            "store_digest": self.store_digest,
+            "exploration_digest": self.exploration_digest,
+            "races": self.races,
+            "sanitizer_violations": self.sanitizer_violations,
+            "sanitizer_overflows": self.sanitizer_overflows,
+            "invariant_failures": list(self.invariant_failures),
+            "race_reports": [r.to_dict() for r in self.race_reports],
+            "ok": self.ok,
+            "outcomes": [o.to_dict() for o in self.outcomes],
+        }
+
+    def format_summary(self) -> str:
+        lines = [
+            f"explored {self.schedules} schedules (base seed "
+            f"{self.base_seed})",
+            f"  store digest     {self.store_digest[:16]}… "
+            f"(invariant across all schedules)"
+            if not self.invariant_failures else
+            f"  store digest     DIVERGED",
+            f"  races            {self.races}",
+            f"  sanitizer        {self.sanitizer_violations} violations, "
+            f"{self.sanitizer_overflows} order-graph overflows",
+            f"  exploration      {self.exploration_digest}",
+        ]
+        for failure in self.invariant_failures:
+            lines.append(f"  FAILED: {failure}")
+        for report in self.race_reports:
+            lines.append(f"    {report.format()}")
+        lines.append("  verdict          "
+                     + ("OK" if self.ok else "FAILED"))
+        return "\n".join(lines)
+
+
+def _planted_race_schedule(guarded: bool) -> int:
+    """Run the positive-control workload; returns the race count.
+
+    Two coroutines bump one shared counter.  Unguarded, their writes
+    are concurrent (no HB path) and the detector must flag them;
+    guarded by an :class:`~repro.sched.loop.Resource` lock, the
+    release→acquire edge orders them and the schedule must be clean.
+    """
+    loop = EventLoop()
+    detector = attach_race_detector(loop, mode="collect")
+    lock = Resource("control.lock")
+    shared = {"counter": 0}
+
+    def bump(delay_ns: int):
+        yield Delay(delay_ns)
+        if guarded:
+            yield Acquire(lock)
+        detector.on_read(("control", "counter"))
+        shared["counter"] += 1
+        detector.on_write(("control", "counter"))
+        if guarded:
+            yield Release(lock)
+
+    loop.spawn(bump(10))
+    loop.spawn(bump(10))
+    loop.run()
+    return detector.stats.races
+
+
+class ScheduleExplorer:
+    """Bounded exploration of tie-break schedules over one workload."""
+
+    def __init__(self, schedules: int = 100, seed: int = 0,
+                 tenants: int = 2, per_tenant: int = 24,
+                 config: TrafficConfig | None = None,
+                 replica_writes: int = 10) -> None:
+        if schedules < 1:
+            raise ValueError("need at least one schedule")
+        self.schedules = schedules
+        self.seed = seed
+        self.tenants = tenants
+        self.config = config or TrafficConfig(
+            n_workers=3, n_shards=2, n_keys=8, payload_bytes=256,
+            read_ratio=0.5, seed=seed,
+            device_bytes=64 << 20, buffer_bytes=8 << 20)
+        self.replica_writes = replica_writes
+        #: One fixed workload for every schedule: the explored variable
+        #: is the interleaving, nothing else.
+        self.jobs = quantize_arrivals(generate_jobs(
+            tenants=tenants, per_tenant=per_tenant, rate_ops_s=2e5,
+            seed=seed, n_keys=self.config.n_keys,
+            payload_bytes=self.config.payload_bytes, read_ratio=0.5),
+            grid_ns=20_000)
+        #: Shared across schedules (reset_run between them) so the
+        #: explorer itself exercises the bounded latch-order graph.
+        self.sanitizer = Sanitizer(mode="collect")
+        #: Order-graph overflows summed over schedules (reset_run
+        #: zeroes the per-run counter, so we accumulate here).
+        self._overflows = 0
+
+    # ------------------------------------------------------------------
+
+    def self_check(self) -> None:
+        """Positive control: the detector must see a planted race."""
+        if _planted_race_schedule(guarded=False) == 0:
+            raise RaceViolation(
+                "self-check failed: planted unguarded race not detected")
+        if _planted_race_schedule(guarded=True) != 0:
+            raise RaceViolation(
+                "self-check failed: lock-guarded control flagged racy")
+
+    def _admission(self) -> AdmissionController:
+        # Modest per-tenant quota: most ops admitted, a deterministic
+        # few shed, so the offered = admitted + shed accounting is
+        # exercised under every schedule.
+        return AdmissionController(policy="shed",
+                                   rate_tokens_s=150_000.0, burst=12.0)
+
+    def _store_digest(self, sim: TrafficSim) -> str:
+        """Canonical hash of every tenant key's final content."""
+        hasher = hashlib.sha256()
+        for tenant in range(self.tenants):
+            for idx in range(self.config.n_keys):
+                key = b"t%02d-key%08d" % (tenant, idx)
+                store = sim._stores[sim.shard_of(key)]
+                hasher.update(key)
+                hasher.update(hashlib.sha256(store.get(key)).digest())
+        return hasher.hexdigest()
+
+    def _replay_replication(self, completed: list) -> tuple[int, int, int]:
+        """Feed completion-ordered writes through a crash + failover.
+
+        Returns ``(epoch, acked_writes, lost_acked)``: the epoch after
+        the fenced promotion, how many writes were acknowledged, and
+        how many acknowledged writes failed to read back afterwards
+        (must be zero on every schedule).
+        """
+        from repro.db.config import EngineConfig
+        from repro.db.errors import DatabaseError
+        from repro.replica import ReplicaGroup
+
+        writes = [(job.key, job.payload) for job, _, _, _ in completed
+                  if job.kind == "write"][:self.replica_writes]
+        config = EngineConfig(device_pages=4096, wal_pages=256,
+                              catalog_pages=64, buffer_pool_pages=1024)
+        group = ReplicaGroup(n_replicas=2, quorum=2, config=config,
+                             name="explore")
+        epoch_before = group.epoch
+        acked: dict[bytes, bytes] = {}
+        crash_at = max(1, len(writes) // 2)
+        for i, (key, payload) in enumerate(writes):
+            if i == crash_at:
+                group.crash_primary()
+            group.put(key, payload)
+            acked[key] = payload
+        if len(writes) <= crash_at:
+            group.crash_primary()
+        lost = 0
+        for key, payload in sorted(acked.items()):
+            try:
+                if group.get(key) != payload:
+                    lost += 1
+            except DatabaseError:
+                lost += 1
+        if group.epoch <= epoch_before:
+            lost += 1_000_000  # epoch fencing not monotone
+        return group.epoch, group.stats.acked_writes, lost
+
+    def _run_schedule(self, index: int) -> tuple:
+        schedule_seed = self.seed * 10_007 + index
+        sim = TrafficSim(self.config, admission=self._admission(),
+                         tiebreak=SeededTieBreak(schedule_seed))
+        detector = sim.attach_race(mode="collect")
+        san = self.sanitizer
+        san.reset_run()
+        san.now_fn = lambda: sim.loop.now_ns
+        for store in sim._stores:
+            store.model.san = san
+        violations_before = len(san.violations)
+        result = sim.run(self.jobs)
+        if result.offered != result.admitted + result.shed:
+            raise AssertionError(
+                f"schedule {index}: offered {result.offered} != admitted "
+                f"{result.admitted} + shed {result.shed}")
+        self._overflows += san.order_overflows
+        epoch, acked, lost = self._replay_replication(sim._completed)
+        return ScheduleOutcome(
+            seed=schedule_seed,
+            store_digest=self._store_digest(sim),
+            completed=result.completed,
+            races=detector.stats.races,
+            sanitizer_violations=len(san.violations) - violations_before,
+            epoch=epoch,
+            acked_writes=acked,
+            lost_acked=lost,
+        ), detector
+
+    def explore(self) -> ExplorationResult:
+        """Run every schedule and fold the outcomes into one verdict."""
+        self.self_check()
+        outcomes: list[ScheduleOutcome] = []
+        race_reports: list = []
+        failures: list[str] = []
+        reference: ScheduleOutcome | None = None
+        for index in range(self.schedules):
+            outcome, detector = self._run_schedule(index)
+            outcomes.append(outcome)
+            race_reports.extend(detector.races)
+            if reference is None:
+                reference = outcome
+            else:
+                if outcome.store_digest != reference.store_digest:
+                    failures.append(
+                        f"schedule {index} (seed {outcome.seed}) store "
+                        f"digest diverged from schedule 0")
+                if outcome.completed != reference.completed:
+                    failures.append(
+                        f"schedule {index} completed {outcome.completed} "
+                        f"ops, schedule 0 completed {reference.completed}")
+            if outcome.lost_acked:
+                failures.append(
+                    f"schedule {index}: {outcome.lost_acked} acked "
+                    f"write(s) lost across failover")
+        canonical = json.dumps([o.to_dict() for o in outcomes],
+                               sort_keys=True, separators=(",", ":"))
+        exploration_digest = hashlib.sha256(
+            canonical.encode()).hexdigest()
+        return ExplorationResult(
+            schedules=self.schedules,
+            base_seed=self.seed,
+            store_digest=reference.store_digest if reference else "",
+            exploration_digest=exploration_digest,
+            races=sum(o.races for o in outcomes),
+            sanitizer_violations=sum(o.sanitizer_violations
+                                     for o in outcomes),
+            invariant_failures=failures,
+            outcomes=outcomes,
+            race_reports=race_reports,
+            sanitizer_overflows=self._overflows,
+        )

@@ -7,6 +7,10 @@ that call ``self.report(node, message)``, then append the class to
 ``ALL_RULES`` and document it in ``docs/static-analysis.md``.
 """
 
+from repro.analysis.rules.concurrency import (
+    UnguardedSharedMutationRule,
+    YieldAcrossCriticalSectionRule,
+)
 from repro.analysis.rules.determinism import (
     SetOrderRule,
     UnseededRandomRule,
@@ -26,6 +30,8 @@ ALL_RULES = (
     HostFileIoRule,
     HostNetExecRule,
     SubstrateBypassRule,
+    UnguardedSharedMutationRule,
+    YieldAcrossCriticalSectionRule,
 )
 
 __all__ = [
@@ -34,6 +40,8 @@ __all__ = [
     "HostNetExecRule",
     "SetOrderRule",
     "SubstrateBypassRule",
+    "UnguardedSharedMutationRule",
     "UnseededRandomRule",
     "WallClockRule",
+    "YieldAcrossCriticalSectionRule",
 ]

@@ -1,0 +1,286 @@
+"""Concurrency rules for event-loop worker coroutines.
+
+PR 7 gave the reproduction real interleavings: :data:`SimWorker`
+generators yield ``Delay``/``Io``/``Take`` commands and run
+concurrently on one :class:`~repro.sched.loop.EventLoop`.  These rules
+catch, *statically*, the two bug shapes the happens-before detector
+(:mod:`repro.analysis.race`) catches at runtime:
+
+* **RPR007** — a worker coroutine mutates state it does not own (a
+  ``global``/``nonlocal`` name, or an attribute/subscript reached
+  through a name the coroutine never bound) outside an
+  ``Acquire``/``Release`` window.  Two instances of that coroutine are
+  a write/write race waiting for the schedule that exposes it.
+* **RPR008** — a worker yields a suspending command (``Delay`` or
+  ``Io``) while holding a lock (between ``yield Acquire(r)`` and
+  ``yield Release(r)``) or a pinned frame (between ``fetch_extents``/
+  ``pin`` and ``unpin``/``release``).  The critical section then spans
+  an arbitrary amount of virtual time — other workers convoy behind
+  the lock, and a pinned frame blocks eviction for the whole
+  suspension.
+
+Both rules only fire inside *loop coroutines* — generator functions
+that yield at least one loop command — so ordinary generators are never
+flagged.  The guard window is lexical (a linear scan of the function
+body in source order), which matches the straight-line
+acquire/work/release shape every worker in this repository uses;
+intentional exceptions suppress inline::
+
+    counter["n"] += 1  # repro: allow[RPR007] single-worker loop, no peer
+"""
+
+from __future__ import annotations
+
+import ast
+
+from repro.analysis.lint import Rule, dotted_name
+
+#: The event-loop command protocol (repro.sched.loop).
+_LOOP_COMMANDS = frozenset({"Delay", "Io", "Take", "Acquire", "Release"})
+
+#: Commands whose yield suspends for simulated time (RPR008 targets).
+_SUSPENDING = frozenset({"Delay", "Io"})
+
+#: Attribute calls that pin frames / latch pages.
+_PIN_CALLS = frozenset({"fetch_extents", "pin"})
+
+#: Attribute calls that drop the pin again.
+_UNPIN_CALLS = frozenset({"unpin", "release"})
+
+
+def _yielded_command(node: ast.AST) -> str | None:
+    """The loop-command class name a ``yield`` expression produces."""
+    if not isinstance(node, ast.Yield) or node.value is None:
+        return None
+    value = node.value
+    if isinstance(value, ast.Call):
+        name = dotted_name(value.func)
+        if name is not None:
+            tail = name.rsplit(".", 1)[-1]
+            if tail in _LOOP_COMMANDS:
+                return tail
+    return None
+
+
+def _is_loop_coroutine(func: ast.FunctionDef) -> bool:
+    """A generator that yields at least one event-loop command."""
+    for node in ast.walk(func):
+        if isinstance(node, ast.FunctionDef) and node is not func:
+            continue
+        if _yielded_command(node) is not None:
+            return True
+    return False
+
+
+def _bound_names(func: ast.FunctionDef) -> set[str]:
+    """Names the coroutine itself binds: parameters and assignments."""
+    args = func.args
+    bound = {a.arg for a in (*args.posonlyargs, *args.args,
+                             *args.kwonlyargs)}
+    if args.vararg:
+        bound.add(args.vararg.arg)
+    if args.kwarg:
+        bound.add(args.kwarg.arg)
+    def add_binding(target: ast.AST) -> None:
+        # Only plain names bind; writing a[k] or a.b mutates an object
+        # bound elsewhere and must NOT make its root look local.
+        if isinstance(target, ast.Name):
+            bound.add(target.id)
+        elif isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                add_binding(element)
+        elif isinstance(target, ast.Starred):
+            add_binding(target.value)
+
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Assign, ast.AnnAssign, ast.AugAssign)):
+            targets = (node.targets if isinstance(node, ast.Assign)
+                       else [node.target])
+            for target in targets:
+                add_binding(target)
+        elif isinstance(node, (ast.For, ast.comprehension)):
+            add_binding(node.target)
+        elif isinstance(node, ast.withitem) and node.optional_vars:
+            add_binding(node.optional_vars)
+        elif isinstance(node, ast.NamedExpr):
+            bound.add(node.target.id)
+    return bound
+
+
+def _declared_shared(func: ast.FunctionDef) -> set[str]:
+    """Names the coroutine explicitly declares global/nonlocal."""
+    shared: set[str] = set()
+    for node in ast.walk(func):
+        if isinstance(node, (ast.Global, ast.Nonlocal)):
+            shared.update(node.names)
+    return shared
+
+
+def _root_name(node: ast.AST) -> str | None:
+    """The base ``Name`` of an attribute/subscript chain, else None."""
+    while isinstance(node, (ast.Attribute, ast.Subscript)):
+        node = node.value
+    if isinstance(node, ast.Name):
+        return node.id
+    return None
+
+
+class _LexicalScan:
+    """In-source-order walk of a coroutine body threading held state."""
+
+    def __init__(self) -> None:
+        self.locks_held = 0
+        self.pins_held = 0
+
+    def scan(self, stmts: list) -> None:
+        for stmt in stmts:
+            self.enter_statement(stmt)
+            for child_body in self._bodies(stmt):
+                self.scan(child_body)
+
+    @staticmethod
+    def _bodies(stmt: ast.stmt) -> list:
+        bodies = []
+        for attr in ("body", "orelse", "finalbody"):
+            block = getattr(stmt, attr, None)
+            if isinstance(block, list) and block \
+                    and isinstance(block[0], ast.stmt):
+                bodies.append(block)
+        for handler in getattr(stmt, "handlers", ()):
+            bodies.append(handler.body)
+        return bodies
+
+    def enter_statement(self, stmt: ast.stmt) -> None:
+        if isinstance(stmt, ast.FunctionDef):
+            return  # nested functions are their own scan
+        for node in ast.walk(stmt):
+            command = _yielded_command(node)
+            if command == "Acquire":
+                self.locks_held += 1
+            elif command == "Release":
+                self.locks_held = max(0, self.locks_held - 1)
+            elif command in _SUSPENDING:
+                self.on_suspend(node, command)
+            elif isinstance(node, ast.Call) \
+                    and isinstance(node.func, ast.Attribute):
+                if node.func.attr in _PIN_CALLS \
+                        and not self._pin_disabled(node):
+                    self.pins_held += 1
+                elif node.func.attr in _UNPIN_CALLS:
+                    self.pins_held = max(0, self.pins_held - 1)
+        self.on_statement(stmt)
+
+    @staticmethod
+    def _pin_disabled(node: ast.Call) -> bool:
+        for kw in node.keywords:
+            if kw.arg == "pin" and isinstance(kw.value, ast.Constant) \
+                    and not kw.value.value:
+                return True
+        return False
+
+    # Hooks for the rules.
+    def on_statement(self, stmt: ast.stmt) -> None:  # pragma: no cover
+        pass
+
+    def on_suspend(self, node: ast.AST,
+                   command: str) -> None:  # pragma: no cover
+        pass
+
+
+class UnguardedSharedMutationRule(Rule):
+    """RPR007 — shared-state mutation outside an Acquire/Release window.
+
+    Inside a loop coroutine, an assignment or augmented assignment to a
+    ``global``/``nonlocal`` name — or through an attribute/subscript
+    whose root name the coroutine never bound — mutates state another
+    instance of the coroutine can reach concurrently.  Unless the
+    mutation sits lexically between ``yield Acquire(...)`` and ``yield
+    Release(...)``, no happens-before edge orders the two writers.
+    """
+
+    rule_id = "RPR007"
+    title = "coroutine mutates shared state without a Resource guard"
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if _is_loop_coroutine(node):
+            self._scan_coroutine(node)
+        self.generic_visit(node)
+
+    def _scan_coroutine(self, func: ast.FunctionDef) -> None:
+        rule = self
+        bound = _bound_names(func)
+        declared = _declared_shared(func)
+
+        class Scan(_LexicalScan):
+            def on_statement(self, stmt: ast.stmt) -> None:
+                if self.locks_held > 0:
+                    return
+                if not isinstance(stmt, (ast.Assign, ast.AugAssign,
+                                         ast.AnnAssign)):
+                    return
+                targets = (stmt.targets if isinstance(stmt, ast.Assign)
+                           else [stmt.target])
+                for target in targets:
+                    rule._check_target(stmt, target, bound, declared,
+                                       func.name)
+
+        Scan().scan(func.body)
+
+    def _check_target(self, stmt: ast.stmt, target: ast.AST,
+                      bound: set[str], declared: set[str],
+                      func_name: str) -> None:
+        if isinstance(target, (ast.Tuple, ast.List)):
+            for element in target.elts:
+                self._check_target(stmt, element, bound, declared,
+                                   func_name)
+            return
+        if isinstance(target, ast.Name):
+            if target.id in declared:
+                self.report(stmt, f"coroutine {func_name} writes "
+                                  f"global/nonlocal '{target.id}' "
+                                  f"without a Resource guard — wrap in "
+                                  f"yield Acquire/Release")
+            return
+        root = _root_name(target)
+        if root is not None and root not in bound:
+            self.report(stmt, f"coroutine {func_name} mutates shared "
+                              f"state through '{root}' without a "
+                              f"Resource guard — concurrent instances "
+                              f"race; wrap in yield Acquire/Release")
+
+
+class YieldAcrossCriticalSectionRule(Rule):
+    """RPR008 — suspension while holding a latch or pinned frame.
+
+    ``yield Delay(...)`` / ``yield Io(...)`` parks the coroutine for
+    simulated time.  Doing so between ``yield Acquire`` and ``yield
+    Release`` stretches the critical section across the suspension
+    (every contender convoys); doing so with a frame still pinned
+    blocks eviction of that extent for the whole wait.
+    """
+
+    rule_id = "RPR008"
+    title = "yield of a suspending command inside a critical section"
+
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        if _is_loop_coroutine(node):
+            self._scan_coroutine(node)
+        self.generic_visit(node)
+
+    def _scan_coroutine(self, func: ast.FunctionDef) -> None:
+        rule = self
+
+        class Scan(_LexicalScan):
+            def on_suspend(self, node: ast.AST, command: str) -> None:
+                if self.locks_held > 0:
+                    rule.report(node, f"yield {command}(...) in "
+                                      f"{func.name} while holding a "
+                                      f"lock — release before "
+                                      f"suspending")
+                elif self.pins_held > 0:
+                    rule.report(node, f"yield {command}(...) in "
+                                      f"{func.name} while frames are "
+                                      f"pinned — unpin before "
+                                      f"suspending")
+
+        Scan().scan(func.body)

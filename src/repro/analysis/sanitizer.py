@@ -91,9 +91,24 @@ class Sanitizer:
 
     mode: str = "raise"
     stats: SanitizerStats = field(default_factory=SanitizerStats)
-    #: Collected ``(kind, message)`` pairs in ``collect`` mode.
+    #: Collected ``(kind, message, at_ns)`` triples in ``collect`` mode;
+    #: ``at_ns`` is the virtual timestamp from :attr:`now_fn` (``None``
+    #: when no clock is bound).
     violations: list = field(default_factory=list)
     current_worker: int = 0
+    #: Nullable virtual-time source; under the event loop, bind
+    #: ``san.now_fn = lambda: loop.now_ns`` so each collected violation
+    #: carries the timestamp of the event that caused it.
+    now_fn: "object | None" = field(default=None, repr=False)
+    #: Cap on latch-order graph nodes.  The order graph accumulates one
+    #: node per page ever latched; on long traffic runs (or many
+    #: explored schedules without :meth:`reset_run`) that used to grow —
+    #: and slow ``_has_path`` — without bound.  Past the cap, new nodes'
+    #: edges are *not* recorded and :attr:`order_overflows` counts them,
+    #: so saturation is visible instead of a silent slowdown.
+    max_order_nodes: int = 4096
+    #: Edges skipped because the order graph hit :attr:`max_order_nodes`.
+    order_overflows: int = 0
 
     #: worker -> {head_pid: hold count} of latches currently held.
     _held: dict = field(default_factory=dict, repr=False)
@@ -106,6 +121,9 @@ class Sanitizer:
     #: worker -> set of head_pids it ever accessed (page-frame access
     #: sets, reported in the summary).
     _access_sets: dict = field(default_factory=dict, repr=False)
+    #: Nodes currently in the latch-order graph (bounded by
+    #: :attr:`max_order_nodes`).
+    _order_nodes: set = field(default_factory=set, repr=False)
 
     # ------------------------------------------------------------------
     # plumbing
@@ -114,11 +132,30 @@ class Sanitizer:
         """Attribute subsequent events to a simulated worker."""
         self.current_worker = worker
 
+    def reset_run(self) -> None:
+        """Clear per-run state between schedules, keeping the mode.
+
+        The explorer re-runs one workload under many interleavings with
+        a fresh engine each time; carrying the latch-order graph (or
+        held-latch maps) across schedules would both leak memory and
+        manufacture false cycles from orders that never coexisted.
+        Collected violations and cumulative stats are kept — they are
+        the run's verdict, not its working state.
+        """
+        self._held.clear()
+        self._order.clear()
+        self._order_nodes.clear()
+        self._coverage.clear()
+        self._durable_lsn = 0
+        self._access_sets.clear()
+        self.order_overflows = 0
+
     def _violate(self, exc_cls, message: str) -> None:
         self.stats.violations += 1
         if self.mode == "raise":
             raise exc_cls(message)
-        self.violations.append((exc_cls.__name__, message))
+        at_ns = None if self.now_fn is None else int(self.now_fn())
+        self.violations.append((exc_cls.__name__, message, at_ns))
 
     @staticmethod
     def _latched(frame) -> bool:
@@ -164,6 +201,16 @@ class Sanitizer:
             stack.extend(self._order.get(node, ()))
         return False
 
+    def _record_order(self, old: int, new: int) -> None:
+        """Add an ``old -> new`` edge unless the node cap is reached."""
+        nodes = self._order_nodes
+        fresh = {n for n in (old, new) if n not in nodes}
+        if fresh and len(nodes) + len(fresh) > self.max_order_nodes:
+            self.order_overflows += 1
+            return
+        nodes.update(fresh)
+        self._order.setdefault(old, set()).add(new)
+
     def on_latch_acquire(self, pids, worker: int | None = None) -> None:
         """Record a batch acquisition; pages inside one batch are
         unordered with respect to each other."""
@@ -181,7 +228,7 @@ class Sanitizer:
                         f"worker {who} latches page {new} while holding "
                         f"{old}, but {new} -> {old} order was already "
                         f"observed — acquisition cycle")
-                self._order.setdefault(old, set()).add(new)
+                self._record_order(old, new)
             held[new] = held.get(new, 0) + 1
 
     def on_latch_release(self, pid: int, worker: int | None = None) -> None:
@@ -240,8 +287,13 @@ class Sanitizer:
                 for w, pids in sorted(self._access_sets.items())),
             f"  violations       {stats.violations}",
         ]
-        for kind, message in self.violations:
-            lines.append(f"    {kind}: {message}")
+        if self.order_overflows:
+            lines.insert(-1, f"  order overflow   {self.order_overflows} "
+                         f"edges dropped (graph capped at "
+                         f"{self.max_order_nodes} nodes)")
+        for kind, message, at_ns in self.violations:
+            when = "" if at_ns is None else f" [at {at_ns} ns]"
+            lines.append(f"    {kind}: {message}{when}")
         return "\n".join(lines)
 
 

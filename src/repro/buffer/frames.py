@@ -34,6 +34,9 @@ class ExtentFrame:
     #: costs one attribute check per access.  Excluded from equality:
     #: frame identity is its content and state, not its instrumentation.
     san: "object | None" = field(default=None, repr=False, compare=False)
+    #: Happens-before detector hook (``model.race``), same pattern and
+    #: same equality exclusion as ``san``.
+    race: "object | None" = field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if not self.data:
@@ -73,6 +76,8 @@ class ExtentFrame:
         """Copy ``payload`` into the extent and dirty the touched pages."""
         if self.san is not None:
             self.san.on_frame_write(self)
+        if self.race is not None:
+            self.race.on_write(("frame", self.head_pid))
         end = offset + len(payload)
         if end > len(self.data):
             raise ValueError("write beyond extent capacity")
@@ -110,6 +115,8 @@ class BlobView:
         for frame in self._frames:
             if frame.san is not None:
                 frame.san.on_frame_read(frame)
+            if frame.race is not None:
+                frame.race.on_read(("frame", frame.head_pid))
         joined = b"".join(bytes(f.data) for f in self._frames)
         return joined[:self.size]
 

@@ -120,7 +120,8 @@ class BufferPoolBase:
         frame = ExtentFrame(head_pid=head_pid, npages=npages,
                             page_size=self.device.page_size,
                             prevent_evict=prevent_evict,
-                            san=self.model.san)
+                            san=self.model.san,
+                            race=self.model.race)
         self._frames[head_pid] = frame
         self._used_pages += npages
         self._max_extent_pages = max(self._max_extent_pages, npages)
@@ -163,7 +164,8 @@ class BufferPoolBase:
                     frame = ExtentFrame(head_pid=pid, npages=npages,
                                         page_size=self.device.page_size,
                                         data=bytearray(ticket.result),
-                                        san=self.model.san)
+                                        san=self.model.san,
+                                        race=self.model.race)
                     self._frames[pid] = frame
                     self._used_pages += npages
                     self._max_extent_pages = max(self._max_extent_pages,
@@ -173,6 +175,7 @@ class BufferPoolBase:
                     obs.end(extents=len(missing),
                             pages=sum(n for _, n in missing))
         san = self.model.san
+        race = self.model.race
         if san is not None and pin:
             # One batch acquisition: pages latched together are unordered
             # with respect to each other (the pool pins them atomically).
@@ -182,6 +185,8 @@ class BufferPoolBase:
             frame = self._frames[pid]
             if san is not None:
                 frame.san = san
+            if race is not None:
+                frame.race = race
             self._touch(frame)
             if pin:
                 frame.pins += 1

@@ -5,7 +5,8 @@ The package that replaces analytic concurrency stretch
 model:
 
 * :mod:`repro.sched.loop` — the deterministic event loop and the
-  :data:`SimWorker` coroutine protocol (``Delay``/``Io``/``Take``);
+  :data:`SimWorker` coroutine protocol (``Delay``/``Io``/``Take``/
+  ``Acquire``/``Release``) with pluggable seeded tie-breaking;
 * :mod:`repro.sched.arrivals` — seeded open-loop arrival generators
   (Poisson, diurnal-curve thinning) and pure-indexed op content;
 * :mod:`repro.sched.admission` — per-tenant token buckets with
@@ -34,13 +35,17 @@ from repro.sched.arrivals import (
     poisson_arrivals,
 )
 from repro.sched.loop import (
+    Acquire,
     Delay,
     EventLoop,
     Io,
     JobQueue,
+    Release,
     Resource,
+    SeededTieBreak,
     SimWorker,
     Take,
+    TieBreak,
 )
 from repro.sched.traffic import TrafficConfig, TrafficResult, TrafficSim
 
@@ -48,6 +53,7 @@ __all__ = [
     "ADMIT",
     "QUEUE",
     "SHED",
+    "Acquire",
     "AdmissionController",
     "AdmissionStats",
     "Delay",
@@ -56,9 +62,12 @@ __all__ = [
     "Io",
     "Job",
     "JobQueue",
+    "Release",
     "Resource",
+    "SeededTieBreak",
     "SimWorker",
     "Take",
+    "TieBreak",
     "TokenBucket",
     "TrafficConfig",
     "TrafficResult",

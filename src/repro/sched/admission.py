@@ -131,6 +131,11 @@ class AdmissionController:
         self._default = (rate_tokens_s, burst)
         self.buckets: dict[int, TokenBucket] = dict(quotas or {})
         self.stats = AdmissionStats()
+        #: Happens-before detector hook (nullable, same pattern as
+        #: ``model.san``).  Token state is mutated by arrival callbacks;
+        #: any caller outside the loop's dispatcher serialization would
+        #: show up as a race on the tenant's bucket.
+        self.race = None
 
     def bucket_for(self, tenant: int) -> TokenBucket:
         bucket = self.buckets.get(tenant)
@@ -149,6 +154,8 @@ class AdmissionController:
         """
         stats = self.stats
         stats._bump(stats.offered, tenant)
+        if self.race is not None:
+            self.race.on_write(("bucket", tenant))
         bucket = self.bucket_for(tenant)
         if bucket.try_take(now_ns):
             stats._bump(stats.admitted, tenant)

@@ -5,10 +5,16 @@ trace by closed-form stretch factors — it cannot express queueing, tail
 latency, or overload.  This module replaces that with the standard
 discrete-event structure real NVMe stacks have (submit, wait, complete):
 
-* :class:`EventLoop` — a heap of ``(time_ns, seq, ...)`` entries on its
-  own virtual timeline.  ``seq`` is a monotone sequence number assigned
-  at scheduling time, so simultaneous events fire in a defined order and
-  two runs of the same seed replay the exact same interleaving.
+* :class:`EventLoop` — a heap of ``(time_ns, prio, seq, ...)`` entries
+  on its own virtual timeline.  ``seq`` is a monotone sequence number
+  assigned at scheduling time, so simultaneous events fire in a defined
+  order and two runs of the same seed replay the exact same
+  interleaving.  The tie-break among *simultaneous* events is a
+  pluggable policy (:class:`TieBreak`): the default keeps the monotone
+  ``prio = 0`` (pure scheduling order), while :class:`SeededTieBreak`
+  draws deterministic priorities from a seeded generator — the knob the
+  schedule-space explorer (``python -m repro race``) turns to visit
+  alternative interleavings without losing replayability.
 * :class:`SimWorker` protocol — a worker is a plain generator that
   yields *commands* instead of blocking:
 
@@ -20,16 +26,32 @@ discrete-event structure real NVMe stacks have (submit, wait, complete):
     ``io_submit``/``io_getevents`` ticket pair on the
     :class:`~repro.io.IoScheduler`;
   - :class:`Take` — wait for the next item of a :class:`JobQueue`
-    (dispatch); the yield expression evaluates to the item.
+    (dispatch); the yield expression evaluates to the item;
+  - :class:`Acquire` / :class:`Release` — hold a :class:`Resource` as a
+    mutual-exclusion lock (FIFO waiters).  Both resume at the current
+    virtual time, so an uncontended critical section costs no simulated
+    time — it exists to *order* accesses to shared state, and to give
+    the happens-before race detector (:mod:`repro.analysis.race`) its
+    release/acquire edges.
 
-Nothing here reads a wall clock or draws randomness: the loop's time is
-advanced only by scheduled events, and every queue is FIFO, so the whole
-simulation is a pure function of (code, arrival schedule, seeds).
+Nothing here reads a wall clock or draws randomness the caller did not
+seed: the loop's time is advanced only by scheduled events, and every
+queue is FIFO, so the whole simulation is a pure function of
+(code, arrival schedule, seeds, tie-break policy).
+
+Happens-before instrumentation follows the nullable-hook pattern of
+``model.obs`` / ``model.san``: when ``loop.race`` is ``None`` — the
+default — every hook site pays one attribute check and nothing else.
+When a :class:`~repro.analysis.race.RaceDetector` is attached, each
+scheduled event carries a vector-clock snapshot of its scheduling
+context (event dispatch is an HB edge), and queue hand-offs, lock
+transfers, and resource admissions report their edges.
 """
 
 from __future__ import annotations
 
 import heapq
+import random
 from typing import Generator, Iterable
 
 #: A worker coroutine: yields Delay/Io/Take commands, receives the
@@ -74,6 +96,66 @@ class Take:
         self.queue = queue
 
 
+class Acquire:
+    """Hold ``resource`` as a lock; blocks (FIFO) while someone holds it.
+
+    Granting costs no simulated time: the command resumes at the current
+    virtual timestamp.  Its purpose is ordering — engine state mutated
+    between ``Acquire`` and ``Release`` is serialized across workers,
+    which is exactly the happens-before edge the race detector checks
+    for.
+    """
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        self.resource = resource
+
+
+class Release:
+    """Release a lock taken with :class:`Acquire`; wakes waiters FIFO."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource") -> None:
+        self.resource = resource
+
+
+class TieBreak:
+    """Tie-break policy for simultaneous events: monotone schedule order.
+
+    ``priority`` is consulted once per scheduled event; the heap orders
+    by ``(time, priority, seq)``, so returning a constant preserves the
+    loop's classic FIFO tie-break.
+    """
+
+    name = "fifo"
+
+    def priority(self, t_ns: int, seq: int) -> int:
+        return 0
+
+
+class SeededTieBreak(TieBreak):
+    """Deterministic perturbation of same-time event order.
+
+    Priorities are drawn from a seeded generator in scheduling order, so
+    one seed always replays one interleaving — the schedule-space
+    explorer sweeps seeds to visit many.  Events at *different* times
+    are never reordered; only heap ties move.
+    """
+
+    def __init__(self, seed: int) -> None:
+        self.seed = seed
+        self._rng = random.Random(seed)
+
+    @property
+    def name(self) -> str:  # type: ignore[override]
+        return f"seeded[{self.seed}]"
+
+    def priority(self, t_ns: int, seq: int) -> int:
+        return self._rng.randrange(1 << 30)
+
+
 class Resource:
     """A FIFO server (one device submission queue) on the loop timeline.
 
@@ -81,9 +163,15 @@ class Resource:
     request starts at ``max(now, busy_until_ns)`` — the discrete-event
     equivalent of queue depth.  ``waited_ns``/``served`` feed the
     wait-time observability the analytic model could not produce.
+
+    A resource doubles as a mutual-exclusion lock for
+    :class:`Acquire`/:class:`Release`: ``holder`` is the worker inside
+    the critical section and ``lock_waiters`` park FIFO.  ``hb_clock``
+    is the race detector's release clock (``None`` until one attaches).
     """
 
-    __slots__ = ("name", "busy_until_ns", "served", "busy_ns", "waited_ns")
+    __slots__ = ("name", "busy_until_ns", "served", "busy_ns", "waited_ns",
+                 "holder", "lock_waiters", "lock_grants", "hb_clock")
 
     def __init__(self, name: str) -> None:
         self.name = name
@@ -91,6 +179,10 @@ class Resource:
         self.served = 0
         self.busy_ns = 0.0
         self.waited_ns = 0.0
+        self.holder: SimWorker | None = None
+        self.lock_waiters: list[SimWorker] = []
+        self.lock_grants = 0
+        self.hb_clock: dict | None = None
 
     def admit(self, now_ns: int, demand_ns: float) -> int:
         """Queue one request; returns its completion time."""
@@ -109,11 +201,15 @@ class Resource:
 class JobQueue:
     """FIFO hand-off between producers (arrivals) and worker coroutines."""
 
-    __slots__ = ("_items", "_waiters")
+    __slots__ = ("_items", "_waiters", "_hb_items")
 
     def __init__(self) -> None:
         self._items: list = []
         self._waiters: list[SimWorker] = []
+        #: Race-detector clocks parallel to ``_items`` (empty when no
+        #: detector is attached): a buffered item carries its producer's
+        #: vector clock until a worker takes it.
+        self._hb_items: list = []
 
     def __len__(self) -> int:
         return len(self._items)
@@ -126,13 +222,23 @@ class JobQueue:
 class EventLoop:
     """Heap-ordered virtual timeline driving :data:`SimWorker` coroutines."""
 
-    def __init__(self) -> None:
+    def __init__(self, tiebreak: TieBreak | None = None) -> None:
         self.now_ns = 0
         self._seq = 0
-        #: Heap entries: (time_ns, seq, kind, payload).  ``kind`` is
-        #: "resume" (payload: worker, value) or "call" (payload: fn).
+        #: Heap entries: (time_ns, prio, seq, kind, payload, hb).
+        #: ``kind`` is "resume" (payload: worker, value) or "call"
+        #: (payload: fn); ``hb`` is the scheduling context's vector
+        #: clock when a race detector is attached, else ``None``.
         self._heap: list[tuple] = []
         self.events_fired = 0
+        #: Tie-break policy for simultaneous events (default: FIFO).
+        self.tiebreak = tiebreak or TieBreak()
+        #: Optional :class:`~repro.analysis.race.RaceDetector` (same
+        #: nullable-hook pattern as ``model.obs``/``model.san``): when
+        #: set, every scheduled event carries a happens-before snapshot
+        #: and queue/lock hand-offs report synchronization edges.
+        #: Attach with :func:`repro.analysis.attach_race_detector`.
+        self.race = None
 
     # -- scheduling ----------------------------------------------------------
 
@@ -141,7 +247,10 @@ class EventLoop:
             raise ValueError(
                 f"cannot schedule into the past ({t_ns} < {self.now_ns})")
         self._seq += 1
-        heapq.heappush(self._heap, (t_ns, self._seq, kind, payload))
+        hb = None if self.race is None else self.race.snapshot()
+        heapq.heappush(self._heap, (
+            t_ns, self.tiebreak.priority(t_ns, self._seq), self._seq,
+            kind, payload, hb))
 
     def call_at(self, t_ns: int, fn) -> None:
         """Run ``fn()`` at absolute virtual time ``t_ns``."""
@@ -154,11 +263,18 @@ class EventLoop:
     # -- queue plumbing ------------------------------------------------------
 
     def put(self, queue: JobQueue, item) -> None:
-        """Deliver ``item``: wake the longest-idle worker, else buffer."""
+        """Deliver ``item``: wake the longest-idle worker, else buffer.
+
+        Both paths are happens-before edges from the producer to the
+        consumer: the direct hand-off rides the resume event's snapshot,
+        a buffered item parks the producer's clock alongside it.
+        """
         if queue._waiters:
             worker = queue._waiters.pop(0)
             self._push(self.now_ns, "resume", (worker, item))
         else:
+            if self.race is not None:
+                queue._hb_items.append(self.race.snapshot())
             queue._items.append(item)
 
     # -- execution -----------------------------------------------------------
@@ -173,18 +289,52 @@ class EventLoop:
             self._push(self.now_ns + int(command.ns), "resume",
                        (worker, None))
         elif isinstance(command, Io):
+            if self.race is not None:
+                # FIFO service chains submissions: this completion will
+                # observe every earlier submitter's state at submit time.
+                self.race.on_resource_admit(command.resource)
             done_ns = command.resource.admit(self.now_ns, command.demand_ns)
             self._push(done_ns, "resume", (worker, None))
         elif isinstance(command, Take):
             queue = command.queue
             if queue._items:
                 item = queue._items.pop(0)
+                if self.race is not None and queue._hb_items:
+                    self.race.on_queue_take(queue._hb_items.pop(0))
                 self._push(self.now_ns, "resume", (worker, item))
             else:
                 queue._waiters.append(worker)
+        elif isinstance(command, Acquire):
+            resource = command.resource
+            if resource.holder is None:
+                resource.holder = worker
+                resource.lock_grants += 1
+                if self.race is not None:
+                    self.race.on_lock_acquire(resource)
+                self._push(self.now_ns, "resume", (worker, None))
+            else:
+                resource.lock_waiters.append(worker)
+        elif isinstance(command, Release):
+            resource = command.resource
+            if resource.holder is not worker:
+                raise RuntimeError(
+                    f"release of {resource.name} by a worker that does "
+                    f"not hold it")
+            if self.race is not None:
+                self.race.on_lock_release(resource)
+            if resource.lock_waiters:
+                next_holder = resource.lock_waiters.pop(0)
+                resource.holder = next_holder
+                resource.lock_grants += 1
+                if self.race is not None:
+                    self.race.on_lock_acquire(resource, next_holder)
+                self._push(self.now_ns, "resume", (next_holder, None))
+            else:
+                resource.holder = None
+            self._push(self.now_ns, "resume", (worker, None))
         else:
             raise TypeError(f"worker yielded {command!r}; expected "
-                            f"Delay, Io, or Take")
+                            f"Delay, Io, Take, Acquire, or Release")
 
     def run(self, until_ns: int | None = None,
             max_events: int = 10_000_000) -> None:
@@ -198,17 +348,24 @@ class EventLoop:
             t_ns = self._heap[0][0]
             if until_ns is not None and t_ns > until_ns:
                 break
-            t_ns, _, kind, payload = heapq.heappop(self._heap)
+            t_ns, _, _, kind, payload, hb = heapq.heappop(self._heap)
             self.now_ns = t_ns
             self.events_fired += 1
             if self.events_fired > max_events:
                 raise RuntimeError(
                     f"event budget exhausted ({max_events} events)")
+            if self.race is not None:
+                self.race.on_fire(hb, kind, payload)
             if kind == "call":
                 payload()
             else:
                 worker, value = payload
                 self._step(worker, value)
+        if self.race is not None and not self._heap:
+            # The fully drained loop is a synchronization point:
+            # everything that ran happens-before whatever the caller
+            # does next (e.g. the explorer's post-run digest reads).
+            self.race.on_quiesce()
 
     def drain_workers(self, workers: Iterable[SimWorker]) -> None:
         """Close still-parked workers (loop shutdown) without firing them."""

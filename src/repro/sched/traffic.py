@@ -40,7 +40,8 @@ from repro.core.hashing import new_hasher
 from repro.obs.metrics import MetricsRegistry
 from repro.sched.admission import ADMIT, QUEUE, AdmissionController
 from repro.sched.arrivals import Job, op_for
-from repro.sched.loop import Delay, EventLoop, Io, JobQueue, Resource, Take
+from repro.sched.loop import (Acquire, Delay, EventLoop, Io, JobQueue,
+                              Release, Resource, Take, TieBreak)
 
 
 @dataclass
@@ -131,12 +132,13 @@ class TrafficSim:
     """Drives real engine ops under a discrete-event worker pool."""
 
     def __init__(self, config: TrafficConfig | None = None,
-                 admission: AdmissionController | None = None) -> None:
+                 admission: AdmissionController | None = None,
+                 tiebreak: TieBreak | None = None) -> None:
         from repro.bench.adapters import make_store
 
         self.config = config or TrafficConfig()
         self.admission = admission
-        self.loop = EventLoop()
+        self.loop = EventLoop(tiebreak=tiebreak)
         self.metrics = MetricsRegistry()
         self._stores = [
             make_store("our", capacity_bytes=self.config.device_bytes,
@@ -144,6 +146,13 @@ class TrafficSim:
             for _ in range(self.config.n_shards)]
         self._shard_res = [Resource(f"shard{i}.device")
                            for i in range(self.config.n_shards)]
+        #: One mutex per shard engine: a worker holds it across its
+        #: synchronous engine call (`_execute`), because BlobDB mutates
+        #: shared frames/WAL state non-reentrantly.  Acquire/Release
+        #: cost zero virtual time, so an uncontended lock (or a
+        #: single-worker run) is byte-identical to the unlocked engine.
+        self._shard_lock = [Resource(f"shard{i}.engine")
+                            for i in range(self.config.n_shards)]
         self._dispatch = JobQueue()
         self._preloaded: set[int] = set()
         self._written_base = 0
@@ -151,6 +160,25 @@ class TrafficSim:
         self._first_arrival_ns: int | None = None
         self.max_dispatch_depth = 0
         self.payload_bytes = 0
+
+    # -- instrumentation -----------------------------------------------------
+
+    def attach_race(self, mode: str = "collect"):
+        """Attach a happens-before detector to every shared surface.
+
+        Binds one :class:`~repro.analysis.race.RaceDetector` to the
+        loop, a per-shard :class:`~repro.analysis.race.RaceScope` to
+        each engine's cost model (frames + WAL append), and an
+        ``admission`` scope to the token buckets.  Returns the detector.
+        """
+        from repro.analysis.race import attach_race_detector
+
+        detector = attach_race_detector(self.loop, mode=mode)
+        for i, store in enumerate(self._stores):
+            store.model.race = detector.scope(f"shard{i}")
+        if self.admission is not None:
+            self.admission.race = detector.scope("admission")
+        return detector
 
     # -- keyspace ------------------------------------------------------------
 
@@ -209,9 +237,12 @@ class TrafficSim:
         while True:
             job = yield Take(self._dispatch)
             start_ns = self.loop.now_ns
+            shard = self.shard_of(job.key)
+            yield Acquire(self._shard_lock[shard])
             demand_ns, io_ns = self._execute(job)
+            yield Release(self._shard_lock[shard])
             if io_ns > 0:
-                yield Io(self._shard_res[self.shard_of(job.key)], io_ns)
+                yield Io(self._shard_res[shard], io_ns)
             rest_ns = demand_ns - io_ns
             if rest_ns > 0:
                 yield Delay(rest_ns)
@@ -255,7 +286,9 @@ class TrafficSim:
         if jobs:
             self._first_arrival_ns = min(j.arrive_ns for j in jobs)
         workers = [self._worker(i) for i in range(self.config.n_workers)]
-        for worker in workers:
+        for i, worker in enumerate(workers):
+            if self.loop.race is not None:
+                self.loop.race.register(worker, f"worker{i}")
             self.loop.spawn(worker)
         for job in jobs:
             self.loop.call_at(job.arrive_ns,
@@ -276,9 +309,12 @@ class TrafficSim:
                       payload=job.payload)
             self.metrics.counter("sched.offered").add(
                 1, tenant=str(job.tenant))
+            shard = self.shard_of(job.key)
+            yield Acquire(self._shard_lock[shard])
             demand_ns, io_ns = self._execute(job)
+            yield Release(self._shard_lock[shard])
             if io_ns > 0:
-                yield Io(self._shard_res[self.shard_of(job.key)], io_ns)
+                yield Io(self._shard_res[shard], io_ns)
             rest_ns = demand_ns - io_ns
             if rest_ns > 0:
                 yield Delay(rest_ns)
@@ -306,7 +342,9 @@ class TrafficSim:
         self._first_arrival_ns = 0
         workers = [self._closed_worker(pending)
                    for _ in range(cfg.n_workers)]
-        for worker in workers:
+        for i, worker in enumerate(workers):
+            if self.loop.race is not None:
+                self.loop.race.register(worker, f"worker{i}")
             self.loop.spawn(worker)
         self.loop.run()
         self.loop.drain_workers(workers)

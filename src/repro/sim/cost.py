@@ -224,6 +224,12 @@ class CostModel:
         #: writer report latch/write-back/flush events through it when
         #: set.  Attach with :func:`repro.analysis.attach_sanitizer`.
         self.san = None
+        #: Optional :class:`~repro.analysis.race.RaceScope` (same
+        #: nullable-hook pattern): buffer frames, the WAL writer, and
+        #: admission buckets report shared-state accesses through it so
+        #: the happens-before detector can check cross-coroutine
+        #: ordering.  Bind with ``detector.scope(prefix)``.
+        self.race = None
         #: Multiplier applied to memory-bandwidth-bound work; a worker
         #: simulation sets this to model DRAM/L3 contention (Fig. 10).
         self.memory_contention = 1.0

@@ -132,6 +132,11 @@ class WalWriter:
         appender waits, as a physlog transaction does when a BLOB is
         segmented through a buffer of similar size.
         """
+        race = self.model.race
+        if race is not None:
+            # The append position (_lsn/_next_seq) is one shared cursor:
+            # two unordered appenders would interleave torn records.
+            race.on_write(("wal", "append"))
         encoded = record.encode(self._next_seq)
         self._next_seq += 1
         if len(encoded) > self.region_bytes:

@@ -1,0 +1,1 @@
+"""Deliberately buggy (and fixed) code used as lint/detector fixtures."""

@@ -1,0 +1,78 @@
+"""Planted concurrency bugs (and their fixes) for the analysis stack.
+
+Each pair here is a positive/negative control: the buggy variant must
+trip the static rules (RPR007/RPR008) *and* the runtime happens-before
+detector; the guarded variant must pass both.  ``tests/
+test_analysis_race.py`` runs the linter over this file's source and the
+coroutines on a real :class:`~repro.sched.loop.EventLoop`.
+
+This module is intentionally unguarded shared-state code — it is never
+imported by the engine, only by tests.
+"""
+
+from __future__ import annotations
+
+from repro.sched.loop import Acquire, Delay, Io, Release
+
+#: The shared state every racy coroutine stomps on.
+COUNTER = {"n": 0}
+
+
+def racy_increment(race, delay_ns: int = 10):
+    """BUG: bumps a module-level counter with no Resource guard.
+
+    Two instances of this coroutine resume independently after their
+    delays; the read-modify-write below has no happens-before edge
+    between them.  RPR007 flags the mutation statically; the attached
+    detector reports the write/write pair at runtime.
+    """
+    yield Delay(delay_ns)
+    race.on_read(("fixture", "counter"))
+    COUNTER["n"] = COUNTER["n"] + 1
+    race.on_write(("fixture", "counter"))
+
+
+def guarded_increment(lock, race, delay_ns: int = 10):
+    """FIX: the same bump inside an Acquire/Release window."""
+    yield Delay(delay_ns)
+    yield Acquire(lock)
+    race.on_read(("fixture", "counter"))
+    COUNTER["n"] = COUNTER["n"] + 1
+    race.on_write(("fixture", "counter"))
+    yield Release(lock)
+
+
+def latch_across_yield(lock, device, scratch):
+    """BUG: suspends on Delay and Io while still holding the lock.
+
+    The critical section spans the whole simulated wait: every other
+    contender convoys behind it.  RPR008 flags both yields.
+    """
+    yield Acquire(lock)
+    scratch["v"] = 1  # guarded — RPR007 must NOT fire here
+    yield Delay(50)
+    yield Io(device, 100)
+    yield Release(lock)
+
+
+def latch_released_before_yield(lock, device, scratch):
+    """FIX: the lock is dropped before any suspending yield."""
+    yield Acquire(lock)
+    scratch["v"] = 1
+    yield Release(lock)
+    yield Delay(50)
+    yield Io(device, 100)
+
+
+def pinned_across_delay(pool):
+    """BUG: holds pinned frames across a Delay suspension (RPR008)."""
+    frames = pool.fetch_extents([(0, 1)], pin=True)
+    yield Delay(50)
+    pool.unpin(frames)
+
+
+def pin_dropped_before_delay(pool):
+    """FIX: unpins before suspending."""
+    frames = pool.fetch_extents([(0, 1)], pin=True)
+    pool.unpin(frames)
+    yield Delay(50)
