@@ -411,6 +411,46 @@ def _cmd_bench_traffic(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_pmem(args: argparse.Namespace) -> int:
+    """Heterogeneous-storage sweep: durable-ack commit latency with the
+    WAL on PMem vs NVMe across group-commit windows, plus the stripe
+    width throughput sweep.  Self-checks determinism (two runs
+    byte-identical), WAL-on-PMem strictly below NVMe at every window,
+    and monotone >=2x stripe speedup at the widest point."""
+    from repro.bench import baseline
+
+    first = baseline.run_pmem_sweep()
+    second = baseline.run_pmem_sweep()
+    print("pmem sweep (durable-ack commit latency, pinned seed)")
+    print(f"  {'window us':>9} {'wal on':>6} {'ops':>5} {'mean us':>8} "
+          f"{'p99 us':>8} {'appends':>8} {'WA':>7}")
+    for wl in first["commit"]:
+        print(f"  {wl['window_us']:>9.1f} {wl['wal_on']:>6} "
+              f"{wl['ops']:>5} {wl['latency_us']['mean']:>8.3f} "
+              f"{wl['latency_us']['p99']:>8.3f} "
+              f"{wl['wal']['byte_appends']:>8} "
+              f"{wl['write_amplification']:>7.4f}")
+    print("stripe sweep (scatter reads + write-back over K members)")
+    print(f"  {'devices':>7} {'ops':>6} {'op/s':>12} {'p99 us':>9} "
+          f"{'coalesce':>9}")
+    for wl in first["stripe"]:
+        print(f"  {wl['n_devices']:>7} {wl['ops']:>6} "
+              f"{wl['throughput_ops_s']:>12.1f} "
+              f"{wl['latency_us']['p99']:>9.1f} "
+              f"{wl['io']['coalesce_ratio']:>9.4f}")
+    failures = baseline.pmem_self_check(first, second)
+    if args.out:
+        baseline.write_baseline(args.out, first)
+        print(f"wrote {args.out}")
+    if failures:
+        for line in failures:
+            print("FAILED: " + line, file=sys.stderr)
+        return 1
+    print("pmem sweep OK: deterministic, WAL-on-PMem strictly faster at "
+          "every window, stripe speedup monotone and >=2x at 4 devices")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import baseline
 
@@ -422,6 +462,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_replication(args)
     if args.mode == "traffic":
         return _cmd_bench_traffic(args)
+    if args.mode == "pmem":
+        return _cmd_bench_pmem(args)
     doc = baseline.run_suite(args.label)
     # Provenance stamp attached *outside* the deterministic suite; the
     # regression gate ignores unknown top-level keys.
@@ -587,14 +629,16 @@ def main(argv: list[str] | None = None) -> int:
         "bench", help="deterministic benchmark baseline + regression gate")
     bench.add_argument("mode", nargs="?",
                        choices=("suite", "iodepth", "shards",
-                                "replication", "traffic"),
+                                "replication", "traffic", "pmem"),
                        default="suite",
                        help="'suite' (default), 'iodepth' for the "
                             "queue-depth sweep, 'shards' for the "
                             "sharded scatter-gather sweep, "
                             "'replication' for the quorum sweep plus "
-                            "the availability storm, or 'traffic' for "
-                            "the open-loop saturation/admission sweep "
+                            "the availability storm, 'traffic' for "
+                            "the open-loop saturation/admission sweep, "
+                            "or 'pmem' for the heterogeneous-storage "
+                            "WAL-placement and stripe-width sweep "
                             "— every sweep runs built-in self-checks")
     bench.add_argument("--traces", metavar="DIR",
                        help="with mode 'shards': also write per-shard "

@@ -38,16 +38,23 @@ _NET_EXEC_MODULES = frozenset({
 
 #: Raw device internals: touching these outside the storage substrate
 #: and the I/O scheduler bypasses cost charging and
-#: protection-information updates.
+#: protection-information updates.  ``_splice_bytes``/``peek_bytes``
+#: are the PMem equivalents of ``_poke``/``peek``: byte splices that
+#: skip the persist pricing (cache-line flush + fence) of
+#: ``write_bytes``.
 _RAW_DEVICE_ATTRS = frozenset({"_pages", "_page_crc"})
-_RAW_DEVICE_CALLS = frozenset({"_poke", "peek", "_scatter", "_gather"})
+_RAW_DEVICE_CALLS = frozenset({
+    "_poke", "peek", "_scatter", "_gather", "_splice_bytes", "peek_bytes",
+})
 #: Receiver names that plausibly hold a device handle.  ``member`` /
 #: ``replica`` / ``primary`` cover the replica layer, where every group
 #: member owns its own (possibly fault-wrapped) device — reaching into
 #: ``member.device._pages`` would bypass both the member's cost model
-#: and its fault plan.
+#: and its fault plan; ``pmem``/``stripe``/``striped`` cover the
+#: heterogeneous tiers (PMem WAL/metadata, striped data members).
 _DEVICE_RECEIVER = re.compile(
-    r"\b(device|inner|physical|nvme|member|replica|primary)\b")
+    r"\b(device|inner|physical|nvme|member|replica|primary"
+    r"|pmem|stripe|striped)\w*\b")
 
 
 class HostFileIoRule(Rule):

@@ -15,7 +15,7 @@ from repro.baselines import (
 )
 from repro.db import BlobDB, EngineConfig
 from repro.sim.cost import CostModel, CostParams
-from repro.storage.device import SimulatedNVMe
+from repro.storage.factory import make_device
 
 OUR_SYSTEMS = ("our", "our.ht", "our.physlog")
 FS_SYSTEMS = ("ext4.ordered", "ext4.journal", "xfs", "btrfs", "f2fs")
@@ -228,8 +228,8 @@ def make_store(name: str, *, capacity_bytes: int = 1 << 30,
             adapter.db.model.params = params
         return adapter
     model = CostModel(params)
-    device = SimulatedNVMe(model, capacity_pages=capacity_pages,
-                           page_size=page)
+    device = make_device(model, capacity_pages=capacity_pages,
+                         page_size=page)
     if name in _FS_CLASSES:
         return FsStoreAdapter(_FS_CLASSES[name](model, device))
     if name in _DBMS_CLASSES:

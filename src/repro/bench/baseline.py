@@ -168,10 +168,10 @@ def _run_iodepth(queue_depth: int) -> dict:
 
     from repro.io import IoScheduler
     from repro.sim.cost import CostModel
-    from repro.storage.device import SimulatedNVMe
+    from repro.storage.factory import make_device
 
     model = CostModel()
-    device = SimulatedNVMe(model, capacity_pages=4096)
+    device = make_device(model, capacity_pages=4096)
     sched = IoScheduler(device, model, queue_depth=queue_depth,
                         max_merge_pages=64)
     ps = device.page_size
@@ -376,6 +376,241 @@ def shard_sweep_self_check(first: dict, second: dict) -> list[str]:
                 f"{point['n_shards']} shards: "
                 f"{point['throughput_ops_s']} vs uniform "
                 f"{peer[0]['throughput_ops_s']}")
+    return failures
+
+
+#: Group-commit windows (virtual ns) of the WAL-placement sweep: a
+#: durable ack per commit, then windows covering ~25 and ~100 commits —
+#: enough amortization to shrink the PMem gap without erasing it.
+PMEM_COMMIT_WINDOWS_NS = (0.0, 20_000.0, 80_000.0)
+
+#: Stripe widths of the multi-device data sweep.
+PMEM_STRIPE_SWEEP = (1, 2, 4)
+
+#: Required speedup of the widest stripe point over one device.
+PMEM_STRIPE_MIN_SPEEDUP = 2.0
+
+
+def _run_pmem_commit(window_ns: float, on_pmem: bool) -> dict:
+    """One point of the WAL-placement durable-commit latency sweep.
+
+    A fixed insert/commit stream runs against two engines that differ
+    *only* in where the WAL ring lives: on the byte-addressable PMem
+    tier (byte appends, persist priced as cache-line flush + fence) or
+    on the block NVMe (page round-up + fdatasync).  The client requires
+    a *durable* acknowledgment at every group-commit window boundary —
+    window 0 syncs every commit, a wider window lets commits share one
+    sync — so the sweep shows how far amortization closes the gap.
+    PMem must win at *every* window for the placement policy to be
+    unconditional.
+    """
+    import random
+
+    from repro.db.config import EngineConfig
+    from repro.db.database import BlobDB
+
+    config = EngineConfig(device_pages=16384, wal_pages=512,
+                          catalog_pages=512, buffer_pool_pages=4096,
+                          group_commit_window_ns=window_ns,
+                          pmem_pages=2048 if on_pmem else 0)
+    db = BlobDB(config)
+    db.create_table("t")
+    rng = random.Random(29)
+    payload = 8192
+    payload_bytes = 0
+    # Load phase (untimed): warm the pool and the WAL ring.
+    for i in range(16):
+        txn = db.begin()
+        db.put(txn, "t", b"warm%04d" % i, rng.randbytes(payload))
+        db.commit(txn)
+        payload_bytes += payload
+    db.drain_commit_window()
+    db.wal.sync_flush()
+    clock = db.model.clock
+    latency = Histogram("commit_ns")
+    deadline: float | None = None
+    start_ns = clock.now_ns
+    ops = 0
+    for i in range(160):
+        data = rng.randbytes(payload)
+        with Stopwatch(clock) as sw:
+            txn = db.begin()
+            db.put(txn, "t", b"pm%05d" % i, data)
+            db.commit(txn)
+            if deadline is None:
+                deadline = clock.now_ns + window_ns
+            if clock.now_ns >= deadline:
+                # The window closed on this commit: it drains the group
+                # and pays the synchronous durability point for everyone
+                # who rode along.
+                db.drain_commit_window()
+                db.wal.sync_flush()
+                deadline = None
+        latency.observe(sw.elapsed_ns)
+        payload_bytes += payload
+        ops += 1
+    db.drain_commit_window()
+    db.wal.sync_flush()
+    elapsed_ns = clock.now_ns - start_ns
+    report = db.stats_report()
+    written = sum(
+        sum(dev.stats.bytes_written_by_category.values())
+        for dev in db.storage.devices)
+    lat = latency.summary()
+    return {
+        "ops": ops,
+        "elapsed_virtual_ms": round(elapsed_ns / 1e6, 3),
+        "throughput_ops_s": round(ops * 1e9 / elapsed_ns, 1)
+        if elapsed_ns else 0.0,
+        "latency_us": {
+            # Three decimals: wide windows amortize the sync down to
+            # tens of ns per op, and the strictly-below gate compares
+            # these rounded values.
+            "mean": round(lat["mean"] / 1000, 3),
+            "p50": round(lat["p50"] / 1000, 3),
+            "p95": round(lat["p95"] / 1000, 3),
+            "p99": round(lat["p99"] / 1000, 3),
+            "max": round(lat["max"] / 1000, 3),
+        },
+        "payload_bytes": payload_bytes,
+        "write_amplification": round(written / payload_bytes, 4)
+        if payload_bytes else 0.0,
+        "window_us": round(window_ns / 1000, 1),
+        "wal_on": report.wal_device_kind,
+        "wal": {
+            "records": report.wal_records,
+            "sync_flushes": report.wal_synchronous_flushes,
+            "byte_appends": report.wal_byte_appends,
+            "pmem_bytes": report.pmem_bytes_written,
+        },
+    }
+
+
+def _run_pmem_stripe(n_devices: int) -> dict:
+    """One point of the striped multiget/flush throughput sweep.
+
+    The same scattered 8-page extent reads (plus periodic write-back
+    batches) from the iodepth sweep, pushed through an
+    :class:`~repro.io.IoScheduler` over a :class:`StripedDevice` of
+    ``n_devices`` members.  The request stream is identical across
+    widths; only the number of independent SQ/CQ queues absorbing it
+    changes, so the sweep isolates the makespan win of striping.
+    """
+    import random
+
+    from repro.io import IoScheduler
+    from repro.sim.cost import CostModel
+    from repro.storage.factory import make_device
+
+    model = CostModel()
+    ext_pages = 8
+    device = make_device(model, capacity_pages=8192, kind="striped",
+                         n_devices=n_devices, stripe_pages=ext_pages)
+    sched = IoScheduler(device, model, queue_depth=32, max_merge_pages=64)
+    ps = device.page_size
+    n_extents = 128
+    rng = random.Random(13)
+    for idx in range(n_extents):  # untimed preload
+        device.write(idx * ext_pages, rng.randbytes(ext_pages * ps),
+                     background=True)
+    written_before = device.stats.bytes_written
+    clock = model.clock
+    latency = Histogram("batch_ns")
+    start_ns = clock.now_ns
+    ops = 0
+    payload_bytes = 0
+    for round_no in range(24):
+        read_idx = rng.sample(range(n_extents), 96)
+        write_idx = rng.sample(range(n_extents), 32) \
+            if round_no % 3 == 2 else []
+        write_data = [rng.randbytes(ext_pages * ps) for _ in write_idx]
+        with Stopwatch(clock) as sw:
+            for idx in read_idx:
+                sched.submit_read(idx * ext_pages, ext_pages)
+            sched.drain()
+            for idx, data in zip(write_idx, write_data):
+                sched.submit_write(idx * ext_pages, data)
+            if write_idx:
+                sched.drain()
+        latency.observe(sw.elapsed_ns)
+        ops += len(read_idx) + len(write_idx)
+        payload_bytes += sum(len(d) for d in write_data)
+    elapsed_ns = clock.now_ns - start_ns
+    written = device.stats.bytes_written - written_before
+    lat = latency.summary()
+    return {
+        "ops": ops,
+        "elapsed_virtual_ms": round(elapsed_ns / 1e6, 3),
+        "throughput_ops_s": round(ops * 1e9 / elapsed_ns, 1)
+        if elapsed_ns else 0.0,
+        "latency_us": {
+            "mean": round(lat["mean"] / 1000, 1),
+            "p50": round(lat["p50"] / 1000, 1),
+            "p95": round(lat["p95"] / 1000, 1),
+            "p99": round(lat["p99"] / 1000, 1),
+            "max": round(lat["max"] / 1000, 1),
+        },
+        "payload_bytes": payload_bytes,
+        "write_amplification": round(written / payload_bytes, 4)
+        if payload_bytes else 0.0,
+        "n_devices": n_devices,
+        "io": {
+            "requests_in": sched.stats.requests_in,
+            "requests_out": sched.stats.requests_out,
+            "coalesce_ratio": round(sched.stats.coalesce_ratio, 4),
+            "drains": sched.stats.drains,
+        },
+    }
+
+
+def run_pmem_sweep() -> dict:
+    """WAL-placement and stripe-width sweeps as one JSON document."""
+    commit = []
+    for window_ns in PMEM_COMMIT_WINDOWS_NS:
+        for on_pmem in (False, True):
+            commit.append(_run_pmem_commit(window_ns, on_pmem))
+    return {
+        "suite_version": SUITE_VERSION,
+        "commit": commit,
+        "stripe": [_run_pmem_stripe(k) for k in PMEM_STRIPE_SWEEP],
+    }
+
+
+def pmem_self_check(first: dict, second: dict) -> list[str]:
+    """The heterogeneous-storage sweep's acceptance checks.
+
+    Enforced by ``repro bench pmem`` (and the CI perf-gate job): the
+    sweep must be deterministic, WAL-on-PMem commit latency must be
+    *strictly* below WAL-on-NVMe at every group-commit window, and
+    stripe throughput must rise monotonically with the width and reach
+    >=2x at 4 devices — otherwise the byte-append fast path or the
+    makespan pricing is broken.
+    """
+    failures: list[str] = []
+    if render(first) != render(second):
+        failures.append("pmem sweep not deterministic: two runs differ")
+    by_window: dict[float, dict[str, dict]] = {}
+    for point in first["commit"]:
+        by_window.setdefault(point["window_us"], {})[point["wal_on"]] = \
+            point
+    for window_us in sorted(by_window):
+        pair = by_window[window_us]
+        pmem = pair["pmem"]["latency_us"]["mean"]
+        nvme = pair["nvme"]["latency_us"]["mean"]
+        if not pmem < nvme:
+            failures.append(
+                f"WAL-on-PMem not below NVMe at window {window_us} us: "
+                f"{pmem} vs {nvme} us mean commit")
+    tp = [p["throughput_ops_s"] for p in first["stripe"]]
+    widths = [p["n_devices"] for p in first["stripe"]]
+    for (wa, a), (wb, b) in zip(zip(widths, tp), zip(widths[1:], tp[1:])):
+        if b < a:
+            failures.append(
+                f"stripe throughput not monotone: x{wa} {a} -> x{wb} {b}")
+    if tp and tp[-1] < PMEM_STRIPE_MIN_SPEEDUP * tp[0]:
+        failures.append(
+            f"insufficient stripe speedup at {widths[-1]} devices: "
+            f"{tp[-1] / tp[0]:.2f}x < {PMEM_STRIPE_MIN_SPEEDUP}x")
     return failures
 
 
@@ -843,6 +1078,15 @@ def run_suite(label: str = "local") -> dict:
     # it gates robustness, not throughput).
     for quorum in REPLICATION_QUORUMS:
         workloads[f"replication_q{quorum}"] = _run_replication(quorum)
+    # And the heterogeneous-storage sweep: the PMem byte-append win and
+    # the stripe makespan win are exactly the perf properties this PR
+    # class would regress.
+    pmem = run_pmem_sweep()
+    for point in pmem["commit"]:
+        window = int(point["window_us"])
+        workloads[f"pmem_wal_{point['wal_on']}_w{window}us"] = point
+    for point in pmem["stripe"]:
+        workloads[f"stripe_k{point['n_devices']}"] = point
     # And the traffic sweep: the saturation knee, the open-loop tail,
     # and the admission-protected overload point are perf properties —
     # a change that moves the knee or unbounds p999 fails the gate.

@@ -34,7 +34,7 @@ from repro.db.config import EngineConfig
 from repro.db.database import BlobDB
 from repro.db.errors import DatabaseError, KeyNotFoundError
 from repro.sim.cost import CostModel
-from repro.storage.device import SimulatedNVMe
+from repro.storage.factory import make_device
 from repro.storage.faults import FaultPlan, FaultSpec, FaultyNVMe
 
 #: Mixed-fault rates used by the default sweep (every class enabled).
@@ -101,8 +101,8 @@ def run_fault_schedule(seed: int, config: EngineConfig | None = None,
     """Run one seeded workload/crash/recover/audit cycle under faults."""
     config = config or small_config()
     model = CostModel()
-    inner = SimulatedNVMe(model, capacity_pages=config.device_pages,
-                          page_size=config.page_size)
+    inner = make_device(model, capacity_pages=config.device_pages,
+                        page_size=config.page_size)
     plan = FaultPlan(FaultSpec(seed=seed, **(rates or DEFAULT_RATES)))
     device = FaultyNVMe(inner, plan)
     result = ScheduleResult(seed=seed, outcome="clean",

@@ -79,28 +79,39 @@ def _io(retry, op):
 
 def recover_state(device: SimulatedNVMe, config: EngineConfig,
                   model: CostModel, tiers: TierTable,
-                  retry=None) -> RecoveredState:
-    """Run the full recovery pipeline against a crashed device."""
+                  retry=None, meta_device=None,
+                  wal_device=None) -> RecoveredState:
+    """Run the full recovery pipeline against a crashed device.
+
+    ``device`` is the data tier; heterogeneous engines pass the devices
+    holding the catalog (``meta_device``) and the WAL ring
+    (``wal_device``) separately — both default to the data device.
+    """
     obs = model.obs
     if obs is None:
-        return _recover_state_body(device, config, model, tiers, retry)
+        return _recover_state_body(device, config, model, tiers, retry,
+                                   meta_device, wal_device)
     obs.begin("recovery")
     try:
-        return _recover_state_body(device, config, model, tiers, retry)
+        return _recover_state_body(device, config, model, tiers, retry,
+                                   meta_device, wal_device)
     finally:
         obs.end()
 
 
 def _recover_state_body(device: SimulatedNVMe, config: EngineConfig,
                         model: CostModel, tiers: TierTable,
-                        retry=None) -> RecoveredState:
+                        retry=None, meta_device=None,
+                        wal_device=None) -> RecoveredState:
+    meta_device = meta_device if meta_device is not None else device
+    wal_device = wal_device if wal_device is not None else device
     obs = model.obs
     state = RecoveredState(allocator_next_pid=config.data_start_pid)
     snapshot = None
     if obs is not None:
         obs.begin("recovery.snapshot")
     try:
-        snapshot = _load_snapshot(device, config, retry)
+        snapshot = _load_snapshot(meta_device, config, retry)
     finally:
         if obs is not None:
             obs.end(found=snapshot is not None)
@@ -118,7 +129,7 @@ def _recover_state_body(device: SimulatedNVMe, config: EngineConfig,
     if obs is not None:
         obs.begin("recovery.wal_scan")
     try:
-        records = _read_wal(device, config, model, state, retry)
+        records = _read_wal(wal_device, config, model, state, retry)
     finally:
         if obs is not None:
             obs.end(corrupt_pages=state.wal_corrupt_pages,

@@ -5,10 +5,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.hashing import HASHER_KINDS
+from repro.storage.device import CapabilityError
 
 POOL_KINDS = ("vmcache", "hashtable")
 LOG_POLICIES = ("async-blob", "physlog")
 CONCURRENCY_MODES = ("2pl", "occ")
+WAL_PLACEMENTS = ("auto", "pmem", "nvme")
 
 
 @dataclass
@@ -74,6 +76,19 @@ class EngineConfig:
     #: flushes at every commit; > 0 lets commits inside the window share
     #: one WAL flush and one sorted extent batch.
     group_commit_window_ns: float = 0.0
+    #: Byte-addressable PMem tier in pages (0 = no PMem tier).  When
+    #: present it holds the superblock and catalog slots — and the WAL
+    #: ring, unless ``wal_placement`` forces it back onto NVMe.
+    pmem_pages: int = 0
+    #: Where the WAL ring lives: "auto" prefers the PMem tier when one
+    #: is configured and falls back to NVMe otherwise; "pmem" *requires*
+    #: a tier (a :class:`CapabilityError` without one); "nvme" forces
+    #: the block device even when PMem exists.
+    wal_placement: str = "auto"
+    #: Member devices of the striped data tier (1 = no striping).
+    stripe_devices: int = 1
+    #: Stripe unit in pages when ``stripe_devices > 1``.
+    stripe_chunk_pages: int = 64
 
     def __post_init__(self) -> None:
         if self.io_retries < 1:
@@ -99,16 +114,44 @@ class EngineConfig:
             raise ValueError("index_structure must be 'btree' or 'art'")
         if not 0.0 < self.checkpoint_threshold <= 1.0:
             raise ValueError("checkpoint_threshold must be in (0, 1]")
+        if self.wal_placement not in WAL_PLACEMENTS:
+            raise ValueError(
+                f"wal_placement must be one of {WAL_PLACEMENTS}")
+        if self.pmem_pages < 0:
+            raise ValueError("pmem_pages must be non-negative")
+        if self.wal_placement == "pmem" and self.pmem_pages == 0:
+            raise CapabilityError(
+                "wal_placement='pmem' needs a byte-addressable tier: "
+                "set pmem_pages > 0 (or use 'auto' to fall back to NVMe)")
+        if self.stripe_devices < 1:
+            raise ValueError("stripe_devices must be at least 1")
+        if self.stripe_chunk_pages < 1:
+            raise ValueError("stripe_chunk_pages must be at least 1")
+        if self.out_of_place and self.stripe_devices > 1:
+            raise ValueError(
+                "out_of_place remapping and striping are exclusive")
+        if 0 < self.pmem_pages < self.min_pmem_pages:
+            raise ValueError(
+                f"pmem_pages={self.pmem_pages} too small for the metadata"
+                f" regions (need at least {self.min_pmem_pages})")
         if self.data_pages <= 0:
             raise ValueError("device too small for the configured regions")
 
     # -- device layout -------------------------------------------------------
     #
-    # [0]                superblock
-    # [1 .. C]           catalog slot A
-    # [1+C .. 1+2C]      catalog slot B
-    # [1+2C .. 1+2C+W]   WAL ring
-    # [rest]             data area (extent allocator)
+    # Homogeneous (pmem_pages == 0) — everything on one block device:
+    #
+    #   [0]                superblock
+    #   [1 .. C]           catalog slot A
+    #   [1+C .. 1+2C]      catalog slot B
+    #   [1+2C .. 1+2C+W]   WAL ring
+    #   [rest]             data area (extent allocator)
+    #
+    # Heterogeneous (pmem_pages > 0) — the PMem tier holds the
+    # superblock and both catalog slots (the pids above, on the *meta*
+    # device) plus the WAL ring when ``wal_on_pmem``; the data device
+    # then starts its extent area at pid 0.  With ``wal_placement=
+    # "nvme"`` the ring occupies the data device's first ``wal_pages``.
 
     @property
     def catalog_a_pid(self) -> int:
@@ -119,11 +162,29 @@ class EngineConfig:
         return 1 + self.catalog_pages
 
     @property
+    def wal_on_pmem(self) -> bool:
+        """Placement decision: does the WAL ring land on the PMem tier?"""
+        return self.pmem_pages > 0 and self.wal_placement != "nvme"
+
+    @property
+    def min_pmem_pages(self) -> int:
+        """Smallest PMem tier holding the metadata (and WAL) regions."""
+        need = 1 + 2 * self.catalog_pages
+        if self.wal_placement != "nvme":
+            need += self.wal_pages
+        return need
+
+    @property
     def wal_region_pid(self) -> int:
+        """Start of the WAL ring *on the device that hosts it*."""
+        if self.pmem_pages > 0 and not self.wal_on_pmem:
+            return 0
         return 1 + 2 * self.catalog_pages
 
     @property
     def data_start_pid(self) -> int:
+        if self.pmem_pages > 0:
+            return 0 if self.wal_on_pmem else self.wal_pages
         return self.wal_region_pid + self.wal_pages
 
     @property

@@ -42,6 +42,7 @@ from repro.db.transaction import LockMode, LockTable, Transaction, TxnStatus
 from repro.sha.fast import simulate_state_loss
 from repro.sim.cost import CostModel
 from repro.storage.device import SimulatedNVMe
+from repro.storage.factory import StorageSet, build_storage
 from repro.wal.records import InsertRecord, DeleteRecord, TxnBeginRecord, UpdateRecord
 from repro.wal.writer import WalFullError, WalWriter
 
@@ -62,24 +63,26 @@ class BlobDB:
     """The engine facade.  See the package docstring for the model."""
 
     def __init__(self, config: EngineConfig | None = None,
-                 device: SimulatedNVMe | None = None,
+                 device: SimulatedNVMe | StorageSet | None = None,
                  model: CostModel | None = None,
                  _skip_format: bool = False) -> None:
         self.config = config or EngineConfig()
         self.model = model or CostModel()
-        if device is not None:
-            self.device = device
-        elif self.config.out_of_place:
-            from repro.storage.remap import RemappedDevice
-            self.device = RemappedDevice(
-                self.model, physical_pages=self.config.device_pages,
-                logical_pages=self.config.device_pages
-                * self.config.logical_space_multiplier,
-                page_size=self.config.page_size)
+        if device is None:
+            storage = build_storage(self.config, self.model)
+        elif isinstance(device, StorageSet):
+            storage = device
         else:
-            self.device = SimulatedNVMe(
-                self.model, capacity_pages=self.config.device_pages,
-                page_size=self.config.page_size)
+            storage = StorageSet(data=device, meta=device, wal=device)
+        #: The device set placement policy chose (data / meta / wal may
+        #: alias); subsystems below bind to the tier they persist through.
+        self.storage = storage
+        #: Data tier: blobs and the extent area.
+        self.device = storage.data
+        #: Superblock + catalog checkpoint slots (PMem tier when present).
+        self.meta_device = storage.meta
+        #: The device hosting the WAL ring.
+        self.wal_device = storage.wal
         cfg = self.config
         self.tiers = ExtentTier(tiers_per_level=cfg.tiers_per_level,
                                 max_levels=cfg.max_levels)
@@ -98,7 +101,7 @@ class BlobDB:
             self.tiers, cfg.data_start_pid,
             self.device.capacity_pages - cfg.data_start_pid,
             model=self.model)
-        self.wal = WalWriter(self.device, self.model,
+        self.wal = WalWriter(self.wal_device, self.model,
                              region_pid=cfg.wal_region_pid,
                              region_pages=cfg.wal_pages,
                              buffer_bytes=cfg.wal_buffer_bytes,
@@ -148,7 +151,7 @@ class BlobDB:
     def _format(self) -> None:
         super_block = Superblock(active_slot=-1, catalog_len=0,
                                  checkpoint_id=0)
-        self.retry.run(lambda: self.device.write(
+        self.retry.run(lambda: self.meta_device.write(
             0, super_block.serialize(self.config.page_size),
             category="meta"))
 
@@ -721,12 +724,12 @@ class BlobDB:
         slot = self._checkpoint_id % 2
         slot_pid = (self.config.catalog_a_pid if slot == 0
                     else self.config.catalog_b_pid)
-        self.retry.run(lambda: self.device.write(
+        self.retry.run(lambda: self.meta_device.write(
             slot_pid, raw.ljust(npages * ps, b"\x00"),
             category="meta", background=True))
         super_block = Superblock(active_slot=slot, catalog_len=len(raw),
                                  checkpoint_id=self._checkpoint_id)
-        self.retry.run(lambda: self.device.write(
+        self.retry.run(lambda: self.meta_device.write(
             0, super_block.serialize(ps), category="meta", background=True))
         self.checkpoints_taken += 1
 
@@ -784,23 +787,32 @@ class BlobDB:
 
     # -- crash & recovery ------------------------------------------------------------------------
 
-    def crash(self) -> SimulatedNVMe:
-        """Drop all volatile state; returns the surviving device."""
+    def crash(self) -> SimulatedNVMe | StorageSet:
+        """Drop all volatile state; returns the surviving device(s).
+
+        A heterogeneous engine survives as its whole :class:`StorageSet`
+        (PMem metadata + NVMe data are separate surviving media); the
+        homogeneous case keeps returning the bare device.
+        """
         self.pool.drop_all_volatile()
         simulate_state_loss()
         self._tables.clear()
         self._active.clear()
-        return self.device
+        return self.storage if self.storage.heterogeneous else self.device
 
     @classmethod
-    def recover(cls, device: SimulatedNVMe, config: EngineConfig,
+    def recover(cls, device: SimulatedNVMe | StorageSet,
+                config: EngineConfig,
                 model: CostModel | None = None) -> "BlobDB":
         """Rebuild an engine from a crashed device (Section III-C)."""
         from repro.core.recovery import recover_state
+        data = device.data if isinstance(device, StorageSet) else device
         db = cls(config=config, device=device,
-                 model=model or device.model, _skip_format=True)
-        recovered = recover_state(device, config, db.model, db.tiers,
-                                  retry=db.retry)
+                 model=model or data.model, _skip_format=True)
+        recovered = recover_state(data, config, db.model, db.tiers,
+                                  retry=db.retry,
+                                  meta_device=db.meta_device,
+                                  wal_device=db.wal_device)
         registry = recovered.tables.get(_TABLES_TABLE, {})
         registered = {name.decode() for name in registry}
         for name in recovered.tables:

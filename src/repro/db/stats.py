@@ -28,6 +28,13 @@ class EngineReport:
     device_bytes_read: int = 0
     device_write_requests: int = 0
 
+    # Storage tiers (defaults describe the homogeneous single-NVMe case)
+    storage_heterogeneous: bool = False
+    wal_device_kind: str = "nvme"
+    stripe_width: int = 1
+    pmem_bytes_written: int = 0
+    wal_byte_appends: int = 0
+
     # I/O scheduler (the pool's SQ/CQ front end)
     io_requests_in: int = 0
     io_requests_out: int = 0
@@ -118,6 +125,12 @@ class EngineReport:
                 self.device_bytes_written_by_category.get(cat, 0) + nbytes
         self.device_bytes_read += other.device_bytes_read
         self.device_write_requests += other.device_write_requests
+        self.storage_heterogeneous |= other.storage_heterogeneous
+        if other.wal_device_kind != self.wal_device_kind:
+            self.wal_device_kind = "mixed"
+        self.stripe_width = max(self.stripe_width, other.stripe_width)
+        self.pmem_bytes_written += other.pmem_bytes_written
+        self.wal_byte_appends += other.wal_byte_appends
         self.io_requests_in += other.io_requests_in
         self.io_requests_out += other.io_requests_out
         self.io_drains += other.io_drains
@@ -187,6 +200,14 @@ class EngineReport:
             f"{self.keys_quarantined} keys "
             f"({self.extents_quarantined} extents) quarantined",
         ]
+        # Storage tier line only when placement is non-trivial: a plain
+        # single-NVMe engine must not print pmem/stripe noise.
+        if self.storage_heterogeneous or self.stripe_width > 1:
+            lines.append(
+                f"storage:        wal on {self.wal_device_kind}, "
+                f"data striped x{self.stripe_width}, "
+                f"{self.pmem_bytes_written >> 10}K to pmem, "
+                f"{self.wal_byte_appends} byte appends")
         # Shard balance only makes sense with at least two shards:
         # single-engine (or one-shard) reports must not divide by the
         # shard count or print a meaningless imbalance ratio.
@@ -219,11 +240,17 @@ class EngineReport:
 
 def build_report(db) -> EngineReport:
     """Collect an :class:`EngineReport` from a live engine."""
+    from repro.storage.device import capabilities_of
     pool = db.pool
     device = db.device
     fault_stats = getattr(device, "fault_stats", None)
     integrity = getattr(device, "integrity", None)
     recovery = getattr(db, "recovery_info", None)
+    wal_caps = capabilities_of(db.wal_device)
+    pmem_bytes = sum(
+        sum(dev.stats.bytes_written_by_category.values())
+        for dev in db.storage.devices
+        if capabilities_of(dev).kind == "pmem")
     return EngineReport(
         pool_used_pages=pool.used_pages,
         pool_capacity_pages=pool.capacity_pages,
@@ -233,6 +260,11 @@ def build_report(db) -> EngineReport:
             device.stats.bytes_written_by_category),
         device_bytes_read=device.stats.bytes_read,
         device_write_requests=device.stats.write_requests,
+        storage_heterogeneous=db.storage.heterogeneous,
+        wal_device_kind=wal_caps.kind,
+        stripe_width=capabilities_of(device).stripe_width,
+        pmem_bytes_written=pmem_bytes,
+        wal_byte_appends=db.wal_device.stats.byte_append_requests,
         io_requests_in=pool.io.stats.requests_in,
         io_requests_out=pool.io.stats.requests_out,
         io_drains=pool.io.stats.drains,

@@ -97,6 +97,10 @@ class IoScheduler:
         self.model = model
         self.queue_depth = queue_depth
         self.max_merge_pages = max_merge_pages
+        #: Stripe unit of a striped device (None otherwise): a merged
+        #: command crossing a stripe boundary would be re-split by the
+        #: device, so coalescing keeps runs inside one stripe chunk.
+        self.stripe_pages = getattr(device, "stripe_pages", None)
         self.stats = IoStats()
         self._pending: list[IoTicket] = []
 
@@ -176,7 +180,8 @@ class IoScheduler:
         run_pages = 0
         for ticket in ordered:
             if run and self._adjacent(run[-1], ticket) \
-                    and run_pages + ticket.npages <= self.max_merge_pages:
+                    and run_pages + ticket.npages <= self.max_merge_pages \
+                    and self._same_stripe(run[0], ticket):
                 run.append(ticket)
                 run_pages += ticket.npages
                 continue
@@ -186,6 +191,13 @@ class IoScheduler:
             run_pages = ticket.npages
         groups.append(run)
         return groups
+
+    def _same_stripe(self, head: IoTicket, ticket: IoTicket) -> bool:
+        """Stripe-aware merge bound: both ends inside one stripe chunk."""
+        if self.stripe_pages is None:
+            return True
+        return head.pid // self.stripe_pages \
+            == (ticket.pid + ticket.npages - 1) // self.stripe_pages
 
     @staticmethod
     def _adjacent(prev: IoTicket, ticket: IoTicket) -> bool:

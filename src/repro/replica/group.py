@@ -57,7 +57,7 @@ from repro.net.transport import TCP_ETHERNET, TransportProfile
 from repro.replica.record import ACK_BYTES, ReplicationRecord
 from repro.sim.cost import CostModel
 from repro.storage.faults import FaultPlanFactory, FaultyNVMe, RetryPolicy
-from repro.storage.device import SimulatedNVMe
+from repro.storage.factory import build_storage
 
 
 @dataclass
@@ -90,11 +90,12 @@ class ReplicaMember:
                  retry_base_ns: float = 50_000.0) -> None:
         self.member_id = member_id
         self.model = model
-        device = SimulatedNVMe(model, capacity_pages=config.device_pages,
-                               page_size=config.page_size)
+        storage = build_storage(config, model)
         if device_plan is not None:
-            device = FaultyNVMe(device, device_plan)
-        self.db: BlobDB | None = BlobDB(config=config, device=device,
+            # Wrap every distinct device of the member's placement —
+            # PMem/stripe tiers fault independently, aliases stay shared.
+            storage = storage.map(lambda dev: FaultyNVMe(dev, device_plan))
+        self.db: BlobDB | None = BlobDB(config=config, device=storage,
                                         model=model)
         self.db.create_table(table)
         self.table = table

@@ -126,6 +126,20 @@ class CostParams:
     #: their latency (NVMe queue depth effect for async batches).
     ssd_queue_depth: int = 32
 
+    # -- Byte-addressable persistent memory (Optane DCPMM class) ------------
+    #: Load latency of one PMem access (media + on-DIMM controller).
+    pmem_read_latency_ns: float = 300.0
+    #: Sequential read bandwidth (~40 GB/s across channels) as ns/byte.
+    pmem_read_ns_per_byte: float = 0.025
+    #: Sequential store bandwidth (~10 GB/s sustained) as ns/byte.
+    pmem_write_ns_per_byte: float = 0.1
+    #: One cache-line write-back (``clwb``) reaching the persistence
+    #: domain; PMem persists per 64-byte line, not per block.
+    pmem_cacheline_flush_ns: float = 60.0
+    #: One store fence (``sfence``) ordering the flushed lines — the
+    #: durability point a byte-addressable WAL uses instead of fdatasync.
+    pmem_fence_ns: float = 30.0
+
     # -- Client/server DBMS access path ------------------------------------
     #: Unix-domain-socket round trip incl. scheduler wakeups.
     ipc_roundtrip_ns: float = 24_000.0
@@ -247,6 +261,11 @@ class CostModel:
         #: WAL flushes alike).  The sharded worker model scales this
         #: component by how many workers queue on each device.
         self.io_time_ns = 0.0
+        #: Simulated ns spent in persistent-memory loads/persists.  Kept
+        #: separate from ``io_time_ns``: PMem access is synchronous
+        #: load/store work on the CPU, not queued block I/O, so worker
+        #: models must not scale it by device queueing.
+        self.pmem_time_ns = 0.0
 
     # -- internal charging helpers -----------------------------------------
 
@@ -378,6 +397,35 @@ class CostModel:
         ns = max(waves * latency_ns, latency_ns + nbytes * ns_per_byte)
         self._charge_kernel(ns, cache_misses=nbytes // 256)
         self.io_time_ns += ns
+
+    # -- persistent memory (invoked by the simulated PMem device) --------------
+
+    def pmem_read(self, nbytes: int) -> None:
+        """Charge loading ``nbytes`` from byte-addressable PMem.
+
+        One media latency plus bandwidth — no command queue, no waves:
+        loads are synchronous CPU work, which is why PMem reads price
+        orders of magnitude below an NVMe command for small transfers.
+        """
+        ns = self.params.pmem_read_latency_ns \
+            + nbytes * self.params.pmem_read_ns_per_byte
+        self._charge_user(ns, cache_misses=nbytes // 64)
+        self.pmem_time_ns += ns
+
+    def pmem_persist(self, nbytes: int) -> None:
+        """Charge persisting ``nbytes`` to PMem (store + clwb + fence).
+
+        Byte-granular: exactly the stored bytes are priced (no page
+        round-up, no read-modify-write), one cache-line flush per
+        touched 64-byte line, and a single fence as the durability
+        point — the pricing asymmetry the WAL byte-append path exploits.
+        """
+        lines = (nbytes + 63) // 64
+        ns = nbytes * self.params.pmem_write_ns_per_byte \
+            + lines * self.params.pmem_cacheline_flush_ns \
+            + self.params.pmem_fence_ns
+        self._charge_user(ns, cache_misses=lines)
+        self.pmem_time_ns += ns
 
     # -- client/server access path ----------------------------------------------
 

@@ -1,25 +1,50 @@
-"""Simulated page-addressed NVMe storage.
+"""Simulated storage behind a capability-typed device layer.
 
 All systems in this reproduction — our engine, the file-system baselines
-and the DBMS baselines — persist real bytes to a :class:`SimulatedNVMe`.
-The device accounts every written byte under a category (``data``,
-``wal``, ``journal``, ``meta``, ``dwb``, ``index``), which is how the
-paper's write-amplification and copies-per-BLOB claims are measured
-(Table I "Duplicated copies", Section II "Excessive BLOB writes").
+and the DBMS baselines — persist real bytes through a
+:class:`StorageDevice`: block-addressable NVMe (:class:`SimulatedNVMe`,
+optionally striped K ways via :class:`StripedDevice` or remapped
+out-of-place), or byte-addressable persistent memory
+(:class:`SimulatedPMem`).  Devices account every written byte under a
+category (``data``, ``wal``, ``journal``, ``meta``, ``dwb``,
+``index``), which is how the paper's write-amplification and
+copies-per-BLOB claims are measured (Table I "Duplicated copies",
+Section II "Excessive BLOB writes").
+
+Consumers negotiate through :attr:`StorageDevice.capabilities` (block
+vs byte-addressable, queue model, stripe width) and construct devices
+via :func:`make_device` / :func:`build_storage` instead of naming
+concrete classes — see ``docs/storage.md``.
 """
 
 from repro.storage.device import (
+    CapabilityError,
+    DeviceCapabilities,
     DeviceFull,
     DeviceStats,
     IoRequest,
     SimulatedNVMe,
+    StorageDevice,
     WRITE_CATEGORIES,
+    capabilities_of,
 )
+from repro.storage.factory import StorageSet, build_storage, make_device
+from repro.storage.pmem import SimulatedPMem
+from repro.storage.stripe import StripedDevice
 
 __all__ = [
-    "SimulatedNVMe",
+    "CapabilityError",
+    "DeviceCapabilities",
+    "DeviceFull",
     "DeviceStats",
     "IoRequest",
-    "DeviceFull",
+    "SimulatedNVMe",
+    "SimulatedPMem",
+    "StorageDevice",
+    "StorageSet",
+    "StripedDevice",
     "WRITE_CATEGORIES",
+    "build_storage",
+    "capabilities_of",
+    "make_device",
 ]

@@ -21,6 +21,7 @@ from __future__ import annotations
 
 import zlib
 from dataclasses import dataclass, field
+from typing import Iterable, Protocol, runtime_checkable
 
 from repro.sim.cost import CostModel
 
@@ -30,6 +31,90 @@ WRITE_CATEGORIES = ("data", "wal", "journal", "meta", "dwb", "index")
 
 class DeviceFull(Exception):
     """A write addressed a page beyond the device capacity."""
+
+
+class CapabilityError(Exception):
+    """An operation was issued to a device that lacks the capability.
+
+    The canonical case: a byte-granular append (``write_bytes``) on a
+    block-addressable device, which can only persist whole pages.
+    Callers negotiate through :attr:`StorageDevice.capabilities` instead
+    of catching this in hot paths.
+    """
+
+
+@dataclass(frozen=True)
+class DeviceCapabilities:
+    """What a device can do and how its I/O is priced.
+
+    * ``kind`` — cost channel: which ``CostParams`` entries price this
+      device's transfers (``"nvme"`` → ``ssd_*``, ``"pmem"`` →
+      ``pmem_*``; wrappers report their substrate).
+    * ``byte_addressable`` — supports ``write_bytes``/``read_bytes``
+      with byte granularity and cache-line-flush durability; block
+      devices only move whole pages.
+    * ``queue_depth`` — device-internal command parallelism; ``None``
+      for byte-addressable media, whose loads/stores have no queue.
+    * ``stripe_width`` — number of independent backing devices (> 1 for
+      :class:`~repro.storage.stripe.StripedDevice`); with
+      ``stripe_pages`` it lets the I/O scheduler keep coalesced runs
+      inside one stripe chunk.
+    """
+
+    kind: str
+    byte_addressable: bool = False
+    queue_depth: int | None = None
+    stripe_width: int = 1
+
+
+@runtime_checkable
+class StorageDevice(Protocol):
+    """The capability-typed protocol every simulated device satisfies.
+
+    Engine, WAL, buffer pool, shards, replicas, and the I/O scheduler
+    hold devices through this interface only; concrete devices
+    (:class:`SimulatedNVMe`, :class:`~repro.storage.pmem.SimulatedPMem`,
+    :class:`~repro.storage.stripe.StripedDevice`, fault wrappers) are
+    interchangeable behind it.
+    """
+
+    model: CostModel
+    page_size: int
+    capacity_pages: int
+
+    @property
+    def capabilities(self) -> DeviceCapabilities: ...
+
+    @property
+    def stats(self) -> "DeviceStats": ...
+
+    def write(self, pid: int, data: bytes, category: str = "data",
+              background: bool = False) -> None: ...
+
+    def read(self, pid: int, npages: int, verify: bool = True) -> bytes: ...
+
+    def submit(self, requests: list["IoRequest"], background: bool = False,
+               verify: bool = True,
+               queue_depth: int | None = None) -> list[bytes | None]: ...
+
+    def write_bytes(self, offset: int, data: bytes, category: str = "wal",
+                    background: bool = False) -> None: ...
+
+    def verify_range(self, pid: int, npages: int) -> list[int]: ...
+
+    def check_page(self, pid: int) -> bool: ...
+
+    def peek(self, pid: int, npages: int = 1) -> bytes: ...
+
+    def resident_pages(self) -> int: ...
+
+
+def capabilities_of(device) -> DeviceCapabilities:
+    """The device's capability record (unknown block device if absent)."""
+    caps = getattr(device, "capabilities", None)
+    if caps is None:
+        return DeviceCapabilities(kind="unknown")
+    return caps
 
 
 @dataclass
@@ -56,6 +141,10 @@ class DeviceStats:
     bytes_read: int = 0
     read_requests: int = 0
     write_requests: int = 0
+    #: Byte-granular appends (byte-addressable devices only).  Their
+    #: exact byte counts land in ``bytes_written_by_category`` — never
+    #: rounded up to pages, so write amplification stays honest.
+    byte_append_requests: int = 0
     bytes_written_by_category: dict[str, int] = field(
         default_factory=lambda: {c: 0 for c in WRITE_CATEGORIES})
     write_requests_by_category: dict[str, int] = field(
@@ -76,6 +165,7 @@ class DeviceStats:
             bytes_read=self.bytes_read,
             read_requests=self.read_requests,
             write_requests=self.write_requests,
+            byte_append_requests=self.byte_append_requests,
             bytes_written_by_category=dict(self.bytes_written_by_category),
             write_requests_by_category=dict(self.write_requests_by_category),
         )
@@ -88,6 +178,8 @@ class DeviceStats:
             bytes_read=self.bytes_read - earlier.bytes_read,
             read_requests=self.read_requests - earlier.read_requests,
             write_requests=self.write_requests - earlier.write_requests,
+            byte_append_requests=self.byte_append_requests
+            - earlier.byte_append_requests,
             bytes_written_by_category=_dict_delta(
                 self.bytes_written_by_category,
                 earlier.bytes_written_by_category),
@@ -95,6 +187,27 @@ class DeviceStats:
                 self.write_requests_by_category,
                 earlier.write_requests_by_category),
         )
+
+    @classmethod
+    def merge(cls, parts: Iterable["DeviceStats"]) -> "DeviceStats":
+        """Union accounting over stripe members (or any device set).
+
+        Per-category maps are summed over the union of key sets, so a
+        category that only one member ever saw still aggregates.
+        """
+        total = cls()
+        for part in parts:
+            total.bytes_read += part.bytes_read
+            total.read_requests += part.read_requests
+            total.write_requests += part.write_requests
+            total.byte_append_requests += part.byte_append_requests
+            for cat, nbytes in part.bytes_written_by_category.items():
+                total.bytes_written_by_category[cat] = \
+                    total.bytes_written_by_category.get(cat, 0) + nbytes
+            for cat, count in part.write_requests_by_category.items():
+                total.write_requests_by_category[cat] = \
+                    total.write_requests_by_category.get(cat, 0) + count
+        return total
 
 
 def _dict_delta(now: dict[str, int], earlier: dict[str, int]) \
@@ -110,6 +223,15 @@ class IntegrityStats:
     pages_protected: int = 0
     pages_verified: int = 0
     checksum_failures: int = 0
+
+    @classmethod
+    def merge(cls, parts: Iterable["IntegrityStats"]) -> "IntegrityStats":
+        total = cls()
+        for part in parts:
+            total.pages_protected += part.pages_protected
+            total.pages_verified += part.pages_verified
+            total.checksum_failures += part.checksum_failures
+        return total
 
 
 class SimulatedNVMe:
@@ -128,6 +250,12 @@ class SimulatedNVMe:
         self.integrity = IntegrityStats()
         self._page_crc: dict[int, int] = {}
         self._pages: dict[int, bytes] = {}
+
+    @property
+    def capabilities(self) -> DeviceCapabilities:
+        return DeviceCapabilities(
+            kind="nvme", byte_addressable=False,
+            queue_depth=self.model.params.ssd_queue_depth)
 
     @property
     def capacity_bytes(self) -> int:
@@ -165,7 +293,7 @@ class SimulatedNVMe:
         if obs is not None:
             obs.begin("device.read")
         try:
-            self.model.ssd_read(nbytes, requests=1)
+            self._charge_batch(nbytes, 1, 0, 0, None)
             if verify:
                 self._verify_pages(pid, npages)
         finally:
@@ -247,20 +375,50 @@ class SimulatedNVMe:
             obs.begin("device.submit")
         try:
             if not background:
-                if n_reads:
-                    self.model.ssd_read(read_bytes, requests=n_reads,
-                                        queue_depth=queue_depth)
-                if n_writes:
-                    self.model.ssd_write(write_bytes, requests=n_writes,
-                                         queue_depth=queue_depth)
-                    if self.protect:
-                        self.model.crc32_bytes(write_bytes)
+                self._charge_batch(read_bytes, n_reads, write_bytes,
+                                   n_writes, queue_depth)
         finally:
             if obs is not None:
                 obs.end(reads=n_reads, writes=n_writes,
                         read_bytes=read_bytes, write_bytes=write_bytes,
                         background=background)
         return results
+
+    # -- cost channel ---------------------------------------------------------
+
+    def _charge_batch(self, read_bytes: int, n_reads: int, write_bytes: int,
+                      n_writes: int, queue_depth: int | None) -> None:
+        """Price one foreground batch through this device's cost channel.
+
+        The block channel: NVMe command latencies overlap in waves up to
+        the queue depth, bandwidth is paid per byte, and protected
+        writes pay CRC computation.  Byte-addressable devices override
+        this with their own ``CostParams`` entries.
+        """
+        if n_reads:
+            self.model.ssd_read(read_bytes, requests=n_reads,
+                                queue_depth=queue_depth)
+        if n_writes:
+            self.model.ssd_write(write_bytes, requests=n_writes,
+                                 queue_depth=queue_depth)
+            if self.protect:
+                self.model.crc32_bytes(write_bytes)
+
+    # -- byte-granular interface (capability-gated) ---------------------------
+
+    def write_bytes(self, offset: int, data: bytes, category: str = "wal",
+                    background: bool = False) -> None:
+        """Byte-granular persist — unsupported on block devices."""
+        raise CapabilityError(
+            f"{type(self).__name__} is block-addressable: byte-granular "
+            f"appends need a byte-addressable device (capabilities."
+            f"byte_addressable)")
+
+    def read_bytes(self, offset: int, nbytes: int) -> bytes:
+        """Byte-granular load — unsupported on block devices."""
+        raise CapabilityError(
+            f"{type(self).__name__} is block-addressable: byte-granular "
+            f"reads need a byte-addressable device")
 
     # -- page store ------------------------------------------------------------
 

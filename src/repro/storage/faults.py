@@ -369,6 +369,60 @@ class FaultyNVMe:
             self.inner._poke(pid, bytes(page))
         return results
 
+    def write_bytes(self, offset: int, data: bytes, category: str = "wal",
+                    background: bool = False) -> None:
+        """Faulted byte-granular append (byte-addressable inner only).
+
+        Torn appends land only a prefix of the new bytes (the suffix
+        keeps its pre-append content, CRCs diverging exactly like a torn
+        block write); bit flips corrupt one bit inside the appended
+        range.  A block-only inner raises its own ``CapabilityError``
+        before any fault draw is consumed.
+        """
+        caps = getattr(self.inner, "capabilities", None)
+        if caps is None or not caps.byte_addressable:
+            self.inner.write_bytes(offset, data, category=category,
+                                   background=background)
+            return
+        self._pre_op()
+        if not data:
+            self.inner.write_bytes(offset, data, category=category,
+                                   background=background)
+            return
+        torn_at = self.plan.draw_torn_byte(len(data))
+        flip = self.plan.draw_bit_flip(1, len(data))
+        pre_suffix = None
+        if torn_at is not None:
+            pre_suffix = self.inner.peek_bytes(offset + torn_at,
+                                               len(data) - torn_at)
+        self.inner.write_bytes(offset, data, category=category,
+                               background=background)
+        if pre_suffix is not None:
+            self._poke_bytes(offset + torn_at, pre_suffix)
+        if flip is not None:
+            _page, bit = flip
+            byte = bytearray(self.inner.peek_bytes(offset + bit // 8, 1))
+            byte[0] ^= 1 << (bit % 8)
+            self._poke_bytes(offset + bit // 8, bytes(byte))
+
+    def _poke_bytes(self, offset: int, data: bytes) -> None:
+        """Raw byte splice *without* refreshing protection CRCs.
+
+        The byte-granular analogue of ``_poke``: composes page images
+        through ``peek`` so the stored bytes diverge from the CRCs the
+        clean append recorded — which is what makes the damage
+        detectable.
+        """
+        ps = self.inner.page_size
+        pos = 0
+        while pos < len(data):
+            pid, byte_off = divmod(offset + pos, ps)
+            take = min(ps - byte_off, len(data) - pos)
+            page = bytearray(self.inner.peek(pid, 1))
+            page[byte_off:byte_off + take] = data[pos:pos + take]
+            self.inner._poke(pid, bytes(page))
+            pos += take
+
 
 # -- deterministic bounded retry ---------------------------------------------
 

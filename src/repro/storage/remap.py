@@ -27,7 +27,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.sim.cost import CostModel
-from repro.storage.device import DeviceFull, IoRequest, SimulatedNVMe
+from repro.storage.device import (
+    DeviceCapabilities,
+    DeviceFull,
+    IoRequest,
+    SimulatedNVMe,
+)
 
 
 @dataclass
@@ -68,6 +73,12 @@ class RemappedDevice:
         self.remap_stats = RemapStats()
 
     # -- interface parity with SimulatedNVMe --------------------------------
+
+    @property
+    def capabilities(self) -> DeviceCapabilities:
+        return DeviceCapabilities(
+            kind="remap", byte_addressable=False,
+            queue_depth=self.model.params.ssd_queue_depth)
 
     @property
     def stats(self):

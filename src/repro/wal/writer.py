@@ -89,6 +89,11 @@ class WalWriter:
         self.buffer_bytes = buffer_bytes
         self.checkpoint_cb = checkpoint_cb
         self.category = category
+        caps = getattr(device, "capabilities", None)
+        #: Byte-addressable log devices (PMem) take the byte-append fast
+        #: path: no page round-up, no durable-prefix rewrite, persistence
+        #: via cache-line flush + fence instead of fdatasync.
+        self._byte_log = bool(caps is not None and caps.byte_addressable)
         #: Optional RetryPolicy; when set, region writes survive
         #: transient device faults (set by the engine, not per-call).
         self.retry = None
@@ -170,7 +175,10 @@ class WalWriter:
     def sync_flush(self) -> None:
         """Drain the buffer synchronously (fsync-like durability point)."""
         self._flush_prefix(len(self._buffer), background=False)
-        self.model.syscall("fdatasync")
+        if not self._byte_log:
+            # PMem appends persist inside write_bytes (cache-line flush
+            # + fence); block devices need the fdatasync round-trip.
+            self.model.syscall("fdatasync")
 
     def _flush_prefix(self, nbytes: int, background: bool) -> None:
         if nbytes <= 0 or not self._buffer or self._in_flush:
@@ -183,17 +191,29 @@ class WalWriter:
         try:
             ps = self.device.page_size
             self._ensure_space(nbytes)
-            # The write starts at the page holding the current offset and
-            # must re-include that page's already-durable prefix.
-            chunk = self._page_head + bytes(self._buffer[:nbytes])
-            npages = (len(chunk) + ps - 1) // ps
-            padded = chunk.ljust(npages * ps, b"\x00")
-            first_pid = self.region_pid \
-                + (self._write_off - len(self._page_head)) // ps
+            if self._byte_log:
+                # Byte-append fast path: exactly the new bytes land — no
+                # page round-up, no re-write of the durable page prefix.
+                chunk = bytes(self._buffer[:nbytes])
+                byte_off = self.region_pid * ps + self._write_off
 
-            def _write() -> None:
-                self.device.write(first_pid, padded, category=self.category,
-                                  background=background)
+                def _write() -> None:
+                    self.device.write_bytes(byte_off, chunk,
+                                            category=self.category,
+                                            background=background)
+            else:
+                # The write starts at the page holding the current offset
+                # and must re-include that page's already-durable prefix.
+                chunk = self._page_head + bytes(self._buffer[:nbytes])
+                npages = (len(chunk) + ps - 1) // ps
+                padded = chunk.ljust(npages * ps, b"\x00")
+                first_pid = self.region_pid \
+                    + (self._write_off - len(self._page_head)) // ps
+
+                def _write() -> None:
+                    self.device.write(first_pid, padded,
+                                      category=self.category,
+                                      background=background)
             flush_start = self.model.clock.now_ns
             if self.retry is not None:
                 self.retry.run(_write)
@@ -207,8 +227,9 @@ class WalWriter:
                     self.model.clock.now_ns - flush_start
             del self._buffer[:nbytes]
             self._write_off += nbytes
-            in_page = self._write_off % ps
-            self._page_head = chunk[-in_page:] if in_page else b""
+            if not self._byte_log:
+                in_page = self._write_off % ps
+                self._page_head = chunk[-in_page:] if in_page else b""
             san = self.model.san
             if san is not None:
                 # Everything up to (appended - still buffered) is durable.
@@ -223,8 +244,10 @@ class WalWriter:
                 obs.count("wal.flushes", background=background)
 
     def _ensure_space(self, nbytes: int) -> None:
-        # Leave one page of slack for the final page's zero padding.
-        if self._write_off + nbytes > self.region_bytes - self.device.page_size:
+        # Block rings leave one page of slack for the final page's zero
+        # padding; byte logs append exactly and use the whole region.
+        slack = 0 if self._byte_log else self.device.page_size
+        if self._write_off + nbytes > self.region_bytes - slack:
             self.checkpoint()
 
     # -- checkpointing --------------------------------------------------------

@@ -225,6 +225,31 @@ class TestSubstrateBypassRule:
         assert rules_of(lint_source("src/repro/replica/group.py",
                                     source)) == {"RPR006"}
 
+    def test_flags_pmem_persist_bypass(self):
+        # _splice_bytes/peek_bytes move bytes without the cache-line
+        # flush + fence pricing of write_bytes — the PMem equivalent of
+        # _poke/peek — and stripe members are device receivers too.
+        findings = run("""
+            pmem._splice_bytes(off, payload)
+            raw = self.pmem_device.peek_bytes(off, n)
+            stripe.members[0]._poke(pid, b"x")
+        """, path="src/repro/wal/writer.py")
+        assert [f.rule for f in findings] == ["RPR006"] * 3
+
+    def test_pmem_bypass_exempt_inside_storage_layer(self):
+        source = ("pmem._splice_bytes(off, payload)\n"
+                  "raw = self.inner.peek_bytes(off, n)\n")
+        assert lint_source("src/repro/storage/faults.py", source) == []
+
+    def test_clean_byte_append_fast_path(self):
+        # The priced public byte API is fine anywhere: write_bytes /
+        # read_bytes on a device receiver charge the cost model.
+        findings = run("""
+            self.device.write_bytes(off, chunk, category="wal")
+            raw = self.device.read_bytes(off, n)
+        """, path="src/repro/wal/writer.py")
+        assert findings == []
+
 
 class TestSuppressions:
     def test_parse(self):

@@ -21,6 +21,10 @@ class TestSuite:
              "shards_s1", "shards_s2", "shards_s4", "shards_s8",
              "shards_s8_zipf99",
              "replication_q1", "replication_q2", "replication_q3",
+             "pmem_wal_nvme_w0us", "pmem_wal_pmem_w0us",
+             "pmem_wal_nvme_w20us", "pmem_wal_pmem_w20us",
+             "pmem_wal_nvme_w80us", "pmem_wal_pmem_w80us",
+             "stripe_k1", "stripe_k2", "stripe_k4",
              "traffic_closed", "traffic_x025", "traffic_x10",
              "traffic_x20", "traffic_x40",
              "traffic_admit_shed", "traffic_admit_queue"}
@@ -46,6 +50,14 @@ class TestSuite:
                 assert wl["quorum"] >= 1, name
                 assert wl["replication"]["acked_writes"] > 0, name
                 assert wl["replication"]["records_shipped"] > 0, name
+                continue
+            if name.startswith("pmem_wal_"):
+                assert wl["wal_on"] in ("nvme", "pmem"), name
+                assert wl["wal"]["records"] > 0, name
+                continue
+            if name.startswith("stripe_"):
+                assert wl["n_devices"] >= 1, name
+                assert wl["io"]["requests_in"] > 0, name
                 continue
             if name.startswith("traffic_"):
                 assert wl["offered"] == wl["admitted"] + wl["shed"], name
