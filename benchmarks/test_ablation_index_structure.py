@@ -1,16 +1,19 @@
-"""Ablation: B-Tree vs ART as the relation index (Section III-F).
+"""Ablation: B-Tree vs ART vs learned index as the relation index.
 
 "The indexing structure is untouched, and DBMSs can use any data
-structure like B-Tree or ART."  Both back the Blob State relation here;
-the interesting contrast is lookup cost under different key shapes:
-ART's radix paths collapse dense/shared-prefix keys, while the B-Tree's
-node binary searches are shape-agnostic.
+structure like B-Tree or ART" (Section III-F).  All three back the Blob
+State relation here; the interesting contrast is lookup cost under
+different key shapes: ART's radix paths collapse dense/shared-prefix
+keys, the B-Tree's node binary searches are shape-agnostic, and the
+learned tier's segment models thrive on smoothly distributed keys but
+degrade when many keys collide in their 16-byte model prefix.
 """
 
 from conftest import print_table
 
 from repro.art import ArtTree
 from repro.btree import BTree
+from repro.lindex import LearnedIndex
 from repro.sim.clock import Stopwatch
 from repro.sim.cost import CostModel
 
@@ -33,6 +36,8 @@ def measure(structure: str, keys) -> dict:
     model = CostModel()
     if structure == "art":
         tree = ArtTree(model=model)
+    elif structure == "learned":
+        tree = LearnedIndex(model=model)
     else:
         tree = BTree(node_bytes=4096, model=model,
                      key_size=lambda k: len(k))
@@ -49,7 +54,7 @@ def measure(structure: str, keys) -> dict:
 def run_all():
     return {(shape, structure): measure(structure, keys)
             for shape, keys in key_sets().items()
-            for structure in ("btree", "art")}
+            for structure in ("btree", "art", "learned")}
 
 
 def test_ablation_index_structure(bench_once):
@@ -71,3 +76,12 @@ def test_ablation_index_structure(bench_once):
     ratio = results[("paths", "art")]["lookup_ns"] / \
         results[("paths", "btree")]["lookup_ns"]
     assert 0.2 < ratio < 5.0
+    # The learned tier beats the B-Tree on smoothly distributed keys
+    # (dense integers are one perfect linear segment)...
+    assert results[("dense-int", "learned")]["lookup_ns"] < \
+        results[("dense-int", "btree")]["lookup_ns"]
+    # ...and stays within a sane factor even on path keys, where the
+    # shared prefix crowds many keys into one model x-coordinate.
+    ratio = results[("paths", "learned")]["lookup_ns"] / \
+        results[("paths", "btree")]["lookup_ns"]
+    assert 0.05 < ratio < 5.0

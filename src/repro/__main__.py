@@ -451,6 +451,48 @@ def _cmd_bench_pmem(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_bench_index(args: argparse.Namespace) -> int:
+    """Adaptive-indexing sweep: the relation-index crossover (learned
+    tier vs ART vs B-Tree on uniform read-mostly and Zipf write-heavy
+    mixes) plus the interval-numbered recursive-scan comparison.
+    Self-checks determinism (two runs byte-identical), the crossover in
+    both directions, and >=3x interval-scan speedup with identical
+    listings."""
+    from repro.bench import baseline
+
+    first = baseline.run_index_sweep()
+    second = baseline.run_index_sweep()
+    print("index crossover sweep (bare relation index, pinned seed)")
+    print(f"  {'engine':>7} {'theta':>5} {'writes':>6} {'ops':>5} "
+          f"{'op/s':>10} {'mean us':>8} {'p99 us':>8} {'retrains':>8}")
+    for wl in first["engines"]:
+        learned = wl.get("learned", {})
+        print(f"  {wl['engine']:>7} {wl['zipf_theta']:>5.2f} "
+              f"{wl['write_ratio']:>6.0%} {wl['ops']:>5} "
+              f"{wl['throughput_ops_s']:>10.1f} "
+              f"{wl['latency_us']['mean']:>8.3f} "
+              f"{wl['latency_us']['p99']:>8.3f} "
+              f"{learned.get('retrains', 0):>8}")
+    print("recursive-scan comparison (per-level walk vs interval scan)")
+    print(f"  {'workload':>9} {'entries':>7} {'plain us':>9} "
+          f"{'accel us':>9} {'speedup':>8} {'match':>5}")
+    for wl in first["ns_scan"]:
+        print(f"  {wl['workload']:>9} {wl['entries']:>7} "
+              f"{wl['plain_us']:>9.1f} {wl['accelerated_us']:>9.1f} "
+              f"{wl['speedup']:>8.2f} {str(wl['listings_match']):>5}")
+    failures = baseline.index_self_check(first, second)
+    if args.out:
+        baseline.write_baseline(args.out, first)
+        print(f"wrote {args.out}")
+    if failures:
+        for line in failures:
+            print("FAILED: " + line, file=sys.stderr)
+        return 1
+    print("index sweep OK: deterministic, learned/ART crossover in both "
+          "directions, interval scans >=3x with identical listings")
+    return 0
+
+
 def _cmd_bench(args: argparse.Namespace) -> int:
     from repro.bench import baseline
 
@@ -464,6 +506,8 @@ def _cmd_bench(args: argparse.Namespace) -> int:
         return _cmd_bench_traffic(args)
     if args.mode == "pmem":
         return _cmd_bench_pmem(args)
+    if args.mode == "index":
+        return _cmd_bench_index(args)
     doc = baseline.run_suite(args.label)
     # Provenance stamp attached *outside* the deterministic suite; the
     # regression gate ignores unknown top-level keys.
@@ -629,7 +673,8 @@ def main(argv: list[str] | None = None) -> int:
         "bench", help="deterministic benchmark baseline + regression gate")
     bench.add_argument("mode", nargs="?",
                        choices=("suite", "iodepth", "shards",
-                                "replication", "traffic", "pmem"),
+                                "replication", "traffic", "pmem",
+                                "index"),
                        default="suite",
                        help="'suite' (default), 'iodepth' for the "
                             "queue-depth sweep, 'shards' for the "
@@ -637,8 +682,10 @@ def main(argv: list[str] | None = None) -> int:
                             "'replication' for the quorum sweep plus "
                             "the availability storm, 'traffic' for "
                             "the open-loop saturation/admission sweep, "
-                            "or 'pmem' for the heterogeneous-storage "
-                            "WAL-placement and stripe-width sweep "
+                            "'pmem' for the heterogeneous-storage "
+                            "WAL-placement and stripe-width sweep, "
+                            "or 'index' for the adaptive-indexing "
+                            "crossover and interval-scan sweep "
                             "— every sweep runs built-in self-checks")
     bench.add_argument("--traces", metavar="DIR",
                        help="with mode 'shards': also write per-shard "

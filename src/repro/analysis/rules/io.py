@@ -51,10 +51,14 @@ _RAW_DEVICE_CALLS = frozenset({
 #: member owns its own (possibly fault-wrapped) device — reaching into
 #: ``member.device._pages`` would bypass both the member's cost model
 #: and its fault plan; ``pmem``/``stripe``/``striped`` cover the
-#: heterogeneous tiers (PMem WAL/metadata, striped data members).
+#: heterogeneous tiers (PMem WAL/metadata, striped data members);
+#: ``lindex`` / ``namespace`` cover the adaptive-indexing layer, whose
+#: learned segments and interval numbering sit on the same priced
+#: substrate — reaching around them to raw pages skips the probe and
+#: retrain charges just like bypassing a device does.
 _DEVICE_RECEIVER = re.compile(
     r"\b(device|inner|physical|nvme|member|replica|primary"
-    r"|pmem|stripe|striped)\w*\b")
+    r"|pmem|stripe|striped|lindex|namespace)\w*\b")
 
 
 class HostFileIoRule(Rule):

@@ -1050,6 +1050,272 @@ def traffic_self_check(first: dict, second: dict) -> list[str]:
     return failures
 
 
+#: Relation-index engines of the adaptive-indexing sweep.
+INDEX_ENGINE_SWEEP = ("btree", "art", "learned")
+
+#: (zipf_theta, write_ratio) of the two crossover points: a
+#: read-mostly uniform mix where the learned tier's O(log segments)
+#: probe beats ART's per-byte node walk, and a write-heavy Zipf-skewed
+#: mix that hammers one hot segment with retrains until ART wins.
+INDEX_CROSSOVER_POINTS = ((0.0, 0.1), (0.99, 0.8))
+
+#: Required margin of the crossover gate: the winner of each point must
+#: beat the loser by at least this factor (measured headroom ~1.2x on
+#: the uniform point and ~1.35x on the skewed one).
+INDEX_CROSSOVER_MARGIN = 1.1
+
+#: Namespaces of the recursive-scan comparison.
+NS_SCAN_WORKLOADS = ("gitclone", "wikipedia")
+
+#: Required speedup of the interval-numbered accelerator over the
+#: per-level readdir+getattr walk on both namespaces.
+NS_SCAN_MIN_SPEEDUP = 3.0
+
+
+def _make_index_engine(engine: str):
+    """A bare relation index of the given kind on a fresh cost model."""
+    from repro.art import ArtTree
+    from repro.btree import BTree
+    from repro.db.config import EngineConfig
+    from repro.lindex import LearnedIndex
+    from repro.sim.cost import CostModel
+
+    model = CostModel()
+    defaults = EngineConfig()
+    if engine == "art":
+        return model, ArtTree(model=model)
+    if engine == "learned":
+        return model, LearnedIndex(model=model,
+                                   epsilon=defaults.lindex_epsilon,
+                                   delta_max=defaults.lindex_delta_max)
+    return model, BTree(node_bytes=defaults.page_size, model=model,
+                        key_size=lambda k: len(k))
+
+
+def _run_index_point(engine: str, zipf_theta: float, write_ratio: float,
+                     *, n_slots: int = 2048, n_ops: int = 2400,
+                     seed: int = 11) -> dict:
+    """One point of the relation-index crossover sweep.
+
+    The index alone is measured — no WAL, no buffer pool — so the point
+    isolates exactly what the engines disagree on: probe and maintain
+    cost.  Each of ``n_slots`` objects starts with one version key
+    (``obj/<slot*1000>``); an op either looks up a slot's latest version
+    or inserts the next one.  Uniform sampling spreads inserts thinly
+    (the learned tier's deltas absorb them); Zipf sampling piles them
+    onto a few hot segments and forces retrain churn.
+    """
+    import random
+
+    from repro.workloads.ycsb import zipf_sampler
+
+    model, tree = _make_index_engine(engine)
+    counts = [0] * n_slots
+    for slot in range(n_slots):
+        tree.insert(b"obj/%012d" % (slot * 1000), b"v0")
+    rng = random.Random(seed)
+    if zipf_theta > 0:
+        sample = zipf_sampler(n_slots, zipf_theta, rng)
+    else:
+        def sample() -> int:
+            return rng.randrange(n_slots)
+    clock = model.clock
+    latency = Histogram("op_ns")
+    start_ns = clock.now_ns
+    reads = writes = 0
+    for _ in range(n_ops):
+        slot = sample()
+        if rng.random() < write_ratio:
+            counts[slot] += 1
+            with Stopwatch(clock) as sw:
+                tree.insert(b"obj/%012d" % (slot * 1000 + counts[slot]),
+                            b"v")
+            writes += 1
+        else:
+            with Stopwatch(clock) as sw:
+                got = tree.lookup(b"obj/%012d" % (slot * 1000
+                                                  + counts[slot]))
+            assert got is not None
+            reads += 1
+        latency.observe(sw.elapsed_ns)
+    elapsed_ns = clock.now_ns - start_ns
+    lat = latency.summary()
+    point = {
+        "engine": engine,
+        "zipf_theta": zipf_theta,
+        "write_ratio": write_ratio,
+        "ops": n_ops,
+        "reads": reads,
+        "writes": writes,
+        "entries": len(tree),
+        "elapsed_virtual_ms": round(elapsed_ns / 1e6, 3),
+        "throughput_ops_s": round(n_ops * 1e9 / elapsed_ns, 1)
+        if elapsed_ns else 0.0,
+        "latency_us": {
+            "mean": round(lat["mean"] / 1000, 3),
+            "p50": round(lat["p50"] / 1000, 3),
+            "p95": round(lat["p95"] / 1000, 3),
+            "p99": round(lat["p99"] / 1000, 3),
+            "max": round(lat["max"] / 1000, 3),
+        },
+        # No device underneath a bare index: the gate key is pinned 0.
+        "write_amplification": 0.0,
+    }
+    if engine == "learned":
+        tree_stats = tree.stats()
+        point["learned"] = {
+            "segments": tree_stats.segment_count,
+            "retrains": tree_stats.retrain_count,
+            "delta_hits": tree_stats.delta_hit_count,
+            "probes": tree_stats.probe_count,
+            "max_segment_error": tree_stats.max_segment_error,
+        }
+    return point
+
+
+def _run_ns_scan(workload: str, *, seed: int = 17) -> dict:
+    """One point of the recursive-scan comparison.
+
+    A directory-shaped namespace (git checkout or a sharded wiki dump)
+    is committed as inline rows, then ``readdir -R`` plus subtree
+    ``statfs`` run twice: once as the classic per-level decomposition —
+    one ``readdir`` per directory, one ``getattr`` per entry — and once
+    through the interval-numbered accelerator, where each is one range
+    scan.  Listings must match exactly; only the virtual time differs.
+    """
+    import random
+
+    from repro.db.config import EngineConfig
+    from repro.db.database import BlobDB
+    from repro.fuse.vfs import BlobFuse
+
+    db = BlobDB(EngineConfig())
+    rng = random.Random(seed)
+    keys: list[bytes] = []
+    if workload == "gitclone":
+        # The gitclone trace's tree shape (dirNNNN/fileNNNNNN.c) at
+        # bench scale: 24 directories x 15 files.
+        table, n_dirs, n_files = "repo", 24, 360
+        for i in range(n_files):
+            keys.append(b"src/dir%04d/file%06d.c" % (i % n_dirs, i))
+    else:
+        # Wikipedia titles sharded over two-digit buckets.
+        table = "wiki"
+        for i in range(240):
+            keys.append(b"wiki/%02d/article%08d" % (i % 16, i))
+    db.create_table(table)
+    for lo in range(0, len(keys), 64):
+        with db.transaction() as txn:
+            for key in keys[lo:lo + 64]:
+                db.put(txn, table, key,
+                       rng.randbytes(rng.randrange(40, 200)))
+    fs = BlobFuse(db)
+    clock = db.model.clock
+    with Stopwatch(clock) as plain_sw:
+        plain = fs.readdir_recursive("/" + table)
+        plain_totals = fs.subtree_statfs("/" + table)
+    fs.attach_namespace()
+    with Stopwatch(clock) as accel_sw:
+        accel = fs.readdir_recursive("/" + table)
+        accel_totals = fs.subtree_statfs("/" + table)
+    speedup = plain_sw.elapsed_ns / accel_sw.elapsed_ns \
+        if accel_sw.elapsed_ns else 0.0
+    entries = len(accel)
+    elapsed_ns = accel_sw.elapsed_ns
+    return {
+        "workload": workload,
+        "entries": entries,
+        "listings_match": plain == accel and plain_totals == accel_totals,
+        "plain_us": round(plain_sw.elapsed_ns / 1000, 3),
+        "accelerated_us": round(accel_sw.elapsed_ns / 1000, 3),
+        "speedup": round(speedup, 2),
+        "range_scans": db.ns.range_scans,
+        "interval_nodes": db.ns.nodes,
+        "subtree": plain_totals,
+        # Gated shape: entries listed per second through the
+        # accelerator, tail = the two scans' slower one.
+        "ops": entries,
+        "throughput_ops_s": round(entries * 1e9 / elapsed_ns, 1)
+        if elapsed_ns else 0.0,
+        "latency_us": {
+            "mean": round(elapsed_ns / 2000, 3),
+            "p50": round(elapsed_ns / 2000, 3),
+            "p95": round(elapsed_ns / 2000, 3),
+            "p99": round(elapsed_ns / 2000, 3),
+            "max": round(elapsed_ns / 1000, 3),
+        },
+        "write_amplification": 0.0,
+    }
+
+
+def run_index_sweep() -> dict:
+    """Engine crossover plus recursive-scan points as one document."""
+    engines = []
+    for zipf_theta, write_ratio in INDEX_CROSSOVER_POINTS:
+        for engine in INDEX_ENGINE_SWEEP:
+            engines.append(_run_index_point(engine, zipf_theta,
+                                            write_ratio))
+    return {
+        "suite_version": SUITE_VERSION,
+        "engines": engines,
+        "ns_scan": [_run_ns_scan(w) for w in NS_SCAN_WORKLOADS],
+    }
+
+
+def index_self_check(first: dict, second: dict) -> list[str]:
+    """The adaptive-indexing sweep's acceptance checks.
+
+    Enforced by ``repro bench index`` (and the CI perf-gate job): the
+    sweep must be deterministic, the learned tier must beat ART by
+    >=:data:`INDEX_CROSSOVER_MARGIN` on the read-mostly uniform point
+    *and* lose to it by the same margin on the write-heavy Zipf point
+    (no crossover means either the probe pricing or the retrain pricing
+    is broken), and the interval accelerator must list both namespaces
+    >=:data:`NS_SCAN_MIN_SPEEDUP` x faster than the per-level walk
+    while producing identical listings.
+    """
+    failures: list[str] = []
+    if render(first) != render(second):
+        failures.append("index sweep not deterministic: two runs differ")
+    by_point: dict[tuple[float, float], dict[str, dict]] = {}
+    for point in first["engines"]:
+        by_point.setdefault(
+            (point["zipf_theta"], point["write_ratio"]), {})[
+            point["engine"]] = point
+    for (theta, write_ratio), engines in sorted(by_point.items()):
+        learned = engines["learned"]["throughput_ops_s"]
+        art = engines["art"]["throughput_ops_s"]
+        tag = f"theta={theta} writes={write_ratio:.0%}"
+        if theta == 0.0:
+            if learned < INDEX_CROSSOVER_MARGIN * art:
+                failures.append(
+                    f"learned tier does not win the uniform point "
+                    f"({tag}): {learned} vs ART {art} op/s")
+        else:
+            if art < INDEX_CROSSOVER_MARGIN * learned:
+                failures.append(
+                    f"ART does not win the skewed point ({tag}): "
+                    f"{art} vs learned {learned} op/s")
+        if engines["learned"].get("learned", {}).get("retrains", 0) <= 0 \
+                and theta > 0.0:
+            failures.append(
+                f"no retrain churn on the skewed point ({tag})")
+    for point in first["ns_scan"]:
+        name = f"ns_scan[{point['workload']}]"
+        if not point["listings_match"]:
+            failures.append(f"{name}: accelerated listing differs from "
+                            f"the per-level walk")
+        if point["speedup"] < NS_SCAN_MIN_SPEEDUP:
+            failures.append(
+                f"{name}: interval scan speedup {point['speedup']}x "
+                f"< {NS_SCAN_MIN_SPEEDUP}x")
+        if point["range_scans"] < 2:
+            failures.append(
+                f"{name}: expected >=2 interval range scans, saw "
+                f"{point['range_scans']}")
+    return failures
+
+
 def run_suite(label: str = "local") -> dict:
     """Run the pinned-seed suite; returns the JSON-ready document."""
     workloads = {
@@ -1087,6 +1353,17 @@ def run_suite(label: str = "local") -> dict:
         workloads[f"pmem_wal_{point['wal_on']}_w{window}us"] = point
     for point in pmem["stripe"]:
         workloads[f"stripe_k{point['n_devices']}"] = point
+    # And the adaptive-indexing sweep: the learned/ART crossover and
+    # the interval-scan speedup are the perf properties PR-class
+    # "indexing" changes would regress.
+    index = run_index_sweep()
+    for point in index["engines"]:
+        name = f"index_{point['engine']}_" + (
+            "uniform" if point["zipf_theta"] == 0.0
+            else f"zipf{int(point['zipf_theta'] * 100)}")
+        workloads[name] = point
+    for point in index["ns_scan"]:
+        workloads[f"ns_scan_{point['workload']}"] = point
     # And the traffic sweep: the saturation knee, the open-loop tail,
     # and the admission-protected overload point are perf properties —
     # a change that moves the knee or unbounds p999 fails the gate.

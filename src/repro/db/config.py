@@ -11,6 +11,9 @@ POOL_KINDS = ("vmcache", "hashtable")
 LOG_POLICIES = ("async-blob", "physlog")
 CONCURRENCY_MODES = ("2pl", "occ")
 WAL_PLACEMENTS = ("auto", "pmem", "nvme")
+#: Relation-index engines: the accepted set, the validation error text,
+#: and the ablation/bench sweeps all derive from this one registry.
+INDEX_ENGINES = ("btree", "art", "learned")
 
 
 @dataclass
@@ -41,10 +44,18 @@ class EngineConfig:
     #: strict 2PL with no-wait conflicts, or OCC (reads never block;
     #: commit-time validation of the read set, Silo-style write markers).
     concurrency: str = "2pl"
-    #: Structure backing the relations: "btree" (prefix-compressed
-    #: B-Tree) or "art" (adaptive radix tree) — Section III-F: "DBMSs
-    #: can use any data structure like B-Tree or ART".
+    #: Structure backing the relations — Section III-F: "DBMSs can use
+    #: any data structure like B-Tree or ART".  One of
+    #: :data:`INDEX_ENGINES`: "btree" (prefix-compressed B-Tree), "art"
+    #: (adaptive radix tree), or "learned" (disk-resident updatable
+    #: learned index, :mod:`repro.lindex`).
     index_structure: str = "btree"
+    #: Learned-index error bound: a probe's last-mile search is confined
+    #: to ``+-lindex_epsilon`` positions around the model's prediction.
+    lindex_epsilon: int = 64
+    #: Buffered updates a learned-index segment tolerates before it is
+    #: deterministically retrained (merged, refitted, rewritten).
+    lindex_delta_max: int = 32
     use_tail_extents: bool = False
     tiers_per_level: int = 10
     max_levels: int = 13
@@ -110,8 +121,13 @@ class EngineConfig:
         if self.concurrency not in CONCURRENCY_MODES:
             raise ValueError(
                 f"concurrency must be one of {CONCURRENCY_MODES}")
-        if self.index_structure not in ("btree", "art"):
-            raise ValueError("index_structure must be 'btree' or 'art'")
+        if self.index_structure not in INDEX_ENGINES:
+            raise ValueError(
+                f"index_structure must be one of {INDEX_ENGINES}")
+        if self.lindex_epsilon < 1:
+            raise ValueError("lindex_epsilon must be at least 1")
+        if self.lindex_delta_max < 1:
+            raise ValueError("lindex_delta_max must be at least 1")
         if not 0.0 < self.checkpoint_threshold <= 1.0:
             raise ValueError("checkpoint_threshold must be in (0, 1]")
         if self.wal_placement not in WAL_PLACEMENTS:

@@ -137,14 +137,25 @@ class BlobDB:
         #: OCC record versions (volatile: no transactions span a crash).
         self._versions: dict[tuple[str, bytes], int] = {}
         self.occ_aborts = 0
+        #: Nullable namespace accelerator hook (interval numbering over
+        #: the key hierarchy, :mod:`repro.namespace`).  When attached,
+        #: committed key mutations are replayed into it; aborted
+        #: transactions leave it untouched.
+        self.ns = None
         if not _skip_format:
             self._format()
 
     def _new_btree(self):
-        """Create a relation index (B-Tree or ART, per configuration)."""
-        if self.config.index_structure == "art":
+        """Create a relation index (B-Tree, ART, or learned, per config)."""
+        kind = self.config.index_structure
+        if kind == "art":
             from repro.art import ArtTree
             return ArtTree(model=self.model)
+        if kind == "learned":
+            from repro.lindex import LearnedIndex
+            return LearnedIndex(model=self.model,
+                                epsilon=self.config.lindex_epsilon,
+                                delta_max=self.config.lindex_delta_max)
         return BTree(node_bytes=self.config.page_size, model=self.model,
                      key_size=lambda k: len(k))
 
@@ -253,6 +264,8 @@ class BlobDB:
         if self._occ:
             for record in txn.write_set:
                 self._versions[record] = self._versions.get(record, 0) + 1
+        if self.ns is not None and txn.ns_events:
+            self.ns.apply_events(txn.ns_events)
         txn.status = TxnStatus.COMMITTED
         self.locks.release_all(txn.txn_id)
         del self._active[txn.txn_id]
@@ -355,6 +368,28 @@ class BlobDB:
                                      value=encode_value(value)))
         txn.remember_undo(table, key, None)
         tree.insert(key, value)
+        self._ns_note(txn, "put", table, key, value)
+
+    def _ns_note(self, txn: Transaction, op: str, table: str, key: bytes,
+                 value=None) -> None:
+        """Queue a namespace-accelerator event on ``txn``.
+
+        Events are applied to :attr:`ns` only in ``_commit_body`` — an
+        aborting transaction discards them, keeping the interval
+        numbering consistent with committed state.  System tables and
+        staging keys (``\\x00`` prefixes) never enter the namespace.
+        """
+        if self.ns is None or table.startswith("\x00") \
+                or key.startswith(b"\x00"):
+            return
+        if op == "del":
+            txn.ns_events.append(("del", table, key, 0, ""))
+        elif isinstance(value, BlobState):
+            txn.ns_events.append(
+                ("put", table, key, value.size, value.sha256.hex()))
+        else:
+            size = len(value) if isinstance(value, (bytes, bytearray)) else 0
+            txn.ns_events.append(("put", table, key, size, ""))
 
     def get(self, table: str, key: bytes,
             txn: Transaction | None = None) -> bytes:
@@ -427,6 +462,7 @@ class BlobDB:
                                      value=encode_value(result.state)))
         txn.remember_undo(table, key, None)
         tree.insert(key, result.state)
+        self._ns_note(txn, "put", table, key, result.state)
         return result.state
 
     def put_blob_stream(self, txn: Transaction, table: str, key: bytes,
@@ -529,6 +565,7 @@ class BlobDB:
             new_value=encode_value(result.state)))
         txn.remember_undo(table, key, old_state)
         self._table(table).insert(key, result.state)
+        self._ns_note(txn, "put", table, key, result.state)
         return result.state
 
     def update_blob_range(self, txn: Transaction, table: str, key: bytes,
@@ -586,6 +623,7 @@ class BlobDB:
             new_value=encode_value(result.state)))
         txn.remember_undo(table, key, old_state)
         self._table(table).insert(key, result.state)
+        self._ns_note(txn, "put", table, key, result.state)
         return result.state
 
     def _capture_delta_preimages(self, txn: Transaction, state: BlobState,
@@ -639,6 +677,7 @@ class BlobDB:
             txn.requarantine.append((table, key))
             self._quarantined.discard((table, key))
         self._table(table).delete(key)
+        self._ns_note(txn, "del", table, key)
 
     def delete(self, txn: Transaction, table: str, key: bytes) -> None:
         """Delete any row (BLOB or inline)."""
@@ -655,6 +694,7 @@ class BlobDB:
                                      old_value=encode_value(value)))
         txn.remember_undo(table, key, value)
         self._table(table).delete(key)
+        self._ns_note(txn, "del", table, key)
 
     # -- checkpointing -----------------------------------------------------------------------
 
@@ -798,6 +838,10 @@ class BlobDB:
         simulate_state_loss()
         self._tables.clear()
         self._active.clear()
+        # The namespace accelerator is volatile; rebuild it after
+        # recovery with ``NamespaceIndex.build`` (deterministic from the
+        # recovered tables).
+        self.ns = None
         return self.storage if self.storage.heterogeneous else self.device
 
     @classmethod

@@ -95,6 +95,21 @@ class EngineReport:
     replica_max_lag_records: int = 0
     replica_stale_reads: int = 0
 
+    # Relation index (learned-tier counters zero on btree/art engines).
+    # The structure starts unset ("") so aggregates adopt the first
+    # member's engine; ``build_report`` always fills it from the config.
+    index_structure: str = ""
+    index_probes: int = 0
+    index_delta_hits: int = 0
+    index_segment_retrains: int = 0
+    index_segments: int = 0
+    index_entries: int = 0
+
+    # Namespace accelerator (all zero without an attached interval index)
+    ns_nodes: int = 0
+    ns_range_scans: int = 0
+    ns_renumbers: int = 0
+
     # Simulated time
     simulated_seconds: float = 0.0
 
@@ -102,6 +117,11 @@ class EngineReport:
     def extent_reuse_ratio(self) -> float:
         total = self.extents_fresh + self.extents_reused
         return self.extents_reused / total if total else 0.0
+
+    @property
+    def index_delta_hit_ratio(self) -> float:
+        return self.index_delta_hits / self.index_probes \
+            if self.index_probes else 0.0
 
     @property
     def pool_fill_fraction(self) -> float:
@@ -160,6 +180,18 @@ class EngineReport:
         self.keys_repaired += other.keys_repaired
         self.scrub_blobs_scanned += other.scrub_blobs_scanned
         self.scrub_corrupt_found += other.scrub_corrupt_found
+        if not self.index_structure:
+            self.index_structure = other.index_structure
+        elif other.index_structure != self.index_structure:
+            self.index_structure = "mixed"
+        self.index_probes += other.index_probes
+        self.index_delta_hits += other.index_delta_hits
+        self.index_segment_retrains += other.index_segment_retrains
+        self.index_segments += other.index_segments
+        self.index_entries += other.index_entries
+        self.ns_nodes += other.ns_nodes
+        self.ns_range_scans += other.ns_range_scans
+        self.ns_renumbers += other.ns_renumbers
 
     def format(self) -> str:
         """Human-readable multi-line summary."""
@@ -218,6 +250,23 @@ class EngineReport:
                 f"{self.shard_routed_keys} keys routed "
                 f"[{spread}] in {self.shard_fanout_batches} fan-outs, "
                 f"imbalance {self.shard_imbalance:.2f}x")
+        # Learned-index line only for that engine: btree/art reports must
+        # not print segment/delta noise (and the delta ratio guards its
+        # zero-probe denominator).
+        if self.index_structure in ("learned", "mixed"):
+            lines.append(
+                f"index:          {self.index_structure}, "
+                f"{self.index_segments} segments / "
+                f"{self.index_entries} entries, "
+                f"{self.index_probes} probes "
+                f"({self.index_delta_hit_ratio:.0%} delta hits), "
+                f"{self.index_segment_retrains} retrains")
+        # Namespace line only when an interval index is attached.
+        if self.ns_nodes or self.ns_range_scans:
+            lines.append(
+                f"namespace:      {self.ns_nodes} interval nodes, "
+                f"{self.ns_range_scans} range scans, "
+                f"{self.ns_renumbers} renumbers")
         # Replication line only for actual replica groups; a plain or
         # merely sharded engine must not print quorum/epoch noise.
         if self.replica_groups >= 1:
@@ -247,6 +296,18 @@ def build_report(db) -> EngineReport:
     integrity = getattr(device, "integrity", None)
     recovery = getattr(db, "recovery_info", None)
     wal_caps = capabilities_of(db.wal_device)
+    index_probes = index_delta = index_retrains = 0
+    index_segments = index_entries = 0
+    if db.config.index_structure == "learned":
+        for name in sorted(db._tables):
+            tree = db._tables[name]
+            tree_stats = tree.stats()
+            index_probes += tree_stats.probe_count
+            index_delta += tree_stats.delta_hit_count
+            index_retrains += tree_stats.retrain_count
+            index_segments += tree_stats.segment_count
+            index_entries += tree_stats.entry_count
+    ns = db.ns
     pmem_bytes = sum(
         sum(dev.stats.bytes_written_by_category.values())
         for dev in db.storage.devices
@@ -294,5 +355,14 @@ def build_report(db) -> EngineReport:
         keys_repaired=recovery.repaired_keys if recovery else 0,
         scrub_blobs_scanned=db.scrub_stats.blobs_scanned,
         scrub_corrupt_found=db.scrub_stats.corrupt_found,
+        index_structure=db.config.index_structure,
+        index_probes=index_probes,
+        index_delta_hits=index_delta,
+        index_segment_retrains=index_retrains,
+        index_segments=index_segments,
+        index_entries=index_entries,
+        ns_nodes=ns.nodes if ns is not None else 0,
+        ns_range_scans=ns.range_scans if ns is not None else 0,
+        ns_renumbers=ns.renumbers if ns is not None else 0,
         simulated_seconds=db.model.clock.now_s,
     )

@@ -132,6 +132,9 @@ class Transaction:
         self.write_set: set[tuple[str, bytes]] = set()
         #: Quarantine flags this txn cleared (restored if it aborts).
         self.requarantine: list[tuple[str, bytes]] = []
+        #: Namespace-accelerator events (op, table, key, size, etag),
+        #: applied to ``db.ns`` only when this txn commits.
+        self.ns_events: list[tuple[str, str, bytes, int, str]] = []
 
     def ensure_active(self) -> None:
         if self.status is not TxnStatus.ACTIVE:

@@ -43,13 +43,40 @@ _DIR_MODE = stat_module.S_IFDIR | 0o555
 _FILE_MODE = stat_module.S_IFREG | 0o444
 
 
+def _prefix_end(prefix: bytes) -> bytes | None:
+    """Smallest key greater than every key starting with ``prefix``."""
+    for i in range(len(prefix) - 1, -1, -1):
+        if prefix[i] != 0xFF:
+            return prefix[:i] + bytes([prefix[i] + 1])
+    return None
+
+
 class BlobFuse:
-    """In-process implementation of the FUSE operations."""
+    """In-process implementation of the FUSE operations.
+
+    Keys containing ``/`` appear as nested directories, so the mount
+    shows arbitrarily deep trees.  Recursive operations
+    (:meth:`readdir_recursive`, :meth:`subtree_statfs`) run as **one**
+    interval range scan when a namespace accelerator is attached
+    (:meth:`attach_namespace`), and as classic per-level
+    ``readdir``+``getattr`` walks otherwise.
+    """
 
     def __init__(self, db: BlobDB) -> None:
         self.db = db
         self._handles: dict[int, tuple[Transaction, str, bytes]] = {}
         self._next_fh = 1
+
+    @property
+    def ns(self):
+        return self.db.ns
+
+    def attach_namespace(self):
+        """Build (or reuse) the interval-numbered namespace accelerator."""
+        if self.db.ns is None:
+            from repro.namespace import NamespaceIndex
+            NamespaceIndex.build(self.db)
+        return self.db.ns
 
     # -- path handling -----------------------------------------------------
 
@@ -57,16 +84,15 @@ class BlobFuse:
     def _split(path: str) -> tuple[str, bytes | None]:
         """``/image/cat.jpg`` -> ``("image", b"cat.jpg")``.
 
-        The paper's ``ExtractRelationAndFileName``.
+        The paper's ``ExtractRelationAndFileName``; deeper paths map
+        their remaining components into the ``/``-separated key.
         """
         parts = [p for p in path.split("/") if p]
         if not parts:
             return "", None
         if len(parts) == 1:
             return parts[0], None
-        if len(parts) != 2:
-            raise FuseError(errno.ENOENT)
-        return parts[0], parts[1].encode()
+        return parts[0], "/".join(parts[1:]).encode()
 
     def _state(self, table: str, key: bytes,
                txn: Transaction | None = None) -> BlobState:
@@ -89,21 +115,119 @@ class BlobFuse:
             if table in self.db.list_tables():
                 return FileAttr(st_mode=_DIR_MODE, st_size=0, st_nlink=2)
             raise FuseError(errno.ENOENT)
-        state = self._state(table, key)
-        return FileAttr(st_mode=_FILE_MODE, st_size=state.size)
+        if table not in self.db.list_tables():
+            raise FuseError(errno.ENOENT)
+        value = self.db._table(table).lookup(key)
+        if value is not None:
+            size = value.size if isinstance(value, BlobState) else len(value)
+            return FileAttr(st_mode=_FILE_MODE, st_size=size)
+        if self._is_dir(table, key):
+            return FileAttr(st_mode=_DIR_MODE, st_size=0, st_nlink=2)
+        raise FuseError(errno.ENOENT)
+
+    def _is_dir(self, table: str, key: bytes) -> bool:
+        """Is ``key`` an implicit directory (some key nests below it)?"""
+        if self.ns is not None:
+            node = self.ns.resolve(table, key)
+            return node is not None and node.is_dir
+        prefix = key + b"/"
+        for _ in self.db.scan(table, start=prefix, end=_prefix_end(prefix)):
+            return True
+        return False
 
     def readdir(self, path: str) -> list[str]:
         self.db.model.syscall("readdir")
         table, key = self._split(path)
-        if key is not None:
-            raise FuseError(errno.ENOTDIR)
         if not table:
             return [".", ".."] + self.db.list_tables()
         if table not in self.db.list_tables():
             raise FuseError(errno.ENOENT)
-        names = [k.decode(errors="replace")
-                 for k, _ in self.db.scan(table)]
-        return [".", ".."] + names
+        if key is not None:
+            if self.db.exists(table, key):
+                raise FuseError(errno.ENOTDIR)
+            if not self._is_dir(table, key):
+                raise FuseError(errno.ENOENT)
+        return [".", ".."] + self._child_names(table, key)
+
+    def _child_names(self, table: str, key: bytes | None) -> list[str]:
+        """Immediate children of a directory, sorted."""
+        if self.ns is not None:
+            node = self.ns.resolve(table, key or b"")
+            return sorted(node.children) if node is not None else []
+        prefix = b"" if key is None else key + b"/"
+        names: set[str] = set()
+        for k, _ in self.db.scan(table, start=prefix or None,
+                                 end=_prefix_end(prefix)):
+            if k.startswith(b"\x00"):
+                continue
+            head = k[len(prefix):].split(b"/", 1)[0]
+            names.add(head.decode("utf-8", "surrogateescape"))
+        return sorted(names)
+
+    def readdir_recursive(self, path: str) -> list[tuple[str, bool, int]]:
+        """``readdir -R``: every entry under ``path`` as
+        ``(relative_path, is_dir, size)``, sorted by path.
+
+        With the namespace accelerator this is **one** range scan over
+        the interval index; without it, the classic decomposition — one
+        ``readdir`` per directory plus one ``getattr`` per entry.
+        """
+        self.db.model.syscall("readdir")
+        table, key = self._split(path)
+        if table and table not in self.db.list_tables():
+            raise FuseError(errno.ENOENT)
+        if table and key is not None and self.db.exists(table, key):
+            raise FuseError(errno.ENOTDIR)
+        if self.ns is not None:
+            root = self.ns._root if not table \
+                else self.ns.resolve(table, key or b"")
+            if root is None:
+                if key is None:  # existing but empty table
+                    return []
+                raise FuseError(errno.ENOENT)
+            entries = [(n.rel_path(root), not n.is_file, n.size)
+                       for n in self.ns.iter_subtree(root)]
+            return sorted(entries)
+        out: list[tuple[str, bool, int]] = []
+        base = "/" + path.strip("/") if path.strip("/") else ""
+        stack = [""]
+        while stack:
+            rel = stack.pop()
+            dpath = (base + "/" + rel).rstrip("/") or "/"
+            for name in self.readdir(dpath)[2:]:
+                crel = f"{rel}/{name}" if rel else name
+                attr = self.getattr(f"{dpath.rstrip('/')}/{name}")
+                if attr.is_dir:
+                    out.append((crel, True, 0))
+                    stack.append(crel)
+                else:
+                    out.append((crel, False, attr.st_size))
+        return sorted(out)
+
+    def subtree_statfs(self, path: str) -> dict[str, int]:
+        """File/directory/byte totals under ``path``.
+
+        One interval range scan with the accelerator; a full per-level
+        walk without it.
+        """
+        self.db.model.syscall("generic")
+        table, key = self._split(path)
+        if self.ns is not None:
+            root = self.ns._root if not table \
+                else self.ns.resolve(table, key or b"")
+            if root is None:
+                if table and table in self.db.list_tables() and key is None:
+                    return {"files": 0, "dirs": 0, "bytes": 0}
+                raise FuseError(errno.ENOENT)
+            return self.ns.subtree_stats(root)
+        files = dirs = total = 0
+        for _, is_dir, size in self.readdir_recursive(path):
+            if is_dir:
+                dirs += 1
+            else:
+                files += 1
+                total += size
+        return {"files": files, "dirs": dirs, "bytes": total}
 
     def open(self, path: str, write: bool = False) -> int:
         """``open()``: starts the wrapping transaction (Listing 1)."""

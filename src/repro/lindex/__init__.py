@@ -1,0 +1,5 @@
+"""Disk-resident updatable learned index (``index_structure="learned"``)."""
+
+from repro.lindex.learned import LearnedIndex, LearnedIndexStats
+
+__all__ = ["LearnedIndex", "LearnedIndexStats"]

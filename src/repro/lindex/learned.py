@@ -1,0 +1,401 @@
+"""Disk-resident updatable learned index (third relation-index engine).
+
+PGM/FITing-tree style: the sorted key space is covered by piecewise-
+linear *segments*.  Each segment stores an immutable sorted base run
+plus a linear model ``pos ~ slope * (x - x0)`` whose maximum prediction
+error over the base run is bounded by ``eps``; a probe binary-searches
+the compact segment directory, evaluates the model once, and finishes
+with a bounded last-mile search inside the ``+-eps`` window.  Updates
+are buffered in a per-segment *delta* (with tombstones for deletes);
+when a segment's delta exceeds its threshold the segment is
+deterministically *retrained*: base and delta are merged, the cone
+refitted (splitting where the fit or the segment-size cap demands it),
+and the rebuilt run priced as streaming I/O through the ``CostModel``.
+
+Keys are byte strings (same restriction as :class:`repro.art.ArtTree`);
+the numeric domain for the models is the first 16 key bytes read as a
+big-endian integer, which is monotone in the key order.  Every probe,
+last-mile step, delta probe, and retrain is priced through the cost
+model's ``lindex_*`` entries — there is no un-charged fast path.
+"""
+
+from __future__ import annotations
+
+import math
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Any, Iterator
+
+#: Modelled on-disk footprint of one entry's record pointer + length.
+_VALUE_BYTES = 16
+#: Modelled per-segment header (model, fences, page map).
+_SEGMENT_BYTES = 64
+#: Width of the numeric key domain: first 16 key bytes, big-endian.
+_X_BYTES = 16
+
+#: Delta tombstone marker (distinct from any stored value).
+_TOMBSTONE = object()
+
+
+def _key_x(key: bytes) -> int:
+    """Map a byte key to the model domain (monotone in key order)."""
+    return int.from_bytes(key[:_X_BYTES].ljust(_X_BYTES, b"\x00"), "big")
+
+
+def _entry_bytes(key: bytes) -> int:
+    return len(key) + _VALUE_BYTES
+
+
+class _Segment:
+    """One piecewise-linear segment: immutable base run + delta buffer."""
+
+    __slots__ = ("keys", "vals", "first_key", "x0", "slope", "eps", "delta")
+
+    def __init__(self, keys: list[bytes], vals: list[Any],
+                 slope: float, eps: int) -> None:
+        self.keys = keys
+        self.vals = vals
+        self.first_key = keys[0] if keys else b""
+        self.x0 = _key_x(keys[0]) if keys else 0
+        self.slope = slope
+        self.eps = eps
+        #: Buffered updates: key -> value (or ``_TOMBSTONE``), plus a
+        #: sorted view for ordered scans.
+        self.delta: dict[bytes, Any] = {}
+
+    def base_bytes(self) -> int:
+        return sum(_entry_bytes(k) for k in self.keys) + _SEGMENT_BYTES
+
+    def predict(self, key: bytes) -> int:
+        pos = int(round(self.slope * (_key_x(key) - self.x0)))
+        return min(max(pos, 0), len(self.keys) - 1) if self.keys else 0
+
+
+@dataclass(frozen=True)
+class LearnedIndexStats:
+    entry_count: int
+    segment_count: int
+    delta_entries: int
+    retrain_count: int
+    probe_count: int
+    delta_hit_count: int
+    epsilon: int
+    max_segment_error: int
+    height: int
+    size_bytes: int
+
+
+class LearnedIndex:
+    """Updatable learned index with the B-Tree/ART engine interface."""
+
+    def __init__(self, *, model: Any = None, epsilon: int = 64,
+                 delta_max: int = 32, max_segment_entries: int = 512) -> None:
+        if epsilon < 1:
+            raise ValueError("epsilon must be >= 1")
+        if delta_max < 1:
+            raise ValueError("delta_max must be >= 1")
+        self._model = model
+        self.epsilon = epsilon
+        self.delta_max = delta_max
+        self.max_segment_entries = max(8, max_segment_entries)
+        self._segs: list[_Segment] = []
+        self._firsts: list[bytes] = []
+        self._count = 0
+        #: Instance counters (independent of the obs tracer so reports
+        #: work without one attached).
+        self.probes = 0
+        self.delta_hits = 0
+        self.retrains = 0
+
+    # -- cost/obs helpers --------------------------------------------------
+
+    def _obs(self, name: str) -> None:
+        if self._model is not None and getattr(self._model, "obs", None) is not None:
+            self._model.obs.count(name)
+
+    def _charge_directory_search(self) -> None:
+        if self._model is not None:
+            self._model.lindex_segment_search(max(1, len(self._segs).bit_length()))
+
+    # -- fitting -----------------------------------------------------------
+
+    def _cone_end(self, keys: list[bytes], i: int, limit: int) -> int:
+        """Longest prefix ``keys[i:j]`` admitting a slope with error <= eps."""
+        x0 = _key_x(keys[i])
+        lo, hi = 0.0, math.inf
+        j = i + 1
+        while j < limit:
+            dx = _key_x(keys[j]) - x0
+            r = j - i
+            if dx == 0:
+                if r > self.epsilon:
+                    break
+            else:
+                lo = max(lo, (r - self.epsilon) / dx)
+                hi = min(hi, (r + self.epsilon) / dx)
+                if lo > hi:
+                    break
+            j += 1
+        return j
+
+    def _make_segment(self, keys: list[bytes], vals: list[Any]) -> _Segment:
+        x0 = _key_x(keys[0])
+        lo, hi = 0.0, math.inf
+        for r in range(1, len(keys)):
+            dx = _key_x(keys[r]) - x0
+            if dx > 0:
+                lo = max(lo, (r - self.epsilon) / dx)
+                hi = min(hi, (r + self.epsilon) / dx)
+        slope = lo if math.isinf(hi) else (lo + hi) / 2.0
+        err = 0.0
+        for r in range(len(keys)):
+            dx = _key_x(keys[r]) - x0
+            err = max(err, abs(slope * dx - r))
+        return _Segment(keys, vals, slope, int(math.ceil(err)))
+
+    def _fit(self, keys: list[bytes], vals: list[Any]) -> list[_Segment]:
+        out: list[_Segment] = []
+        i, n = 0, len(keys)
+        while i < n:
+            j = self._cone_end(keys, i, min(n, i + self.max_segment_entries))
+            # Splitting at the cap: aim below it so the fresh segment has
+            # update headroom before the next forced split.
+            if j - i >= self.max_segment_entries:
+                j = i + self.max_segment_entries // 2
+            out.append(self._make_segment(keys[i:j], vals[i:j]))
+            i = j
+        return out
+
+    # -- segment lookup ----------------------------------------------------
+
+    def _seg_index(self, key: bytes) -> int:
+        return max(0, bisect_right(self._firsts, key) - 1)
+
+    def _base_find(self, seg: _Segment, key: bytes) -> int:
+        """Position of ``key`` in the base run, or -1.  Charges the model
+        predict plus the bounded last-mile comparisons."""
+        if self._model is not None:
+            self._model.lindex_predict()
+        if not seg.keys:
+            return -1
+        pred = seg.predict(key)
+        lo = max(0, pred - seg.eps)
+        hi = min(len(seg.keys), pred + seg.eps + 1)
+        if self._model is not None:
+            self._model.lindex_last_mile(max(1, (hi - lo).bit_length()))
+        pos = bisect_left(seg.keys, key, lo, hi)
+        if pos < hi and pos < len(seg.keys) and seg.keys[pos] == key:
+            return pos
+        return -1
+
+    def _delta_probe(self, seg: _Segment, key: bytes) -> Any:
+        """Probe the delta buffer; returns the delta slot or ``None``."""
+        if self._model is not None:
+            self._model.lindex_last_mile(1)
+        return seg.delta.get(key)
+
+    # -- public interface --------------------------------------------------
+
+    def insert(self, key: bytes, value: Any) -> None:
+        """Insert ``key``/``value``; replaces the value on duplicate key."""
+        if not isinstance(key, bytes):
+            raise TypeError("LearnedIndex keys must be bytes")
+        if not self._segs:
+            self._segs = [self._make_segment([key], [value])]
+            self._firsts = [key]
+            self._count = 1
+            if self._model is not None:
+                self._model.lindex_predict()
+            return
+        self._charge_directory_search()
+        i = self._seg_index(key)
+        seg = self._segs[i]
+        slot = self._delta_probe(seg, key)
+        if slot is not None:
+            present = slot is not _TOMBSTONE
+        else:
+            present = self._base_find(seg, key) >= 0
+        seg.delta[key] = value
+        if not present:
+            self._count += 1
+        self._maybe_retrain(i)
+
+    def lookup(self, key: bytes) -> Any:
+        self.probes += 1
+        self._obs("index.probes")
+        if not self._segs:
+            return None
+        self._charge_directory_search()
+        seg = self._segs[self._seg_index(key)]
+        slot = self._delta_probe(seg, key)
+        if slot is not None:
+            self.delta_hits += 1
+            self._obs("index.delta_hits")
+            return None if slot is _TOMBSTONE else slot
+        pos = self._base_find(seg, key)
+        return seg.vals[pos] if pos >= 0 else None
+
+    def delete(self, key: bytes) -> bool:
+        if not self._segs:
+            return False
+        self._charge_directory_search()
+        i = self._seg_index(key)
+        seg = self._segs[i]
+        slot = self._delta_probe(seg, key)
+        if slot is not None:
+            if slot is _TOMBSTONE:
+                return False
+        elif self._base_find(seg, key) < 0:
+            return False
+        seg.delta[key] = _TOMBSTONE
+        self._count -= 1
+        self._maybe_retrain(i)
+        return True
+
+    def scan(self, start: bytes | None = None,
+             end: bytes | None = None) -> Iterator[tuple[bytes, Any]]:
+        """Yield ``(key, value)`` with ``start <= key < end`` in order."""
+        if not self._segs:
+            return
+        self._charge_directory_search()
+        i = 0 if start is None else self._seg_index(start)
+        for seg in self._segs[i:]:
+            if end is not None and seg.first_key and seg.first_key >= end \
+                    and seg is not self._segs[0]:
+                break
+            yield from self._scan_segment(seg, start, end)
+
+    def _scan_segment(self, seg: _Segment, start: bytes | None,
+                      end: bytes | None) -> Iterator[tuple[bytes, Any]]:
+        deltas = sorted(seg.delta.items())
+        bi, di = 0, 0
+        while bi < len(seg.keys) or di < len(deltas):
+            if di >= len(deltas):
+                k, v, shadowed = seg.keys[bi], seg.vals[bi], False
+                bi += 1
+            elif bi >= len(seg.keys) or deltas[di][0] < seg.keys[bi]:
+                k, v = deltas[di]
+                shadowed = v is _TOMBSTONE
+                di += 1
+            elif deltas[di][0] == seg.keys[bi]:
+                k, v = deltas[di]
+                shadowed = v is _TOMBSTONE
+                bi += 1
+                di += 1
+            else:
+                k, v, shadowed = seg.keys[bi], seg.vals[bi], False
+                bi += 1
+            if shadowed or (start is not None and k < start):
+                continue
+            if end is not None and k >= end:
+                return
+            if self._model is not None:
+                self._model.lindex_last_mile(1)
+            yield k, v
+
+    def first(self) -> tuple[bytes, Any] | None:
+        for pair in self.scan():
+            return pair
+        return None
+
+    def __len__(self) -> int:
+        return self._count
+
+    def __contains__(self, key: bytes) -> bool:
+        return self.lookup(key) is not None
+
+    # -- retraining --------------------------------------------------------
+
+    def _threshold(self, seg: _Segment) -> int:
+        # Adaptive: small segments retrain after ``delta_max`` buffered
+        # updates; larger ones tolerate proportionally more so bulk
+        # sorted loads don't degenerate into O(n^2) rebuilds.
+        return max(self.delta_max, len(seg.keys) // 8)
+
+    def _maybe_retrain(self, i: int) -> None:
+        if len(self._segs[i].delta) > self._threshold(self._segs[i]):
+            self._retrain(i)
+
+    def _retrain(self, i: int) -> None:
+        seg = self._segs[i]
+        self.retrains += 1
+        self._obs("index.segment_retrains")
+        merged_keys: list[bytes] = []
+        merged_vals: list[Any] = []
+        deltas = sorted(seg.delta.items())
+        bi, di = 0, 0
+        while bi < len(seg.keys) or di < len(deltas):
+            if di >= len(deltas):
+                merged_keys.append(seg.keys[bi])
+                merged_vals.append(seg.vals[bi])
+                bi += 1
+                continue
+            if bi >= len(seg.keys) or deltas[di][0] < seg.keys[bi]:
+                k, v = deltas[di]
+                di += 1
+            elif deltas[di][0] == seg.keys[bi]:
+                k, v = deltas[di]
+                bi += 1
+                di += 1
+            else:
+                merged_keys.append(seg.keys[bi])
+                merged_vals.append(seg.vals[bi])
+                bi += 1
+                continue
+            if v is not _TOMBSTONE:
+                merged_keys.append(k)
+                merged_vals.append(v)
+        moved = seg.base_bytes() \
+            + sum(_entry_bytes(k) for k in merged_keys) + _SEGMENT_BYTES
+        if self._model is not None:
+            self._model.lindex_retrain(moved)
+        if merged_keys:
+            fresh = self._fit(merged_keys, merged_vals)
+        elif len(self._segs) == 1:
+            self._segs = []
+            self._firsts = []
+            return
+        else:
+            fresh = []
+        self._segs[i:i + 1] = fresh
+        self._firsts[i:i + 1] = [s.first_key for s in fresh]
+
+    # -- introspection -----------------------------------------------------
+
+    def stats(self) -> LearnedIndexStats:
+        delta_entries = sum(len(s.delta) for s in self._segs)
+        size = sum(s.base_bytes() for s in self._segs) \
+            + sum(sum(_entry_bytes(k) for k in s.delta) for s in self._segs) \
+            + _X_BYTES * len(self._segs)
+        max_err = max((s.eps for s in self._segs), default=0)
+        return LearnedIndexStats(
+            entry_count=self._count,
+            segment_count=len(self._segs),
+            delta_entries=delta_entries,
+            retrain_count=self.retrains,
+            probe_count=self.probes,
+            delta_hit_count=self.delta_hits,
+            epsilon=self.epsilon,
+            max_segment_error=max_err,
+            height=2 if self._segs else 0,
+            size_bytes=size,
+        )
+
+    def check_invariants(self) -> list[str]:
+        """Structural self-check used by tests; returns failure strings."""
+        failures: list[str] = []
+        prev: bytes | None = None
+        for i, seg in enumerate(self._segs):
+            if self._firsts[i] != seg.first_key:
+                failures.append(f"segment {i}: directory key mismatch")
+            if seg.keys and seg.eps > self.epsilon:
+                failures.append(
+                    f"segment {i}: eps {seg.eps} > bound {self.epsilon}")
+            for r, key in enumerate(seg.keys):
+                if prev is not None and key <= prev:
+                    failures.append(f"segment {i}: key order broken at {r}")
+                prev = key
+                if abs(seg.predict(key) - r) > seg.eps:
+                    failures.append(
+                        f"segment {i}: prediction error beyond eps at {r}")
+        return failures

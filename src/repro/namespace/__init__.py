@@ -1,0 +1,5 @@
+"""Interval-numbered namespace accelerator for recursive scans."""
+
+from repro.namespace.intervals import NamespaceIndex, NsNode
+
+__all__ = ["NamespaceIndex", "NsNode"]

@@ -116,6 +116,23 @@ class ObjectStore:
         self._upload_ids = itertools.count(1)
         self._uploads: dict[int, MultipartUpload] = {}
 
+    @property
+    def ns(self):
+        return self.db.ns
+
+    def attach_namespace(self):
+        """Build (or reuse) the interval-numbered namespace accelerator.
+
+        Once attached, directory-aligned :meth:`list_objects` calls
+        (empty prefix or a prefix ending in ``/``) run as one range scan
+        over the interval index instead of a key-space scan plus
+        per-object metadata decoding.
+        """
+        if self.db.ns is None:
+            from repro.namespace import NamespaceIndex
+            NamespaceIndex.build(self.db)
+        return self.db.ns
+
     # -- buckets -----------------------------------------------------------
 
     def create_bucket(self, name: str) -> None:
@@ -178,9 +195,17 @@ class ObjectStore:
             raise ObjectNotFound(f"{bucket}/{key!r}") from None
 
     def list_objects(self, bucket: str, prefix: bytes = b""):
-        """Yield :class:`ObjectInfo` for keys with the given prefix."""
+        """Yield :class:`ObjectInfo` for keys with the given prefix.
+
+        Directory-aligned prefixes (empty, or ending in ``/``) use the
+        namespace accelerator when attached: one interval range scan
+        yields the whole subtree with sizes and ETags already resolved.
+        """
         if bucket not in self.db.list_tables():
             raise BucketNotFound(bucket)
+        if self.ns is not None and (not prefix or prefix.endswith(b"/")):
+            yield from self._list_objects_interval(bucket, prefix)
+            return
         end = _prefix_end(prefix)
         for key, value in self.db.scan(bucket, start=prefix or None,
                                        end=end):
@@ -190,6 +215,17 @@ class ObjectStore:
                 continue
             yield ObjectInfo(bucket=bucket, key=key, size=value.size,
                              etag=value.sha256.hex())
+
+    def _list_objects_interval(self, bucket: str, prefix: bytes):
+        """One range scan over the interval numbering (sorted by key)."""
+        node = self.ns.resolve(bucket, prefix.rstrip(b"/"))
+        if node is None:  # empty bucket or no keys under the prefix
+            return
+        infos = [ObjectInfo(bucket=bucket, key=found.key, size=found.size,
+                            etag=found.etag)
+                 for found in self.ns.iter_subtree(node) if found.is_file]
+        infos.sort(key=lambda info: info.key)
+        yield from infos
 
     # -- multipart ---------------------------------------------------------------
 

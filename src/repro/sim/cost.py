@@ -166,6 +166,24 @@ class CostParams:
     #: acknowledgements, releasing the commit to the client).
     quorum_commit_ns: float = 300.0
 
+    # -- Learned index (disk-resident, updatable) ---------------------------
+    #: One binary-search step through the compact in-memory segment
+    #: directory (first-key array, cache-resident).
+    lindex_segment_search_ns: float = 12.0
+    #: Evaluating the per-segment linear model: two FMAs, a clamp, and
+    #: loading the model's cache line.
+    lindex_predict_ns: float = 20.0
+    #: Comparing one entry during the bounded last-mile search inside the
+    #: +-epsilon window (sequential access within a cached segment page),
+    #: also used per entry emitted by a segment range scan and per probe
+    #: of a segment's delta buffer.
+    lindex_scan_ns_per_entry: float = 8.0
+    #: Retraining a segment: streaming its pages back in, merging the
+    #: delta, refitting the cone, and writing the rebuilt run out — priced
+    #: per byte moved (read + write), amortizing NVMe streaming and the
+    #: O(n) fit over the segment.
+    lindex_retrain_ns_per_byte: float = 0.5
+
     def copy(self, **overrides: float) -> "CostParams":
         """Return a copy with selected parameters replaced."""
         values = {f.name: getattr(self, f.name) for f in fields(self)}
@@ -467,3 +485,28 @@ class CostModel:
     def quorum_commit(self) -> None:
         """Charge one quorum-commit acknowledgement decision."""
         self._charge_user(self.params.quorum_commit_ns)
+
+    # -- learned index ---------------------------------------------------------
+
+    def lindex_segment_search(self, steps: int) -> None:
+        """Charge ``steps`` binary-search steps over the segment directory."""
+        if steps > 0:
+            self._charge_user(steps * self.params.lindex_segment_search_ns)
+
+    def lindex_predict(self) -> None:
+        """Charge one linear-model evaluation (slope * x + intercept)."""
+        self._charge_user(self.params.lindex_predict_ns)
+
+    def lindex_last_mile(self, entries: int) -> None:
+        """Charge touching ``entries`` entries inside the epsilon window
+        (bounded last-mile search, delta-buffer probe, or range-scan emit)."""
+        if entries > 0:
+            self._charge_user(entries * self.params.lindex_scan_ns_per_entry,
+                              cache_misses=entries // 8)
+
+    def lindex_retrain(self, nbytes: int) -> None:
+        """Charge retraining one segment: ``nbytes`` moved (read + write)."""
+        if nbytes > 0:
+            ns = nbytes * self.params.lindex_retrain_ns_per_byte
+            self._charge_user(ns, cache_misses=nbytes // 256)
+            self.io_time_ns += ns

@@ -241,6 +241,26 @@ class TestSubstrateBypassRule:
                   "raw = self.inner.peek_bytes(off, n)\n")
         assert lint_source("src/repro/storage/faults.py", source) == []
 
+    def test_flags_lindex_and_namespace_bypass(self):
+        # The adaptive-indexing layer sits on the priced substrate too:
+        # reaching around a learned index or the interval numbering to
+        # raw pages skips the probe/retrain charges.
+        findings = run("""
+            pages = self.lindex.device._pages
+            raw = namespace_idx.peek(0, 1)
+            crc = lindex._page_crc
+        """, path="src/repro/lindex/learned.py")
+        assert [f.rule for f in findings] == ["RPR006"] * 3
+
+    def test_clean_lindex_and_namespace_public_api(self):
+        # The priced public surface of both subsystems is fine anywhere.
+        findings = run("""
+            hits = list(lindex.scan(lo, hi))
+            nodes = namespace_idx.subtree(root)
+            val = self.lindex.lookup(key)
+        """)
+        assert findings == []
+
     def test_clean_byte_append_fast_path(self):
         # The priced public byte API is fine anywhere: write_bytes /
         # read_bytes on a device receiver charge the cost model.
